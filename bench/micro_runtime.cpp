@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) of the RAPTOR runtime dispatch paths:
+// the per-operation cost ablation underlying Table 3 —
+//   native vs instrumented-untruncated vs hardware-fastpath vs BigFloat
+//   emulation (naive/scratch) vs mem-mode, plus the quantize primitive.
+#include <benchmark/benchmark.h>
+
+#include "runtime/runtime.hpp"
+#include "trunc/real.hpp"
+#include "trunc/scope.hpp"
+
+using namespace raptor;
+
+namespace {
+
+void BM_NativeAdd(benchmark::State& state) {
+  double a = 1.234, b = 5.678e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = a + b);
+    b = -b;
+  }
+}
+BENCHMARK(BM_NativeAdd);
+
+void BM_DispatchUntruncated(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  double a = 1.234, b = 5.678e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = R.op2(rt::OpKind::Add, a, b, 64));
+    b = -b;
+  }
+}
+BENCHMARK(BM_DispatchUntruncated);
+
+void BM_DispatchUntruncatedNoCounting(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  R.set_counting(false);
+  double a = 1.234, b = 5.678e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = R.op2(rt::OpKind::Add, a, b, 64));
+    b = -b;
+  }
+  R.reset_all();
+}
+BENCHMARK(BM_DispatchUntruncatedNoCounting);
+
+void BM_HwFastpathFp32(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  R.set_hw_fastpath(true);
+  TruncScope scope(8, 23);
+  double a = 1.234, b = 5.678e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = R.op2(rt::OpKind::Add, a, b, 64));
+    b = -b;
+  }
+  R.reset_all();
+}
+BENCHMARK(BM_HwFastpathFp32);
+
+void BM_EmulatedScratch(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  R.set_alloc_strategy(rt::AllocStrategy::Scratch);
+  TruncScope scope(8, static_cast<int>(state.range(0)));
+  double a = 1.234, b = 5.678e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = R.op2(rt::OpKind::Add, a, b, 64));
+    b = -b;
+  }
+  R.reset_all();
+}
+BENCHMARK(BM_EmulatedScratch)->Arg(4)->Arg(12)->Arg(23)->Arg(52);
+
+void BM_EmulatedNaive(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  R.set_alloc_strategy(rt::AllocStrategy::Naive);
+  TruncScope scope(8, static_cast<int>(state.range(0)));
+  double a = 1.234, b = 5.678e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = R.op2(rt::OpKind::Add, a, b, 64));
+    b = -b;
+  }
+  R.reset_all();
+}
+BENCHMARK(BM_EmulatedNaive)->Arg(12)->Arg(52);
+
+void BM_EmulatedMulScratch(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  TruncScope scope(8, 12);
+  double a = 1.234;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = R.op2(rt::OpKind::Mul, a, 1.0000001, 64));
+  }
+  R.reset_all();
+}
+BENCHMARK(BM_EmulatedMulScratch);
+
+void BM_EmulatedSqrt(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  TruncScope scope(8, 12);
+  double a = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(R.op1(rt::OpKind::Sqrt, a, 64));
+  }
+  R.reset_all();
+}
+BENCHMARK(BM_EmulatedSqrt);
+
+void BM_EmulatedExp(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  TruncScope scope(8, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(R.op1(rt::OpKind::Exp, 1.2345, 64));
+  }
+  R.reset_all();
+}
+BENCHMARK(BM_EmulatedExp);
+
+void BM_MemModeAdd(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  R.set_mode(rt::Mode::Mem);
+  TruncScope scope(8, 12);
+  const double a = R.mem_make(1.234);
+  const double b = R.mem_make(5.678e-3);
+  for (auto _ : state) {
+    const double c = R.op2(rt::OpKind::Add, a, b, 64);
+    benchmark::DoNotOptimize(c);
+    R.mem_release(c);
+  }
+  R.mem_release(a);
+  R.mem_release(b);
+  R.reset_all();
+}
+BENCHMARK(BM_MemModeAdd);
+
+void BM_Quantize(benchmark::State& state) {
+  const sf::Format f{8, static_cast<int>(state.range(0))};
+  double a = 1.2345678901234;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sf::quantize(a, f));
+  }
+}
+BENCHMARK(BM_Quantize)->Arg(4)->Arg(23)->Arg(52);
+
+void BM_RealFrontEnd(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  TruncScope scope(8, 12);
+  Real a = 1.234, b = 5.678e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = a + b);
+    b = -b;
+  }
+  R.reset_all();
+}
+BENCHMARK(BM_RealFrontEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Table 4 reproduction: performance density of FPUs for various precisions
+// (FPNew data), plus the power-law extrapolation and the §7.2 area split
+// used by the speedup model.
+#include <cstdio>
+
+#include "model/codesign.hpp"
+
+using namespace raptor;
+
+int main() {
+  const model::CodesignModel codesign;
+
+  std::printf("# Table 4: performance density of FPUs (data from FPNew)\n");
+  std::printf("%-8s %-12s %-12s %-12s %s\n", "FP type", "(e,m)", "GFLOP/s", "Area (kGE)",
+              "Perf. density (normalized)");
+  for (const auto& p : codesign.fpu_points()) {
+    std::printf("%-8s (%d,%d)%*s %-12.2f %-12.0f %.2f\n", p.name.c_str(), p.fmt.exp_bits,
+                p.fmt.man_bits, p.fmt.man_bits >= 10 ? 4 : 5, "", p.gflops, p.area_kge,
+                codesign.normalized_density(p));
+  }
+
+  std::printf("\n# extrapolation: density(bits) = (64/bits)^%.3f\n", codesign.density_exponent());
+  std::printf("%-8s %s\n", "bits", "extrapolated density");
+  for (const int bits : {8, 12, 16, 20, 24, 32, 40, 48, 64}) {
+    std::printf("%-8d %.2f\n", bits, codesign.perf_density(bits));
+  }
+  std::printf("\n# area split for a 1:2 FP64:FP32 machine (paper derives ~1.39): "
+              "A_dbl : A_low = %.2f\n",
+              codesign.area_ratio(32));
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Hardware co-design explorer (paper §7.2): profile a workload with the
+// RAPTOR counters, then sweep candidate FPU formats through the performance
+// model to see the estimated speedup envelope.
+//
+// Run: ./codesign_explorer [--trunc-frac=0.8] [--bandwidth=1024]
+#include <cstdio>
+
+#include "model/codesign.hpp"
+#include "support/cli.hpp"
+
+using namespace raptor;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  model::CodesignModel::Config mc;
+  mc.bandwidth_gbs = cli.get_double("bandwidth", 1024.0);
+  const model::CodesignModel codesign(mc);
+
+  std::printf("FPU performance density (FPNew data, Table 4):\n");
+  std::printf("%-6s %10s %10s %16s\n", "type", "GFLOP/s", "kGE", "norm. density");
+  for (const auto& p : codesign.fpu_points()) {
+    std::printf("%-6s %10.2f %10.0f %16.2f\n", p.name.c_str(), p.gflops, p.area_kge,
+                codesign.normalized_density(p));
+  }
+  std::printf("power-law fit exponent: %.3f; area ratio A_dbl:A_low = %.2f\n\n",
+              codesign.density_exponent(), codesign.area_ratio(32));
+
+  // A synthetic profile standing in for runtime counters: the user provides
+  // the truncated fraction; intensity chosen compute-bound (like Sod).
+  const double frac = cli.get_double("trunc-frac", 0.8);
+  rt::CounterSnapshot profile;
+  profile.trunc_flops = static_cast<u64>(frac * 1e9);
+  profile.full_flops = static_cast<u64>((1.0 - frac) * 1e9);
+  profile.trunc_bytes = static_cast<u64>(frac * 1e8);
+  profile.full_bytes = static_cast<u64>((1.0 - frac) * 1e8);
+
+  std::printf("speedup sweep (truncated fraction %.0f%%):\n", 100 * frac);
+  std::printf("%-12s %10s %14s %14s %10s\n", "format", "bits", "compute-bound", "memory-bound",
+              "roofline");
+  for (const int m : {2, 4, 7, 10, 14, 23, 36, 52}) {
+    const sf::Format f{m <= 10 ? 5 : (m <= 23 ? 8 : 11), m};
+    const auto est = codesign.estimate(profile, f);
+    std::printf("(%2d,%2d)      %10d %14.2f %14.2f %10s\n", f.exp_bits, f.man_bits,
+                f.storage_bits(), est.compute_bound, est.memory_bound,
+                est.is_compute_bound ? "compute" : "memory");
+  }
+  return 0;
+}

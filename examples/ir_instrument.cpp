@@ -1,0 +1,61 @@
+// Mini-IR instrumentation demo (paper §3.3, Fig. 4a): parse a small module,
+// run the RAPTOR truncation pass at function scope, print the transformed
+// IR, and execute both versions through the interpreter.
+//
+// Run: ./ir_instrument [--exp=5] [--man=8] [--no-scratch]
+#include <cstdio>
+
+#include "ir/instrument.hpp"
+#include "ir/interp.hpp"
+#include "ir/parser.hpp"
+#include "support/cli.hpp"
+
+using namespace raptor;
+
+namespace {
+constexpr const char* kSource = R"(
+# The paper's Fig. 3a example, in RIR form.
+func @bar(%a, %b) -> f64 {
+entry:
+  %s = fadd %a, %b
+  ret %s
+}
+
+func @foo(%a, %b) -> f64 {
+entry:
+  %q = fsqrt %b
+  %c = call @bar(%q, %a)
+  ret %c
+}
+)";
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  ir::TruncPassOptions opts;
+  opts.root = "foo";
+  opts.to_exp = cli.get_int("exp", 5);
+  opts.to_man = cli.get_int("man", 8);
+  opts.scratch_opt = !cli.has("no-scratch");
+
+  const ir::Module module = ir::parse_module(kSource);
+  std::printf("=== original module ===\n%s\n", module.to_string().c_str());
+
+  const auto result = ir::run_trunc_pass(module, opts);
+  std::printf("=== after the RAPTOR pass (root @%s, target (%d,%d), scratch %s) ===\n%s\n",
+              opts.root.c_str(), opts.to_exp, opts.to_man, opts.scratch_opt ? "on" : "off",
+              result.module.to_string().c_str());
+  for (const auto& w : result.warnings) std::printf("warning: %s\n", w.c_str());
+
+  ir::Interpreter interp(result.module);
+  const double a = 2.0, b = 7.0;
+  const double native = interp.call("foo", {a, b});
+  const double truncated = interp.call(result.entry, {a, b});
+  std::printf("foo(%g, %g): native = %.17g, truncated = %.17g\n", a, b, native, truncated);
+
+  std::printf("\nbuiltin call counts:\n");
+  for (const auto& [name, count] : interp.stats().builtin_calls) {
+    std::printf("  %-24s %llu\n", name.c_str(), static_cast<unsigned long long>(count));
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Mem-mode numerical debugging demo (paper §6.3 workflow): run a modular
+// computation under mem-mode, let the shadow values flag operations that
+// deviate from the FP64 reference, and print the per-region heatmap that
+// tells the scientist where truncation hurts first.
+//
+// Run: ./memmode_debug [--mantissa=8] [--threshold=1e-6]
+#include <cstdio>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "support/cli.hpp"
+#include "trunc/real.hpp"
+#include "trunc/scope.hpp"
+
+using namespace raptor;
+
+namespace {
+
+// A small "multiphysics" pipeline with three modules of very different
+// numerical character:
+//   stable:    well-conditioned running sum,
+//   cancel:    catastrophic cancellation (difference of near-equal terms),
+//   amplify:   multiplicative error growth.
+Real module_stable(const std::vector<Real>& xs) {
+  Region region("demo/stable");
+  Real acc = 0.0;
+  for (const auto& x : xs) acc += x * Real(0.5);
+  return acc;
+}
+
+Real module_cancel(const std::vector<Real>& xs) {
+  Region region("demo/cancel");
+  Real acc = 0.0;
+  for (const auto& x : xs) {
+    const Real big = x + Real(1e4);
+    acc += (big - Real(1e4)) - x;  // analytically zero
+  }
+  return acc;
+}
+
+Real module_amplify(const std::vector<Real>& xs) {
+  Region region("demo/amplify");
+  Real prod = 1.0;
+  for (const auto& x : xs) prod *= Real(1.0) + x * Real(1e-3);
+  return prod;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int mantissa = cli.get_int("mantissa", 8);
+  const double threshold = cli.get_double("threshold", 1e-6);
+
+  auto& runtime = rt::Runtime::instance();
+  runtime.set_mode(rt::Mode::Mem);
+  runtime.set_deviation_threshold(threshold);
+
+  std::vector<Real> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(Real(0.1 + 0.001 * i));
+
+  std::printf("mem-mode debugging at (11,%d), deviation threshold %g\n\n", mantissa, threshold);
+  {
+    TruncScope scope(rt::TruncationSpec::trunc64(11, mantissa));
+    Real a = module_stable(xs);
+    Real b = module_cancel(xs);
+    Real c = module_amplify(xs);
+    std::printf("module results (truncated / FP64 shadow):\n");
+    std::printf("  stable : %.10g / %.10g\n", a.value(), a.shadow());
+    std::printf("  cancel : %.10g / %.10g\n", b.value(), b.shadow());
+    std::printf("  amplify: %.10g / %.10g\n", c.value(), c.shadow());
+  }
+
+  std::printf("\ndeviation heatmap (sorted by fresh deviations — the sources):\n");
+  std::printf("%-16s %-8s %10s %10s %14s\n", "region", "op", "flagged", "fresh", "max dev");
+  for (const auto& rec : runtime.flag_report()) {
+    std::printf("%-16s %-8s %10llu %10llu %14.3e\n", rec.location.c_str(),
+                rt::op_name(rec.op), static_cast<unsigned long long>(rec.flagged),
+                static_cast<unsigned long long>(rec.fresh), rec.max_deviation);
+  }
+  std::printf("\nlive shadow entries after scope exit: %zu (all Reals released)\n",
+              runtime.mem_live());
+  runtime.reset_all();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Rising-bubble demo (paper Fig. 1 workflow): evolve the multiphase solver
+// with and without truncation of the advection/diffusion modules, print
+// interface metrics at snapshots, and render the level-set field.
+//
+// Run: ./rising_bubble [--steps=150] [--mantissa=12] [--cutoff=1] [--out=.]
+#include <cstdio>
+#include <string>
+
+#include "incomp/bubble.hpp"
+#include "io/ppm.hpp"
+#include "io/sfocu.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+using namespace raptor;
+
+namespace {
+
+void render_phi(const incomp::ScalarField& phi, const std::string& path) {
+  std::vector<unsigned char> rgb(static_cast<std::size_t>(phi.nx) * phi.ny * 3);
+  for (int j = 0; j < phi.ny; ++j) {
+    for (int i = 0; i < phi.nx; ++i) {
+      unsigned char* p = &rgb[(static_cast<std::size_t>(phi.ny - 1 - j) * phi.nx + i) * 3];
+      io::colormap(phi.at(i, j), -0.1, 0.1, p);
+      // Mark the zero contour (the air-water interface) in black.
+      const double v = phi.at(i, j);
+      const double vr = phi.atc(i + 1, j), vu = phi.atc(i, j + 1);
+      if (v * vr <= 0.0 || v * vu <= 0.0) p[0] = p[1] = p[2] = 0;
+    }
+  }
+  io::write_ppm(path, phi.nx, phi.ny, rgb);
+}
+
+void report(const char* tag, const incomp::InterfaceMetrics& m) {
+  std::printf("  %-16s bubbles=%d area=%.4f perimeter=%.4f centroid_y=%.4f\n", tag,
+              m.bubble_count, m.total_area, m.perimeter, m.centroid_y);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int steps = cli.get_int("steps", 150);
+  const int mantissa = cli.get_int("mantissa", 12);
+  const int cutoff = cli.get_int("cutoff", 1);
+  const std::string out_dir = cli.get("out", ".");
+
+  incomp::BubbleConfig base;
+  base.nx = 48;
+  base.ny = 96;
+
+  std::printf("Reference run (FP64), %d steps...\n", steps);
+  Timer t0;
+  incomp::BubbleSim<double> ref(base);
+  for (int s = 0; s < steps; ++s) ref.step();
+  report("reference", ref.metrics());
+  std::printf("  (%.1f s)\n", t0.seconds());
+  render_phi(ref.phi_field(), out_dir + "/bubble_reference.ppm");
+
+  auto cfg = base;
+  cfg.trunc = rt::TruncationSpec::trunc64(11, mantissa);
+  cfg.cutoff_l = cutoff;
+  std::printf("Truncated run: mantissa=%d, cutoff M-%d...\n", mantissa, cutoff);
+  Timer t1;
+  incomp::BubbleSim<Real> trunc(cfg);
+  for (int s = 0; s < steps; ++s) trunc.step();
+  report("truncated", trunc.metrics());
+  std::printf("  (%.1f s)\n", t1.seconds());
+  render_phi(trunc.phi_field(), out_dir + "/bubble_truncated.ppm");
+
+  const auto cmp = io::compare_fields(trunc.phi_field().v, ref.phi_field().v);
+  const auto counters = rt::Runtime::instance().counters();
+  std::printf("\nInterface L1 deviation vs reference: %.3e\n", cmp.l1);
+  std::printf("Truncated FP ops: %.1f%%\n", 100.0 * counters.trunc_fraction());
+  std::printf("Wrote %s/bubble_reference.ppm and %s/bubble_truncated.ppm\n", out_dir.c_str(),
+              out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,224 @@
+// Compressible Euler solver on the block-AMR grid, structured like the
+// Spark solver the paper debugs in §6.3: three pluggable, separately
+// labelled stages —
+//   "hydro/recon"   reconstruction (first-order or PLM/minmod),
+//   "hydro/riemann" approximate Riemann solver (Rusanov/HLL/HLLC),
+//   "hydro/update"  conservative flux-difference update —
+// advanced with dimensional splitting (x sweep, then y sweep, with guard
+// refills between). Region labels let mem-mode group deviation flags per
+// stage and let Table-2-style experiments exclude a stage from truncation.
+//
+// Truncation scoping: when `trunc` is configured, every block's kernels run
+// under TruncScope(trunc, trunc_enabled(level)) — the per-AMR-level dynamic
+// cutoff of the paper's M-l experiments. CFL control and the AMR machinery
+// always run in native double (paper §6.1: the AMR algorithm itself is not
+// truncated, it only reacts to truncated data).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "amr/grid.hpp"
+#include "hydro/riemann.hpp"
+#include "runtime/config.hpp"
+#include "trunc/scope.hpp"
+
+namespace raptor::hydro {
+
+/// Conserved variable indices on the grid.
+enum Var : int { DENS = 0, MOMX = 1, MOMY = 2, ENER = 3 };
+constexpr int kNumVars = 4;
+
+enum class ReconKind { FirstOrder, PLM };
+
+struct HydroConfig {
+  double gamma = 1.4;
+  double cfl = 0.4;
+  ReconKind recon = ReconKind::PLM;
+  RiemannKind riemann = RiemannKind::HLLC;
+  double dens_floor = 1e-10;
+  double pres_floor = 1e-14;
+  /// Truncation spec applied around block kernels (absent: run natively).
+  std::optional<rt::TruncationSpec> trunc;
+  /// Per-level gate for the spec (the M-l cutoff); default: all levels.
+  std::function<bool(int level)> trunc_enabled;
+};
+
+template <class T>
+class HydroSolver {
+ public:
+  explicit HydroSolver(HydroConfig cfg) : cfg_(std::move(cfg)) {
+    if (!cfg_.trunc_enabled) cfg_.trunc_enabled = [](int) { return true; };
+  }
+
+  [[nodiscard]] const HydroConfig& config() const { return cfg_; }
+
+  /// CFL-limited global time step (native double arithmetic).
+  [[nodiscard]] double compute_dt(const amr::AmrGrid<T>& g) const {
+    double dt = 1e300;
+#pragma omp parallel for schedule(dynamic) reduction(min : dt)
+    for (int n = 0; n < g.num_leaves(); ++n) {
+      const auto& b = g.leaf(n);
+      const double hx = g.dx(b.level), hy = g.dy(b.level);
+      for (int j = 0; j < g.config().nyb; ++j) {
+        for (int i = 0; i < g.config().nxb; ++i) {
+          const double rho = std::max(to_double(g.at(b, DENS, i, j)), cfg_.dens_floor);
+          const double mx = to_double(g.at(b, MOMX, i, j));
+          const double my = to_double(g.at(b, MOMY, i, j));
+          const double en = to_double(g.at(b, ENER, i, j));
+          const double u = mx / rho, v = my / rho;
+          const double p =
+              std::max((cfg_.gamma - 1.0) * (en - 0.5 * rho * (u * u + v * v)), cfg_.pres_floor);
+          const double c = std::sqrt(cfg_.gamma * p / rho);
+          dt = std::min(dt, hx / (std::fabs(u) + c));
+          dt = std::min(dt, hy / (std::fabs(v) + c));
+        }
+      }
+    }
+    return cfg_.cfl * dt;
+  }
+
+  /// One dimensionally split step: x sweep then y sweep.
+  void step(amr::AmrGrid<T>& g, double dt) {
+    g.fill_guards();
+    sweep(g, dt, /*xdir=*/true);
+    g.fill_guards();
+    sweep(g, dt, /*xdir=*/false);
+  }
+
+ private:
+  void sweep(amr::AmrGrid<T>& g, double dt, bool xdir) {
+    const int n_interior = xdir ? g.config().nxb : g.config().nyb;
+    const int n_rows = xdir ? g.config().nyb : g.config().nxb;
+    const int ng = g.config().ng;
+
+#pragma omp parallel
+    {
+      // Row-sized work buffers, one set per thread.
+      std::vector<PrimState<T>> w(n_interior + 2 * ng);
+      std::vector<PrimState<T>> wl(n_interior + 1), wr(n_interior + 1);
+      std::vector<Flux<T>> fx(n_interior + 1);
+
+#pragma omp for schedule(dynamic)
+      for (int n = 0; n < g.num_leaves(); ++n) {
+        auto& b = g.leaf(n);
+        const double h = xdir ? g.dx(b.level) : g.dy(b.level);
+        const T dtdx = T(dt / h);
+
+        // Scoped truncation with the per-level gate; region labelling makes
+        // this whole solver one "hydro" module with three sub-stages.
+        std::optional<TruncScope> scope;
+        if (cfg_.trunc) scope.emplace(*cfg_.trunc, cfg_.trunc_enabled(b.level));
+        Region hydro_region("hydro");
+
+        for (int row = 0; row < n_rows; ++row) {
+          // Load primitives along the pencil (includes guards).
+          for (int k = -ng; k < n_interior + ng; ++k) {
+            const int i = xdir ? k : row;
+            const int j = xdir ? row : k;
+            w[k + ng] = load_prim(g, b, i, j, xdir);
+          }
+          {
+            Region r("hydro/recon");
+            reconstruct(w, wl, wr, n_interior, ng);
+          }
+          {
+            Region r("hydro/riemann");
+            for (int f = 0; f <= n_interior; ++f) {
+              fx[f] = riemann_flux(cfg_.riemann, wl[f], wr[f], cfg_.gamma);
+            }
+          }
+          {
+            Region r("hydro/update");
+            for (int k = 0; k < n_interior; ++k) {
+              const int i = xdir ? k : row;
+              const int j = xdir ? row : k;
+              apply_update(g, b, i, j, xdir, dtdx, fx[k], fx[k + 1]);
+            }
+          }
+          rt::Runtime::instance().count_mem(static_cast<u64>(n_interior) * kNumVars * 2 *
+                                            sizeof(double));
+        }
+      }
+    }
+  }
+
+  PrimState<T> load_prim(amr::AmrGrid<T>& g, typename amr::AmrGrid<T>::Block& b, int i, int j,
+                         bool xdir) const {
+    using std::fmax;
+    const T rho = fmax(g.at(b, DENS, i, j), T(cfg_.dens_floor));
+    const T mx = g.at(b, MOMX, i, j);
+    const T my = g.at(b, MOMY, i, j);
+    const T en = g.at(b, ENER, i, j);
+    const T u = mx / rho;
+    const T v = my / rho;
+    const T p = fmax(T(cfg_.gamma - 1.0) * (en - T(0.5) * rho * (u * u + v * v)),
+                     T(cfg_.pres_floor));
+    PrimState<T> out;
+    out.rho = rho;
+    out.un = xdir ? u : v;
+    out.ut = xdir ? v : u;
+    out.p = p;
+    return out;
+  }
+
+  static T minmod(const T& a, const T& b) {
+    if (to_double(a) * to_double(b) <= 0.0) return T(0.0);
+    return std::fabs(to_double(a)) < std::fabs(to_double(b)) ? a : b;
+  }
+
+  void reconstruct(const std::vector<PrimState<T>>& w, std::vector<PrimState<T>>& wl,
+                   std::vector<PrimState<T>>& wr, int n_interior, int ng) const {
+    // Interface f sits between cells (f-1) and f (cell index c maps to
+    // w[c+ng]). First-order: piecewise constant; PLM: minmod-limited linear.
+    for (int f = 0; f <= n_interior; ++f) {
+      const PrimState<T>& cl = w[f - 1 + ng];
+      const PrimState<T>& cr = w[f + ng];
+      if (cfg_.recon == ReconKind::FirstOrder) {
+        wl[f] = cl;
+        wr[f] = cr;
+        continue;
+      }
+      const auto limited = [&](auto member) {
+        const T dl_m = cl.*member - w[f - 2 + ng].*member;
+        const T dl_p = cr.*member - cl.*member;
+        const T dr_m = dl_p;
+        const T dr_p = w[f + 1 + ng].*member - cr.*member;
+        return std::pair<T, T>{minmod(dl_m, dl_p), minmod(dr_m, dr_p)};
+      };
+      const auto [srho_l, srho_r] = limited(&PrimState<T>::rho);
+      const auto [sun_l, sun_r] = limited(&PrimState<T>::un);
+      const auto [sut_l, sut_r] = limited(&PrimState<T>::ut);
+      const auto [sp_l, sp_r] = limited(&PrimState<T>::p);
+      wl[f].rho = cl.rho + T(0.5) * srho_l;
+      wl[f].un = cl.un + T(0.5) * sun_l;
+      wl[f].ut = cl.ut + T(0.5) * sut_l;
+      wl[f].p = cl.p + T(0.5) * sp_l;
+      wr[f].rho = cr.rho - T(0.5) * srho_r;
+      wr[f].un = cr.un - T(0.5) * sun_r;
+      wr[f].ut = cr.ut - T(0.5) * sut_r;
+      wr[f].p = cr.p - T(0.5) * sp_r;
+      using std::fmax;
+      wl[f].rho = fmax(wl[f].rho, T(cfg_.dens_floor));
+      wr[f].rho = fmax(wr[f].rho, T(cfg_.dens_floor));
+      wl[f].p = fmax(wl[f].p, T(cfg_.pres_floor));
+      wr[f].p = fmax(wr[f].p, T(cfg_.pres_floor));
+    }
+  }
+
+  void apply_update(amr::AmrGrid<T>& g, typename amr::AmrGrid<T>::Block& b, int i, int j,
+                    bool xdir, const T& dtdx, const Flux<T>& fm, const Flux<T>& fp) const {
+    // Flux components are in the sweep frame [rho, mom_n, mom_t, E];
+    // map back to (DENS, MOMX, MOMY, ENER).
+    const int mom_n = xdir ? MOMX : MOMY;
+    const int mom_t = xdir ? MOMY : MOMX;
+    g.at(b, DENS, i, j) = g.at(b, DENS, i, j) + dtdx * (fm.f[0] - fp.f[0]);
+    g.at(b, mom_n, i, j) = g.at(b, mom_n, i, j) + dtdx * (fm.f[1] - fp.f[1]);
+    g.at(b, mom_t, i, j) = g.at(b, mom_t, i, j) + dtdx * (fm.f[2] - fp.f[2]);
+    g.at(b, ENER, i, j) = g.at(b, ENER, i, j) + dtdx * (fm.f[3] - fp.f[3]);
+  }
+
+  HydroConfig cfg_;
+};
+
+}  // namespace raptor::hydro

@@ -1,0 +1,123 @@
+#include "hydro/exact_riemann.hpp"
+
+#include <cmath>
+
+namespace raptor::hydro {
+
+namespace {
+
+/// f_K(p) and its derivative for one side (Toro eqs. 4.6/4.7, 4.37).
+void side_function(double p, const RiemannState& s, double gamma, double& f, double& df) {
+  const double a = std::sqrt(gamma * s.p / s.rho);
+  if (p > s.p) {
+    // Shock branch.
+    const double ak = 2.0 / ((gamma + 1.0) * s.rho);
+    const double bk = (gamma - 1.0) / (gamma + 1.0) * s.p;
+    const double root = std::sqrt(ak / (p + bk));
+    f = (p - s.p) * root;
+    df = root * (1.0 - 0.5 * (p - s.p) / (p + bk));
+  } else {
+    // Rarefaction branch.
+    const double pr = p / s.p;
+    f = 2.0 * a / (gamma - 1.0) * (std::pow(pr, (gamma - 1.0) / (2.0 * gamma)) - 1.0);
+    df = 1.0 / (s.rho * a) * std::pow(pr, -(gamma + 1.0) / (2.0 * gamma));
+  }
+}
+
+}  // namespace
+
+ExactRiemannSolution solve_exact_riemann(const RiemannState& l, const RiemannState& r,
+                                         double gamma, double tol, int max_iter) {
+  ExactRiemannSolution out;
+  // Two-rarefaction initial guess, floored.
+  const double al = std::sqrt(gamma * l.p / l.rho);
+  const double ar = std::sqrt(gamma * r.p / r.rho);
+  const double z = (gamma - 1.0) / (2.0 * gamma);
+  double p = std::pow((al + ar - 0.5 * (gamma - 1.0) * (r.u - l.u)) /
+                          (al / std::pow(l.p, z) + ar / std::pow(r.p, z)),
+                      1.0 / z);
+  if (!(p > 1e-14)) p = 1e-14;
+
+  double fl = 0, dfl = 0, fr = 0, dfr = 0;
+  for (int it = 1; it <= max_iter; ++it) {
+    side_function(p, l, gamma, fl, dfl);
+    side_function(p, r, gamma, fr, dfr);
+    const double g = fl + fr + (r.u - l.u);
+    const double dg = dfl + dfr;
+    const double dp = g / dg;
+    const double pnew = p - dp;
+    out.iterations = it;
+    if (std::fabs(dp) < tol * std::max(p, 1e-30)) {
+      p = pnew > 1e-14 ? pnew : 1e-14;
+      out.converged = true;
+      break;
+    }
+    p = pnew > 1e-14 ? pnew : 0.5 * p;  // guard against negative iterates
+  }
+  out.p_star = p;
+  side_function(p, l, gamma, fl, dfl);
+  side_function(p, r, gamma, fr, dfr);
+  out.u_star = 0.5 * (l.u + r.u) + 0.5 * (fr - fl);
+  return out;
+}
+
+RiemannState sample_exact_riemann(const RiemannState& l, const RiemannState& r, double gamma,
+                                  const ExactRiemannSolution& star, double s) {
+  const double g = gamma;
+  const double p_star = star.p_star, u_star = star.u_star;
+
+  if (s <= u_star) {
+    // Left of the contact.
+    const double a = std::sqrt(g * l.p / l.rho);
+    if (p_star > l.p) {
+      // Left shock.
+      const double sl =
+          l.u - a * std::sqrt((g + 1.0) / (2.0 * g) * p_star / l.p + (g - 1.0) / (2.0 * g));
+      if (s <= sl) return l;
+      const double rho = l.rho * ((p_star / l.p + (g - 1.0) / (g + 1.0)) /
+                                  ((g - 1.0) / (g + 1.0) * p_star / l.p + 1.0));
+      return {rho, u_star, p_star};
+    }
+    // Left rarefaction.
+    const double sh = l.u - a;
+    if (s <= sh) return l;
+    const double a_star = a * std::pow(p_star / l.p, (g - 1.0) / (2.0 * g));
+    const double st = u_star - a_star;
+    if (s >= st) {
+      const double rho = l.rho * std::pow(p_star / l.p, 1.0 / g);
+      return {rho, u_star, p_star};
+    }
+    // Inside the fan.
+    const double u = 2.0 / (g + 1.0) * (a + (g - 1.0) / 2.0 * l.u + s);
+    const double c = 2.0 / (g + 1.0) * (a + (g - 1.0) / 2.0 * (l.u - s));
+    const double rho = l.rho * std::pow(c / a, 2.0 / (g - 1.0));
+    const double p = l.p * std::pow(c / a, 2.0 * g / (g - 1.0));
+    return {rho, u, p};
+  }
+
+  // Right of the contact (mirror).
+  const double a = std::sqrt(g * r.p / r.rho);
+  if (p_star > r.p) {
+    const double sr =
+        r.u + a * std::sqrt((g + 1.0) / (2.0 * g) * p_star / r.p + (g - 1.0) / (2.0 * g));
+    if (s >= sr) return r;
+    const double rho = r.rho * ((p_star / r.p + (g - 1.0) / (g + 1.0)) /
+                                ((g - 1.0) / (g + 1.0) * p_star / r.p + 1.0));
+    return {rho, u_star, p_star};
+  }
+  const double sh = r.u + a;
+  if (s >= sh) return r;
+  const double a_star = a * std::pow(p_star / r.p, (g - 1.0) / (2.0 * g));
+  const double st = u_star + a_star;
+  if (s <= st) {
+    const double rho = r.rho * std::pow(p_star / r.p, 1.0 / g);
+    return {rho, u_star, p_star};
+  }
+  const double u = 2.0 / (g + 1.0) * (-a + (g - 1.0) / 2.0 * r.u + s);
+  const double c = 2.0 / (g + 1.0) * (a - (g - 1.0) / 2.0 * (r.u - s));
+  const double rho = r.rho * std::pow(c / a, 2.0 / (g - 1.0));
+  const double p = r.p * std::pow(c / a, 2.0 * g / (g - 1.0));
+  return {rho, u, p};
+}
+
+}  // namespace raptor::hydro

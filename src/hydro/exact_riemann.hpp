@@ -1,0 +1,26 @@
+// Exact Riemann solver for the 1D Euler equations (Toro ch. 4), used as the
+// ground-truth oracle in tests and for the Sod analytic solution.
+#pragma once
+
+namespace raptor::hydro {
+
+struct RiemannState {
+  double rho, u, p;
+};
+
+struct ExactRiemannSolution {
+  double p_star = 0.0;
+  double u_star = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Solve for the star-region pressure/velocity between two states.
+ExactRiemannSolution solve_exact_riemann(const RiemannState& left, const RiemannState& right,
+                                         double gamma, double tol = 1e-12, int max_iter = 100);
+
+/// Sample the self-similar solution at speed s = x/t.
+RiemannState sample_exact_riemann(const RiemannState& left, const RiemannState& right,
+                                  double gamma, const ExactRiemannSolution& star, double s);
+
+}  // namespace raptor::hydro

@@ -1,0 +1,108 @@
+// Canonical compressible test problems used in the paper's evaluation:
+//   * Sedov blast wave (§4.2, Fig. 6a): pressure spike at the domain
+//     center, radially expanding shock, quiescent exterior;
+//   * Sod shock tube (§4.2, Fig. 6b): density/pressure jump along a plane,
+//     shock + contact one way, rarefaction the other.
+//
+// Each setup provides the initial condition, a grid configuration matching
+// the Flash-X defaults (square blocks, Löhner refinement on density and
+// pressure), and a ready-to-run driver used by tests, examples and benches.
+#pragma once
+
+#include <span>
+
+#include "amr/grid.hpp"
+#include "hydro/euler.hpp"
+
+namespace raptor::hydro {
+
+struct SedovParams {
+  double gamma = 1.4;
+  double rho0 = 1.0;     ///< ambient density
+  double p0 = 1e-5;      ///< ambient pressure
+  double e_blast = 1.0;  ///< deposited blast energy
+  double r_init = 0.05;  ///< deposition radius
+  double cx = 0.5, cy = 0.5;
+};
+
+/// Grid config for Sedov: unit square, outflow boundaries, refine on
+/// density and pressure.
+inline amr::GridConfig sedov_grid_config(int max_level, int nxb = 8) {
+  amr::GridConfig g;
+  g.nxb = g.nyb = nxb;
+  g.ng = 2;
+  g.nbx = g.nby = 2;
+  g.max_level = max_level;
+  g.nvar = kNumVars;
+  g.refine_vars = {DENS, ENER};
+  g.x_odd_vars = {MOMX};
+  g.y_odd_vars = {MOMY};
+  return g;
+}
+
+template <class T>
+void sedov_init(const SedovParams& sp, double x, double y, std::span<T> vars) {
+  const double dx = x - sp.cx, dy = y - sp.cy;
+  const double r2 = dx * dx + dy * dy;
+  const double volume = 3.14159265358979312 * sp.r_init * sp.r_init;
+  double p = sp.p0;
+  if (r2 < sp.r_init * sp.r_init) {
+    p = (sp.gamma - 1.0) * sp.e_blast / volume;
+  }
+  vars[DENS] = T(sp.rho0);
+  vars[MOMX] = T(0.0);
+  vars[MOMY] = T(0.0);
+  vars[ENER] = T(p / (sp.gamma - 1.0));
+}
+
+struct SodParams {
+  double gamma = 1.4;
+  double rho_l = 1.0, p_l = 1.0;
+  double rho_r = 0.125, p_r = 0.1;
+  double x_jump = 0.5;  ///< interface position (jump along the x axis)
+};
+
+inline amr::GridConfig sod_grid_config(int max_level, int nxb = 8) {
+  amr::GridConfig g;
+  g.nxb = g.nyb = nxb;
+  g.ng = 2;
+  g.nbx = g.nby = 2;
+  g.max_level = max_level;
+  g.nvar = kNumVars;
+  g.refine_vars = {DENS};
+  g.x_odd_vars = {MOMX};
+  g.y_odd_vars = {MOMY};
+  return g;
+}
+
+template <class T>
+void sod_init(const SodParams& sp, double x, double /*y*/, std::span<T> vars) {
+  const bool left = x < sp.x_jump;
+  const double rho = left ? sp.rho_l : sp.rho_r;
+  const double p = left ? sp.p_l : sp.p_r;
+  vars[DENS] = T(rho);
+  vars[MOMX] = T(0.0);
+  vars[MOMY] = T(0.0);
+  vars[ENER] = T(p / (sp.gamma - 1.0));
+}
+
+/// Shared driver: advance a grid to t_end with optional regridding and an
+/// optional externally fixed dt (Table 2 keeps dt constant). Returns the
+/// number of steps taken.
+template <class T>
+int run_to_time(amr::AmrGrid<T>& grid, HydroSolver<T>& solver, double t_end,
+                int regrid_interval = 4, double fixed_dt = 0.0, int max_steps = 100000) {
+  double t = 0.0;
+  int steps = 0;
+  while (t < t_end && steps < max_steps) {
+    if (regrid_interval > 0 && steps > 0 && steps % regrid_interval == 0) grid.regrid();
+    double dt = fixed_dt > 0.0 ? fixed_dt : solver.compute_dt(grid);
+    if (t + dt > t_end) dt = t_end - t;
+    solver.step(grid, dt);
+    t += dt;
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace raptor::hydro

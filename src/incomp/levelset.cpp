@@ -1,0 +1,129 @@
+#include "incomp/levelset.hpp"
+
+#include <algorithm>
+
+namespace raptor::incomp {
+
+void reinitialize(ScalarField& phi, int iterations) {
+  const int nx = phi.nx, ny = phi.ny;
+  const double h = std::min(phi.hx, phi.hy);
+  const double dtau = 0.5 * h;
+  ScalarField phi0 = phi;
+  std::vector<double> sgn(phi.v.size());
+  for (std::size_t k = 0; k < phi.v.size(); ++k) {
+    const double p = phi0.v[k];
+    sgn[k] = p / std::sqrt(p * p + h * h);
+  }
+  ScalarField next = phi;
+  for (int it = 0; it < iterations; ++it) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const double ap = (phi.atc(i + 1, j) - phi.at(i, j)) / phi.hx;
+        const double am = (phi.at(i, j) - phi.atc(i - 1, j)) / phi.hx;
+        const double bp = (phi.atc(i, j + 1) - phi.at(i, j)) / phi.hy;
+        const double bm = (phi.at(i, j) - phi.atc(i, j - 1)) / phi.hy;
+        const double s = sgn[static_cast<std::size_t>(j) * nx + i];
+        double gx2, gy2;
+        if (s > 0) {
+          gx2 = std::max(std::max(am, 0.0) * std::max(am, 0.0),
+                         std::min(ap, 0.0) * std::min(ap, 0.0));
+          gy2 = std::max(std::max(bm, 0.0) * std::max(bm, 0.0),
+                         std::min(bp, 0.0) * std::min(bp, 0.0));
+        } else {
+          gx2 = std::max(std::min(am, 0.0) * std::min(am, 0.0),
+                         std::max(ap, 0.0) * std::max(ap, 0.0));
+          gy2 = std::max(std::min(bm, 0.0) * std::min(bm, 0.0),
+                         std::max(bp, 0.0) * std::max(bp, 0.0));
+        }
+        const double grad = std::sqrt(gx2 + gy2);
+        next.at(i, j) = phi.at(i, j) - dtau * s * (grad - 1.0);
+      }
+    }
+    std::swap(phi.v, next.v);
+  }
+}
+
+double curvature(const ScalarField& phi, int i, int j) {
+  const double hx = phi.hx, hy = phi.hy;
+  const double px = (phi.atc(i + 1, j) - phi.atc(i - 1, j)) / (2 * hx);
+  const double py = (phi.atc(i, j + 1) - phi.atc(i, j - 1)) / (2 * hy);
+  const double pxx = (phi.atc(i + 1, j) - 2 * phi.atc(i, j) + phi.atc(i - 1, j)) / (hx * hx);
+  const double pyy = (phi.atc(i, j + 1) - 2 * phi.atc(i, j) + phi.atc(i, j - 1)) / (hy * hy);
+  const double pxy = (phi.atc(i + 1, j + 1) - phi.atc(i + 1, j - 1) - phi.atc(i - 1, j + 1) +
+                      phi.atc(i - 1, j - 1)) /
+                     (4 * hx * hy);
+  const double g2 = px * px + py * py;
+  if (g2 < 1e-12) return 0.0;
+  const double kappa = (pxx * py * py - 2.0 * px * py * pxy + pyy * px * px) / std::pow(g2, 1.5);
+  // Clamp to the grid-resolvable range (standard CSF practice).
+  const double kmax = 1.0 / std::min(hx, hy);
+  return std::clamp(kappa, -kmax, kmax);
+}
+
+InterfaceMetrics interface_metrics(const ScalarField& phi, double eps, double min_bubble_area) {
+  const int nx = phi.nx, ny = phi.ny;
+  const double cell_area = phi.hx * phi.hy;
+  InterfaceMetrics out;
+
+  double weighted_y = 0.0;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double h = heaviside(phi.at(i, j), eps);
+      out.total_area += h * cell_area;
+      weighted_y += h * cell_area * ((j + 0.5) * phi.hy);
+      const double px = (phi.atc(i + 1, j) - phi.atc(i - 1, j)) / (2 * phi.hx);
+      const double py = (phi.atc(i, j + 1) - phi.atc(i, j - 1)) / (2 * phi.hy);
+      out.perimeter += delta_fn(phi.at(i, j), eps) * std::sqrt(px * px + py * py) * cell_area;
+    }
+  }
+  out.centroid_y = out.total_area > 0 ? weighted_y / out.total_area : 0.0;
+
+  // Flood-fill census of the positive phase.
+  std::vector<int> label(phi.v.size(), -1);
+  std::vector<std::pair<int, int>> stack;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const std::size_t k0 = static_cast<std::size_t>(j) * nx + i;
+      if (phi.v[k0] <= 0.0 || label[k0] >= 0) continue;
+      const int id = static_cast<int>(out.bubbles.size());
+      out.bubbles.push_back({});
+      stack.clear();
+      stack.emplace_back(i, j);
+      label[k0] = id;
+      while (!stack.empty()) {
+        const auto [ci, cj] = stack.back();
+        stack.pop_back();
+        BubbleInfo& b = out.bubbles[id];
+        b.area += cell_area;
+        b.centroid_x += cell_area * ((ci + 0.5) * phi.hx);
+        b.centroid_y += cell_area * ((cj + 0.5) * phi.hy);
+        const int di[4] = {1, -1, 0, 0};
+        const int dj[4] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          const int ni = ci + di[d], nj = cj + dj[d];
+          if (ni < 0 || ni >= nx || nj < 0 || nj >= ny) continue;
+          const std::size_t nk = static_cast<std::size_t>(nj) * nx + ni;
+          if (phi.v[nk] > 0.0 && label[nk] < 0) {
+            label[nk] = id;
+            stack.emplace_back(ni, nj);
+          }
+        }
+      }
+    }
+  }
+  // Normalize centroids, drop grid-noise specks.
+  std::vector<BubbleInfo> keep;
+  for (auto& b : out.bubbles) {
+    if (b.area < min_bubble_area) continue;
+    b.centroid_x /= b.area;
+    b.centroid_y /= b.area;
+    keep.push_back(b);
+  }
+  std::sort(keep.begin(), keep.end(),
+            [](const BubbleInfo& a, const BubbleInfo& b) { return a.area > b.area; });
+  out.bubbles = std::move(keep);
+  out.bubble_count = static_cast<int>(out.bubbles.size());
+  return out;
+}
+
+}  // namespace raptor::incomp

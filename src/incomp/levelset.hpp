@@ -1,0 +1,77 @@
+// Level-set utilities for the multiphase solver: smoothed Heaviside/delta,
+// PDE reinitialization to signed distance, curvature, and interface
+// diagnostics (bubble count/areas/centroids — the quantities behind the
+// paper's Fig. 1 interface snapshots).
+//
+// All of these are mesh-management-style operations run in native double
+// (like the AMR machinery and the sfocu analysis); the *advection* of the
+// level set is part of the Navier-Stokes advection module and is truncated
+// in bubble.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace raptor::incomp {
+
+/// Smoothed Heaviside with half-width eps: 0 in the negative phase, 1 in
+/// the positive phase.
+inline double heaviside(double phi, double eps) {
+  if (phi < -eps) return 0.0;
+  if (phi > eps) return 1.0;
+  return 0.5 * (1.0 + phi / eps + std::sin(M_PI * phi / eps) / M_PI);
+}
+
+/// Smoothed delta (derivative of the Heaviside above).
+inline double delta_fn(double phi, double eps) {
+  if (std::fabs(phi) > eps) return 0.0;
+  return 0.5 / eps * (1.0 + std::cos(M_PI * phi / eps));
+}
+
+/// Scalar field wrapper used by the level-set helpers.
+struct ScalarField {
+  int nx = 0, ny = 0;
+  double hx = 0.0, hy = 0.0;
+  std::vector<double> v;
+
+  [[nodiscard]] double& at(int i, int j) { return v[static_cast<std::size_t>(j) * nx + i]; }
+  [[nodiscard]] double at(int i, int j) const { return v[static_cast<std::size_t>(j) * nx + i]; }
+  /// Clamped accessor (zero-gradient walls).
+  [[nodiscard]] double atc(int i, int j) const {
+    i = std::clamp(i, 0, nx - 1);
+    j = std::clamp(j, 0, ny - 1);
+    return v[static_cast<std::size_t>(j) * nx + i];
+  }
+};
+
+/// A few pseudo-time steps of the reinitialization PDE
+///   phi_tau = sign(phi0) (1 - |grad phi|)
+/// with Godunov upwinding; keeps phi a signed distance near the interface.
+void reinitialize(ScalarField& phi, int iterations);
+
+/// Interface curvature kappa = div(grad phi / |grad phi|) at cell (i, j).
+double curvature(const ScalarField& phi, int i, int j);
+
+/// Connected components of the positive phase (4-connectivity).
+struct BubbleInfo {
+  double area = 0.0;
+  double centroid_x = 0.0;
+  double centroid_y = 0.0;
+};
+
+struct InterfaceMetrics {
+  int bubble_count = 0;
+  double total_area = 0.0;        ///< integral of H(phi)
+  double perimeter = 0.0;         ///< integral of delta(phi) |grad phi|
+  double centroid_y = 0.0;        ///< area-weighted height of the positive phase
+  std::vector<BubbleInfo> bubbles;
+};
+
+/// Compute bubble census + interface metrics (eps = smoothing half-width).
+InterfaceMetrics interface_metrics(const ScalarField& phi, double eps,
+                                   double min_bubble_area = 1e-6);
+
+}  // namespace raptor::incomp

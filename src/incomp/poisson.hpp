@@ -1,0 +1,111 @@
+// Variable-coefficient pressure Poisson solver: div(beta grad p) = rhs on a
+// cell-centered grid with homogeneous Neumann walls, solved by red-black
+// SOR. This substitutes for Flash-X's Hypre solve (see DESIGN.md §1); like
+// Hypre it is an external, *untruncated* component — the paper's pass
+// ignores calls into pre-compiled libraries — so it works in plain double.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace raptor::incomp {
+
+struct PoissonResult {
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+class PoissonSolver {
+ public:
+  PoissonSolver(int nx, int ny, double hx, double hy)
+      : nx_(nx), ny_(ny), hx2_(1.0 / (hx * hx)), hy2_(1.0 / (hy * hy)) {}
+
+  /// Solve div(beta grad p) = rhs. beta_x: (nx+1) x ny face coefficients,
+  /// beta_y: nx x (ny+1). p holds the initial guess on entry, the solution
+  /// on exit. rhs is compatible (mean-zero) up to solver tolerance for
+  /// all-Neumann problems; the mean of p is pinned to zero.
+  PoissonResult solve(std::vector<double>& p, const std::vector<double>& rhs,
+                      const std::vector<double>& beta_x, const std::vector<double>& beta_y,
+                      double tol = 1e-8, int max_iter = 2000, double omega = 1.7) const {
+    RAPTOR_REQUIRE(p.size() == static_cast<std::size_t>(nx_) * ny_, "poisson: bad p size");
+    PoissonResult out;
+    const auto idx = [this](int i, int j) { return static_cast<std::size_t>(j) * nx_ + i; };
+    const auto bx = [&](int i, int j) { return beta_x[static_cast<std::size_t>(j) * (nx_ + 1) + i]; };
+    const auto by = [&](int i, int j) { return beta_y[static_cast<std::size_t>(j) * nx_ + i]; };
+
+    double rhs_norm = 0.0;
+    for (const double r : rhs) rhs_norm = std::max(rhs_norm, std::fabs(r));
+    if (rhs_norm < 1e-300) rhs_norm = 1.0;
+
+    for (int it = 1; it <= max_iter; ++it) {
+      out.iterations = it;
+      for (int color = 0; color < 2; ++color) {
+#pragma omp parallel for schedule(static)
+        for (int j = 0; j < ny_; ++j) {
+          for (int i = (j + color) & 1; i < nx_; i += 2) {
+            // Neumann walls: face coefficient already zero at boundaries.
+            const double ble = i > 0 ? bx(i, j) * hx2_ : 0.0;
+            const double bri = i < nx_ - 1 ? bx(i + 1, j) * hx2_ : 0.0;
+            const double bbo = j > 0 ? by(i, j) * hy2_ : 0.0;
+            const double bto = j < ny_ - 1 ? by(i, j + 1) * hy2_ : 0.0;
+            const double diag = ble + bri + bbo + bto;
+            if (diag <= 0.0) continue;
+            const double nb = (i > 0 ? ble * p[idx(i - 1, j)] : 0.0) +
+                              (i < nx_ - 1 ? bri * p[idx(i + 1, j)] : 0.0) +
+                              (j > 0 ? bbo * p[idx(i, j - 1)] : 0.0) +
+                              (j < ny_ - 1 ? bto * p[idx(i, j + 1)] : 0.0);
+            const double gs = (nb - rhs[idx(i, j)]) / diag;
+            p[idx(i, j)] += omega * (gs - p[idx(i, j)]);
+          }
+        }
+      }
+      if (it % 10 == 0 || it == max_iter) {
+        const double res = residual_norm(p, rhs, beta_x, beta_y);
+        out.residual = res;
+        if (res < tol * rhs_norm) {
+          out.converged = true;
+          break;
+        }
+      }
+    }
+    // Pin the Neumann null space.
+    double mean = 0.0;
+    for (const double v : p) mean += v;
+    mean /= static_cast<double>(p.size());
+    for (double& v : p) v -= mean;
+    return out;
+  }
+
+  [[nodiscard]] double residual_norm(const std::vector<double>& p, const std::vector<double>& rhs,
+                                     const std::vector<double>& beta_x,
+                                     const std::vector<double>& beta_y) const {
+    const auto idx = [this](int i, int j) { return static_cast<std::size_t>(j) * nx_ + i; };
+    const auto bx = [&](int i, int j) { return beta_x[static_cast<std::size_t>(j) * (nx_ + 1) + i]; };
+    const auto by = [&](int i, int j) { return beta_y[static_cast<std::size_t>(j) * nx_ + i]; };
+    double worst = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : worst)
+    for (int j = 0; j < ny_; ++j) {
+      for (int i = 0; i < nx_; ++i) {
+        const double ble = i > 0 ? bx(i, j) * hx2_ : 0.0;
+        const double bri = i < nx_ - 1 ? bx(i + 1, j) * hx2_ : 0.0;
+        const double bbo = j > 0 ? by(i, j) * hy2_ : 0.0;
+        const double bto = j < ny_ - 1 ? by(i, j + 1) * hy2_ : 0.0;
+        const double lap = (i > 0 ? ble * (p[idx(i - 1, j)] - p[idx(i, j)]) : 0.0) +
+                           (i < nx_ - 1 ? bri * (p[idx(i + 1, j)] - p[idx(i, j)]) : 0.0) +
+                           (j > 0 ? bbo * (p[idx(i, j - 1)] - p[idx(i, j)]) : 0.0) +
+                           (j < ny_ - 1 ? bto * (p[idx(i, j + 1)] - p[idx(i, j)]) : 0.0);
+        worst = std::max(worst, std::fabs(lap - rhs[idx(i, j)]));
+      }
+    }
+    return worst;
+  }
+
+ private:
+  int nx_, ny_;
+  double hx2_, hy2_;
+};
+
+}  // namespace raptor::incomp

@@ -1,0 +1,42 @@
+#include "io/ppm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/common.hpp"
+
+namespace raptor::io {
+
+void write_ppm(const std::string& path, int width, int height,
+               const std::vector<unsigned char>& rgb) {
+  RAPTOR_REQUIRE(rgb.size() == static_cast<std::size_t>(width) * height * 3,
+                 "write_ppm: buffer size mismatch");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  RAPTOR_REQUIRE(f != nullptr, "write_ppm: cannot open output file");
+  std::fprintf(f, "P6\n%d %d\n255\n", width, height);
+  std::fwrite(rgb.data(), 1, rgb.size(), f);
+  std::fclose(f);
+}
+
+void colormap(double v, double lo, double hi, unsigned char* rgb) {
+  double t = (v - lo) / (hi - lo);
+  t = std::clamp(t, 0.0, 1.0);
+  // Diverging blue (0) -> white (0.5) -> red (1).
+  double r, g, b;
+  if (t < 0.5) {
+    const double s = t * 2.0;
+    r = 0.23 + s * 0.74;
+    g = 0.30 + s * 0.67;
+    b = 0.75 + s * 0.22;
+  } else {
+    const double s = (t - 0.5) * 2.0;
+    r = 0.97 - s * 0.27;
+    g = 0.97 - s * 0.82;
+    b = 0.97 - s * 0.73;
+  }
+  rgb[0] = static_cast<unsigned char>(r * 255.0);
+  rgb[1] = static_cast<unsigned char>(g * 255.0);
+  rgb[2] = static_cast<unsigned char>(b * 255.0);
+}
+
+}  // namespace raptor::io

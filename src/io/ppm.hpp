@@ -1,0 +1,72 @@
+// Minimal binary PPM image writer for field visualization (Figs. 1 and 6
+// substitutes): scalar field -> color-mapped image, with optional AMR block
+// outlines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "amr/grid.hpp"
+
+namespace raptor::io {
+
+/// Write an RGB image (8-bit per channel, row-major, top row first).
+void write_ppm(const std::string& path, int width, int height,
+               const std::vector<unsigned char>& rgb);
+
+/// Map a scalar in [lo, hi] to a blue->white->red diverging color.
+void colormap(double v, double lo, double hi, unsigned char* rgb);
+
+/// Render one variable of an AMR grid (sampled at max_level resolution),
+/// optionally drawing block boundaries (paper Fig. 6 style).
+template <class T>
+void render_grid(const amr::AmrGrid<T>& g, int var, const std::string& path,
+                 bool draw_blocks = true) {
+  const auto& c = g.config();
+  const int nx = c.nbx * c.nxb << (c.max_level - 1);
+  const int ny = c.nby * c.nyb << (c.max_level - 1);
+  const double hx = (c.xmax - c.xmin) / nx;
+  const double hy = (c.ymax - c.ymin) / ny;
+  std::vector<double> field(static_cast<std::size_t>(nx) * ny);
+  double lo = 1e300, hi = -1e300;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double v = g.sample(var, c.xmin + (i + 0.5) * hx, c.ymin + (j + 0.5) * hy);
+      field[static_cast<std::size_t>(j) * nx + i] = v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  std::vector<unsigned char> rgb(static_cast<std::size_t>(nx) * ny * 3);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      colormap(field[static_cast<std::size_t>(j) * nx + i], lo, hi,
+               &rgb[(static_cast<std::size_t>(ny - 1 - j) * nx + i) * 3]);
+    }
+  }
+  if (draw_blocks) {
+    for (int n = 0; n < g.num_leaves(); ++n) {
+      const auto& b = g.leaf(n);
+      const int scale = 1 << (c.max_level - b.level);
+      const int x0 = b.ix * c.nxb * scale, x1 = (b.ix + 1) * c.nxb * scale - 1;
+      const int y0 = b.iy * c.nyb * scale, y1 = (b.iy + 1) * c.nyb * scale - 1;
+      const auto dot = [&](int x, int y) {
+        if (x < 0 || x >= nx || y < 0 || y >= ny) return;
+        unsigned char* p = &rgb[(static_cast<std::size_t>(ny - 1 - y) * nx + x) * 3];
+        p[0] = p[1] = p[2] = 40;
+      };
+      for (int x = x0; x <= x1; ++x) {
+        dot(x, y0);
+        dot(x, y1);
+      }
+      for (int y = y0; y <= y1; ++y) {
+        dot(x0, y);
+        dot(x1, y);
+      }
+    }
+  }
+  write_ppm(path, nx, ny, rgb);
+}
+
+}  // namespace raptor::io

@@ -1,0 +1,69 @@
+// The RAPTOR instrumentation pass over RIR (paper §3.3, Figs. 4a/4b).
+//
+// Given a root function (function scope) or the whole module (file/program
+// scope), the pass:
+//   1. finds all transitively called functions via the call graph;
+//   2. clones each one as `_<name>_trunc_f64_to_<e>_<m>` so unrelated users
+//      of the original functions keep native behaviour;
+//   3. rewrites every FP arithmetic instruction and math intrinsic in the
+//      clones into a call to the matching `@_raptor_*_f64` runtime shim,
+//      with the target exponent/mantissa baked in as immediates and the
+//      source location attached as a string literal;
+//   4. rewrites intra-set calls to target the clones;
+//   5. (scratch optimization, Fig. 4b) threads an opaque scratch parameter
+//      through the cloned call chain: the root clone allocates it once on
+//      entry (`@_raptor_alloc_scratch`) and frees it before every return,
+//      and every runtime call receives it as a trailing argument.
+//
+// Calls to functions not defined in the module are left untouched and
+// reported as warnings (paper: "Calls to pre-compiled external libraries
+// are ignored and RAPTOR emits a warning").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace raptor::ir {
+
+struct TruncPassOptions {
+  /// Function-scope root; empty string = transform every function in the
+  /// module in place (file/program scope).
+  std::string root;
+  int to_exp = 8;
+  int to_man = 23;
+  /// Apply the Fig. 4b scratch-pad threading optimization.
+  bool scratch_opt = true;
+};
+
+struct TruncPassResult {
+  Module module;
+  /// Name of the transformed entry point (root clone in function scope;
+  /// equal to options.root when whole-module).
+  std::string entry;
+  std::vector<std::string> warnings;
+  /// Names of all functions that were transformed (clone names).
+  std::vector<std::string> transformed;
+};
+
+/// Run the truncation pass. Throws std::invalid_argument when the requested
+/// root does not exist or the target format is invalid.
+[[nodiscard]] TruncPassResult run_trunc_pass(const Module& input, const TruncPassOptions& opts);
+
+/// One clone family per requested format (paper §7.3: "deciding the
+/// truncation level at runtime can be achieved by compiling multiple
+/// function pointers for different truncations and conditionally using
+/// them"). The result module contains the originals plus a clone set per
+/// format; `entries[i]` names the entry point for `formats[i]`.
+struct MultiTruncResult {
+  Module module;
+  std::vector<std::string> entries;
+  std::vector<std::string> warnings;
+};
+
+[[nodiscard]] MultiTruncResult run_trunc_pass_multi(const Module& input, const std::string& root,
+                                                    const std::vector<std::pair<int, int>>& formats,
+                                                    bool scratch_opt = true);
+
+}  // namespace raptor::ir

@@ -1,0 +1,235 @@
+#include "ir/ir.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace raptor::ir {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::FSqrt: return "fsqrt";
+    case Opcode::FNeg: return "fneg";
+    case Opcode::FExp: return "fexp";
+    case Opcode::FLog: return "flog";
+    case Opcode::FSin: return "fsin";
+    case Opcode::FCos: return "fcos";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::Const: return "const";
+    case Opcode::Set: return "set";
+    case Opcode::Call: return "call";
+    case Opcode::Ret: return "ret";
+    case Opcode::Br: return "br";
+    case Opcode::BrCond: return "brcond";
+  }
+  return "?";
+}
+
+const char* cmp_name(CmpKind k) {
+  switch (k) {
+    case CmpKind::Lt: return "lt";
+    case CmpKind::Le: return "le";
+    case CmpKind::Gt: return "gt";
+    case CmpKind::Ge: return "ge";
+    case CmpKind::Eq: return "eq";
+    case CmpKind::Ne: return "ne";
+  }
+  return "?";
+}
+
+bool is_fp_arith(Opcode op) {
+  switch (op) {
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+    case Opcode::FSqrt:
+    case Opcode::FNeg:
+    case Opcode::FExp:
+    case Opcode::FLog:
+    case Opcode::FSin:
+    case Opcode::FCos:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_unary_fp(Opcode op) {
+  switch (op) {
+    case Opcode::FSqrt:
+    case Opcode::FNeg:
+    case Opcode::FExp:
+    case Opcode::FLog:
+    case Opcode::FSin:
+    case Opcode::FCos:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int Function::find_block(std::string_view label) const {
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].label == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Function::find_reg(std::string_view name) const {
+  for (std::size_t i = 0; i < reg_names.size(); ++i) {
+    if (reg_names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Function::add_reg(std::string name) {
+  const int idx = static_cast<int>(reg_names.size());
+  reg_names.push_back(std::move(name));
+  return idx;
+}
+
+const Function* Module::find(std::string_view name) const {
+  for (const auto& f : funcs) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Function* Module::find(std::string_view name) {
+  for (auto& f : funcs) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void print_arg(std::ostringstream& os, const Function& f, const Arg& a) {
+  switch (a.kind) {
+    case Arg::Kind::Reg: os << '%' << f.reg_names[a.reg]; break;
+    case Arg::Kind::Imm: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", a.imm);
+      os << buf;
+      break;
+    }
+    case Arg::Kind::Str: os << '"' << a.str << '"'; break;
+  }
+}
+
+void print_inst(std::ostringstream& os, const Function& f, const Inst& in) {
+  const auto reg = [&f](int r) { return "%" + f.reg_names[r]; };
+  os << "  ";
+  switch (in.op) {
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+      os << reg(in.result) << " = " << opcode_name(in.op) << ' ' << reg(in.a) << ", " << reg(in.b);
+      break;
+    case Opcode::FSqrt:
+    case Opcode::FNeg:
+    case Opcode::FExp:
+    case Opcode::FLog:
+    case Opcode::FSin:
+    case Opcode::FCos:
+      os << reg(in.result) << " = " << opcode_name(in.op) << ' ' << reg(in.a);
+      break;
+    case Opcode::FCmp:
+      os << reg(in.result) << " = fcmp " << cmp_name(in.cmp) << ' ' << reg(in.a) << ", "
+         << reg(in.b);
+      break;
+    case Opcode::Const: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", in.imm);
+      os << reg(in.result) << " = const " << buf;
+      break;
+    }
+    case Opcode::Set:
+      os << "set " << reg(in.result) << ", " << reg(in.a);
+      break;
+    case Opcode::Call: {
+      if (in.result >= 0) os << reg(in.result) << " = ";
+      os << "call @" << in.callee << '(';
+      for (std::size_t i = 0; i < in.call_args.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_arg(os, f, in.call_args[i]);
+      }
+      os << ')';
+      break;
+    }
+    case Opcode::Ret:
+      os << "ret";
+      if (in.a >= 0) os << ' ' << reg(in.a);
+      break;
+    case Opcode::Br:
+      os << "br " << f.blocks[in.t0].label;
+      break;
+    case Opcode::BrCond:
+      os << "brcond " << reg(in.a) << ", " << f.blocks[in.t0].label << ", "
+         << f.blocks[in.t1].label;
+      break;
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::string Module::to_string() const {
+  std::ostringstream os;
+  for (const auto& f : funcs) {
+    os << "func @" << f.name << '(';
+    for (int i = 0; i < f.num_params; ++i) {
+      if (i > 0) os << ", ";
+      os << '%' << f.reg_names[i];
+    }
+    os << ") -> f64 {\n";
+    for (const auto& b : f.blocks) {
+      os << b.label << ":\n";
+      for (const auto& in : b.insts) print_inst(os, f, in);
+    }
+    os << "}\n\n";
+  }
+  return os.str();
+}
+
+std::vector<std::string> direct_callees(const Function& f) {
+  std::vector<std::string> out;
+  for (const auto& b : f.blocks) {
+    for (const auto& in : b.insts) {
+      if (in.op == Opcode::Call &&
+          std::find(out.begin(), out.end(), in.callee) == out.end()) {
+        out.push_back(in.callee);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> transitive_callees(const Module& m, std::string_view root,
+                                            std::vector<std::string>* externals) {
+  std::vector<std::string> visited;
+  std::vector<std::string> stack{std::string(root)};
+  while (!stack.empty()) {
+    const std::string name = stack.back();
+    stack.pop_back();
+    if (std::find(visited.begin(), visited.end(), name) != visited.end()) continue;
+    const Function* f = m.find(name);
+    if (f == nullptr) {
+      if (externals != nullptr &&
+          std::find(externals->begin(), externals->end(), name) == externals->end()) {
+        externals->push_back(name);
+      }
+      continue;
+    }
+    visited.push_back(name);
+    for (auto& callee : direct_callees(*f)) stack.push_back(std::move(callee));
+  }
+  return visited;
+}
+
+}  // namespace raptor::ir

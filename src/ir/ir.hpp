@@ -1,0 +1,132 @@
+// RIR — a miniature register-based intermediate representation.
+//
+// This is the repository's stand-in for LLVM IR (DESIGN.md §1): large enough
+// to carry real numerical kernels (arithmetic, math intrinsics, compares,
+// branches, loops, calls) and to host the RAPTOR instrumentation pass
+// (instrument.hpp) with the exact transformation semantics of the paper's
+// LLVM pass — transitive-callee cloning, FP-op-to-runtime-call rewriting,
+// and the scratch-pad signature-threading optimization of Fig. 4b.
+//
+// Textual form (parser.hpp):
+//
+//   func @axpy(%a, %x, %y) -> f64 {
+//   entry:
+//     %t = fmul %a, %x
+//     %r = fadd %t, %y
+//     ret %r
+//   }
+//
+// Registers are mutable locals (`set` re-assigns), so loops need no phis.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace raptor::ir {
+
+enum class Opcode {
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FSqrt,
+  FNeg,
+  FExp,
+  FLog,
+  FSin,
+  FCos,
+  FCmp,   // result = compare(a, b) ? 1.0 : 0.0
+  Const,  // result = imm
+  Set,    // result = reg a  (plain move / re-assignment)
+  Call,
+  Ret,    // returns reg a (or void when a < 0)
+  Br,     // unconditional jump to block t0
+  BrCond  // jump to t0 if reg a != 0, else t1
+};
+
+enum class CmpKind { Lt, Le, Gt, Ge, Eq, Ne };
+
+[[nodiscard]] const char* opcode_name(Opcode op);
+[[nodiscard]] const char* cmp_name(CmpKind k);
+[[nodiscard]] bool is_fp_arith(Opcode op);
+[[nodiscard]] bool is_unary_fp(Opcode op);
+
+/// A call argument: register reference, numeric immediate, or string
+/// literal (the transformed code passes target exponent/mantissa immediates
+/// and source-location strings this way, as in paper Fig. 4a).
+struct Arg {
+  enum class Kind { Reg, Imm, Str } kind = Kind::Reg;
+  int reg = -1;
+  double imm = 0.0;
+  std::string str;
+
+  static Arg make_reg(int r) {
+    Arg a;
+    a.kind = Kind::Reg;
+    a.reg = r;
+    return a;
+  }
+  static Arg make_imm(double v) {
+    Arg a;
+    a.kind = Kind::Imm;
+    a.imm = v;
+    return a;
+  }
+  static Arg make_str(std::string s) {
+    Arg a;
+    a.kind = Kind::Str;
+    a.str = std::move(s);
+    return a;
+  }
+};
+
+struct Inst {
+  Opcode op = Opcode::Ret;
+  int result = -1;  ///< destination register (-1: none)
+  int a = -1, b = -1;
+  CmpKind cmp = CmpKind::Lt;
+  double imm = 0.0;
+  std::string callee;
+  std::vector<Arg> call_args;
+  int t0 = -1, t1 = -1;  ///< branch targets (block indices)
+  std::string loc;       ///< "ir:<line>" captured at parse time
+};
+
+struct Block {
+  std::string label;
+  std::vector<Inst> insts;
+};
+
+struct Function {
+  std::string name;
+  int num_params = 0;  ///< registers [0, num_params) are the parameters
+  std::vector<std::string> reg_names;
+  std::vector<Block> blocks;
+
+  [[nodiscard]] int find_block(std::string_view label) const;
+  [[nodiscard]] int find_reg(std::string_view name) const;
+  int add_reg(std::string name);
+  [[nodiscard]] int num_regs() const { return static_cast<int>(reg_names.size()); }
+};
+
+struct Module {
+  std::vector<Function> funcs;
+
+  [[nodiscard]] const Function* find(std::string_view name) const;
+  [[nodiscard]] Function* find(std::string_view name);
+  /// Pretty-print in the textual syntax accepted by parse_module.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Direct callees of `f` (deduplicated, in first-call order).
+[[nodiscard]] std::vector<std::string> direct_callees(const Function& f);
+
+/// `root` plus all transitively called functions defined in the module;
+/// names called but not defined are returned in `externals`.
+[[nodiscard]] std::vector<std::string> transitive_callees(const Module& m, std::string_view root,
+                                                          std::vector<std::string>* externals);
+
+}  // namespace raptor::ir

@@ -1,0 +1,305 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <optional>
+
+namespace raptor::ir {
+
+namespace {
+
+/// A single source line broken into tokens. Token kinds are inferred from
+/// the leading character; punctuation (, ) : = are their own tokens.
+struct Line {
+  int number = 0;
+  std::vector<std::string> tokens;
+};
+
+bool is_ident_char(char c) {
+  // '>' admits the cosmetic "->" return-type arrow as a single token.
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.' || c == '-' ||
+         c == '+' || c == '>';
+}
+
+std::vector<Line> tokenize(std::string_view text) {
+  std::vector<Line> lines;
+  int lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    ++lineno;
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    Line out;
+    out.number = lineno;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (c == '#') break;  // comment to end of line
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        const auto end = line.find('"', i + 1);
+        if (end == std::string_view::npos) throw ParseError(lineno, "unterminated string");
+        out.tokens.emplace_back(line.substr(i, end - i + 1));
+        i = end + 1;
+        continue;
+      }
+      if (c == '(' || c == ')' || c == ',' || c == ':' || c == '=' || c == '{' || c == '}') {
+        out.tokens.emplace_back(1, c);
+        ++i;
+        continue;
+      }
+      if (c == '%' || c == '@' || is_ident_char(c)) {
+        std::size_t j = i + 1;
+        while (j < line.size() && is_ident_char(line[j])) ++j;
+        out.tokens.emplace_back(line.substr(i, j - i));
+        i = j;
+        continue;
+      }
+      throw ParseError(lineno, std::string("unexpected character '") + c + "'");
+    }
+    if (!out.tokens.empty()) lines.push_back(std::move(out));
+    if (nl == std::string_view::npos) break;
+  }
+  return lines;
+}
+
+std::optional<double> parse_number(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<CmpKind> parse_cmp(const std::string& tok) {
+  if (tok == "lt") return CmpKind::Lt;
+  if (tok == "le") return CmpKind::Le;
+  if (tok == "gt") return CmpKind::Gt;
+  if (tok == "ge") return CmpKind::Ge;
+  if (tok == "eq") return CmpKind::Eq;
+  if (tok == "ne") return CmpKind::Ne;
+  return std::nullopt;
+}
+
+std::optional<Opcode> parse_fp_opcode(const std::string& tok) {
+  static const std::map<std::string, Opcode> kOps = {
+      {"fadd", Opcode::FAdd}, {"fsub", Opcode::FSub}, {"fmul", Opcode::FMul},
+      {"fdiv", Opcode::FDiv}, {"fsqrt", Opcode::FSqrt}, {"fneg", Opcode::FNeg},
+      {"fexp", Opcode::FExp}, {"flog", Opcode::FLog}, {"fsin", Opcode::FSin},
+      {"fcos", Opcode::FCos}};
+  const auto it = kOps.find(tok);
+  if (it == kOps.end()) return std::nullopt;
+  return it->second;
+}
+
+class FunctionParser {
+ public:
+  FunctionParser(Function& f, int lineno) : f_(f), lineno_(lineno) {}
+
+  /// Register lookup, creating locals on first definition-position use.
+  int use_reg(const std::string& tok, bool defining) {
+    if (tok.size() < 2 || tok[0] != '%') throw ParseError(lineno_, "expected register, got " + tok);
+    const std::string name = tok.substr(1);
+    const int idx = f_.find_reg(name);
+    if (idx >= 0) return idx;
+    if (!defining) throw ParseError(lineno_, "use of undefined register %" + name);
+    return f_.add_reg(name);
+  }
+
+  /// Branch target by label; block may appear later, so record a fixup.
+  int use_label(const std::string& tok, std::vector<std::pair<Inst*, int>>& /*unused*/) {
+    return f_.find_block(tok);
+  }
+
+  Function& f_;
+  int lineno_;
+};
+
+}  // namespace
+
+Module parse_module(std::string_view text) {
+  Module mod;
+  const auto lines = tokenize(text);
+
+  std::size_t li = 0;
+  while (li < lines.size()) {
+    const Line& header = lines[li];
+    auto expect = [&](std::size_t idx, const char* what) -> const std::string& {
+      if (idx >= header.tokens.size()) throw ParseError(header.number, std::string("expected ") + what);
+      return header.tokens[idx];
+    };
+    if (expect(0, "'func'") != "func") throw ParseError(header.number, "expected 'func'");
+    const std::string& fname = expect(1, "function name");
+    if (fname.size() < 2 || fname[0] != '@') throw ParseError(header.number, "expected @name");
+
+    Function fn;
+    fn.name = fname.substr(1);
+    std::size_t t = 2;
+    if (expect(t, "'('") != "(") throw ParseError(header.number, "expected '('");
+    ++t;
+    while (header.tokens[t] != ")") {
+      std::string tok = header.tokens[t];
+      if (tok == ",") {
+        ++t;
+        continue;
+      }
+      if (tok == "f64" || tok == "f32") {  // optional type annotation
+        ++t;
+        tok = expect(t, "parameter register");
+      }
+      if (tok.empty() || tok[0] != '%') throw ParseError(header.number, "expected %param");
+      fn.add_reg(tok.substr(1));
+      ++t;
+      if (t >= header.tokens.size()) throw ParseError(header.number, "unterminated parameter list");
+    }
+    fn.num_params = fn.num_regs();
+    // Optional "-> f64", then "{" (possibly on the same line).
+    bool brace_seen = false;
+    for (++t; t < header.tokens.size(); ++t) {
+      if (header.tokens[t] == "{") brace_seen = true;
+    }
+    if (!brace_seen) throw ParseError(header.number, "expected '{' on func line");
+
+    // First pass over the body: find labels so branches can resolve forward.
+    std::vector<std::pair<std::size_t, std::size_t>> body;  // line range [begin, end)
+    std::size_t bi = li + 1;
+    for (; bi < lines.size(); ++bi) {
+      if (lines[bi].tokens[0] == "}") break;
+      body.emplace_back(bi, bi);
+    }
+    if (bi >= lines.size()) throw ParseError(header.number, "missing closing '}'");
+
+    for (const auto& [idx, _] : body) {
+      const Line& ln = lines[idx];
+      if (ln.tokens.size() == 2 && ln.tokens[1] == ":") {
+        Block b;
+        b.label = ln.tokens[0];
+        if (fn.find_block(b.label) >= 0) throw ParseError(ln.number, "duplicate label " + b.label);
+        fn.blocks.push_back(std::move(b));
+      }
+    }
+    if (fn.blocks.empty()) throw ParseError(header.number, "function has no blocks");
+
+    // Second pass: parse instructions into their blocks.
+    FunctionParser fp(fn, header.number);
+    int cur_block = -1;
+    for (const auto& [idx, _] : body) {
+      const Line& ln = lines[idx];
+      fp.lineno_ = ln.number;
+      const auto& tk = ln.tokens;
+      if (tk.size() == 2 && tk[1] == ":") {
+        cur_block = fn.find_block(tk[0]);
+        continue;
+      }
+      if (cur_block < 0) throw ParseError(ln.number, "instruction before first label");
+      Inst inst;
+      inst.loc = "ir:" + std::to_string(ln.number);
+
+      auto parse_call = [&](std::size_t start, int result_reg) {
+        inst.op = Opcode::Call;
+        inst.result = result_reg;
+        const std::string& callee = tk.at(start);
+        if (callee.size() < 2 || callee[0] != '@')
+          throw ParseError(ln.number, "expected @callee");
+        inst.callee = callee.substr(1);
+        std::size_t j = start + 1;
+        if (j >= tk.size() || tk[j] != "(") throw ParseError(ln.number, "expected '('");
+        for (++j; j < tk.size() && tk[j] != ")"; ++j) {
+          const std::string& a = tk[j];
+          if (a == ",") continue;
+          if (a[0] == '%') {
+            inst.call_args.push_back(Arg::make_reg(fp.use_reg(a, false)));
+          } else if (a[0] == '"') {
+            inst.call_args.push_back(Arg::make_str(a.substr(1, a.size() - 2)));
+          } else if (auto num = parse_number(a)) {
+            inst.call_args.push_back(Arg::make_imm(*num));
+          } else {
+            throw ParseError(ln.number, "bad call argument " + a);
+          }
+        }
+        if (j >= tk.size()) throw ParseError(ln.number, "unterminated call argument list");
+      };
+
+      if (tk[0] == "ret") {
+        inst.op = Opcode::Ret;
+        inst.a = tk.size() > 1 ? fp.use_reg(tk[1], false) : -1;
+      } else if (tk[0] == "br") {
+        inst.op = Opcode::Br;
+        inst.t0 = fn.find_block(tk.at(1));
+        if (inst.t0 < 0) throw ParseError(ln.number, "unknown label " + tk[1]);
+      } else if (tk[0] == "brcond") {
+        inst.op = Opcode::BrCond;
+        inst.a = fp.use_reg(tk.at(1), false);
+        std::size_t j = 2;
+        if (j < tk.size() && tk[j] == ",") ++j;
+        inst.t0 = fn.find_block(tk.at(j));
+        ++j;
+        if (j < tk.size() && tk[j] == ",") ++j;
+        inst.t1 = fn.find_block(tk.at(j));
+        if (inst.t0 < 0 || inst.t1 < 0) throw ParseError(ln.number, "unknown branch label");
+      } else if (tk[0] == "set") {
+        inst.op = Opcode::Set;
+        std::size_t j = 1;
+        inst.result = fp.use_reg(tk.at(j), true);
+        ++j;
+        if (j < tk.size() && tk[j] == ",") ++j;
+        inst.a = fp.use_reg(tk.at(j), false);
+      } else if (tk[0] == "call") {
+        parse_call(1, -1);
+      } else if (tk.size() >= 3 && tk[1] == "=") {
+        const int res = fp.use_reg(tk[0], true);
+        const std::string& op = tk[2];
+        if (op == "call") {
+          parse_call(3, res);
+        } else if (op == "const") {
+          inst.op = Opcode::Const;
+          inst.result = res;
+          const auto num = parse_number(tk.at(3));
+          if (!num) throw ParseError(ln.number, "bad constant " + tk[3]);
+          inst.imm = *num;
+        } else if (op == "fcmp") {
+          inst.op = Opcode::FCmp;
+          inst.result = res;
+          const auto kind = parse_cmp(tk.at(3));
+          if (!kind) throw ParseError(ln.number, "bad compare kind " + tk[3]);
+          inst.cmp = *kind;
+          std::size_t j = 4;
+          inst.a = fp.use_reg(tk.at(j), false);
+          ++j;
+          if (j < tk.size() && tk[j] == ",") ++j;
+          inst.b = fp.use_reg(tk.at(j), false);
+        } else if (auto fpop = parse_fp_opcode(op)) {
+          inst.op = *fpop;
+          inst.result = res;
+          std::size_t j = 3;
+          inst.a = fp.use_reg(tk.at(j), false);
+          if (!is_unary_fp(inst.op)) {
+            ++j;
+            if (j < tk.size() && tk[j] == ",") ++j;
+            inst.b = fp.use_reg(tk.at(j), false);
+          }
+        } else {
+          throw ParseError(ln.number, "unknown opcode " + op);
+        }
+      } else {
+        throw ParseError(ln.number, "cannot parse instruction starting with " + tk[0]);
+      }
+      fn.blocks[cur_block].insts.push_back(std::move(inst));
+    }
+
+    if (mod.find(fn.name) != nullptr)
+      throw ParseError(header.number, "duplicate function @" + fn.name);
+    mod.funcs.push_back(std::move(fn));
+    li = bi + 1;
+  }
+  return mod;
+}
+
+}  // namespace raptor::ir

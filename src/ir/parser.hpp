@@ -1,0 +1,24 @@
+// Textual parser for RIR modules (syntax documented in ir.hpp).
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "ir/ir.hpp"
+
+namespace raptor::ir {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& msg)
+      : std::runtime_error("rir:" + std::to_string(line) + ": " + msg), line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse a module from text. Throws ParseError with a 1-based line number.
+[[nodiscard]] Module parse_module(std::string_view text);
+
+}  // namespace raptor::ir

@@ -1,0 +1,82 @@
+#include "model/codesign.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace raptor::model {
+
+CodesignModel::CodesignModel(const Config& cfg) : cfg_(cfg) {
+  // FPNew data as reproduced in the paper's Table 4.
+  points_ = {
+      {"fp64", sf::Format{11, 52}, 3.17, 53.0},
+      {"fp32", sf::Format{8, 23}, 6.33, 40.0},
+      {"fp16", sf::Format{5, 10}, 12.67, 29.0},
+      {"fp8", sf::Format{5, 2}, 25.33, 23.0},
+  };
+  // Least-squares fit of ln(density_norm) = alpha * ln(64 / bits).
+  double sxx = 0.0, sxy = 0.0;
+  for (const auto& p : points_) {
+    const double x = std::log(64.0 / p.fmt.storage_bits());
+    const double y = std::log(normalized_density(p));
+    sxx += x * x;
+    sxy += x * y;
+  }
+  alpha_ = sxy / sxx;
+}
+
+double CodesignModel::perf_density(int storage_bits) const {
+  RAPTOR_REQUIRE(storage_bits >= 4 && storage_bits <= 128, "perf_density: bad width");
+  return std::pow(64.0 / storage_bits, alpha_);
+}
+
+double CodesignModel::area_ratio(int low_storage_bits) const {
+  // peak_dbl : peak_low = 1 : r  with  peak_i = A_i * P_i
+  //   => A_dbl / A_low = P_low / (r * P_dbl),  P_dbl = 1 (normalized).
+  return perf_density(low_storage_bits) / cfg_.peak_ratio;
+}
+
+SpeedupEstimate CodesignModel::estimate(const rt::CounterSnapshot& c,
+                                        const sf::Format& fmt) const {
+  SpeedupEstimate out;
+  const double n_full = static_cast<double>(c.full_flops);
+  const double n_trunc = static_cast<double>(c.trunc_flops);
+  const double n_total = n_full + n_trunc;
+  if (n_total <= 0.0) return out;
+
+  // Compute-bound: time = sum_i N_i / (A_i * P_i) (paper §7.2), with the
+  // areas fixed by the machine's peak ratio at fp32 and the low FPU's
+  // density taken at the truncation format's storage width. A "low" format
+  // as wide as FP64 simply runs on the double unit (speedup 1).
+  const int bits = std::min(fmt.storage_bits(), 64);
+  if (bits >= 64) {
+    out.compute_bound = 1.0;
+  } else {
+    const double a_low = 1.0;
+    const double a_dbl = area_ratio(32) * a_low;
+    const double p_dbl = perf_density(64);  // = 1
+    const double p_low = perf_density(bits);
+    const double t_base = n_total / (a_dbl * p_dbl);
+    const double t_trunc = n_full / (a_dbl * p_dbl) + n_trunc / (a_low * p_low);
+    out.compute_bound = t_base / t_trunc;
+  }
+
+  // Memory-bound: runtime scales linearly with bytes moved; truncated
+  // accesses shrink by storage_bits / 64 (§7.2 "Memory Model").
+  const double b_full = static_cast<double>(c.full_bytes);
+  const double b_trunc = static_cast<double>(c.trunc_bytes);
+  const double b_total = b_full + b_trunc;
+  if (b_total > 0.0) {
+    const double scale = static_cast<double>(bits) / 64.0;
+    out.memory_bound = b_total / (b_full + b_trunc * scale);
+    out.operational_intensity = n_total / b_total;
+  }
+
+  // Roofline: compute-bound iff operational intensity exceeds the machine
+  // balance point (FLOP/s / bytes/s).
+  const double balance = cfg_.dbl_peak_gflops / cfg_.bandwidth_gbs;
+  out.is_compute_bound = b_total == 0.0 || out.operational_intensity > balance;
+  return out;
+}
+
+}  // namespace raptor::model

@@ -1,0 +1,88 @@
+// Hardware co-design model (paper §7.2): estimate the speedup a workload
+// would gain from executing its truncated operations on a dedicated
+// low-precision FPU, using
+//   * FPU performance-density data from FPNew (Table 4),
+//   * a power-law extrapolation of performance density to arbitrary
+//     storage widths,
+//   * the paper's area split: a hypothetical CPU with FP64 and one
+//     low-precision FPU whose peak ratio matches a typical machine
+//     (1:2 FP64:FP32, e.g. Fugaku's A64FX),
+//   * a roofline test (peak FLOP/s vs memory bandwidth) deciding whether
+//     the compute-bound or memory-bound estimate applies.
+//
+// Inputs come straight from the RAPTOR runtime counters (trunc/full FLOP
+// and byte counts, §3.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/counters.hpp"
+#include "softfloat/format.hpp"
+
+namespace raptor::model {
+
+/// One FPNew data point (paper Table 4).
+struct FpuPoint {
+  std::string name;
+  sf::Format fmt;
+  double gflops = 0.0;
+  double area_kge = 0.0;
+  [[nodiscard]] double density() const { return gflops / area_kge; }
+};
+
+struct SpeedupEstimate {
+  double compute_bound = 1.0;
+  double memory_bound = 1.0;
+  double operational_intensity = 0.0;  ///< FLOP per byte
+  bool is_compute_bound = true;
+  /// The roofline-selected estimate.
+  [[nodiscard]] double applicable() const {
+    return is_compute_bound ? compute_bound : memory_bound;
+  }
+};
+
+class CodesignModel {
+ public:
+  struct Config {
+    /// FP64:low peak ratio of the hypothetical CPU (1:2 like A64FX).
+    double peak_ratio = 2.0;
+    /// Memory bandwidth, GB/s (paper: 1024, Fugaku).
+    double bandwidth_gbs = 1024.0;
+    /// FP64 peak of the machine for the roofline balance point, GFLOP/s
+    /// (A64FX-class).
+    double dbl_peak_gflops = 3072.0;
+  };
+
+  CodesignModel() : CodesignModel(Config{}) {}
+  explicit CodesignModel(const Config& cfg);
+
+  /// The FPNew data points with densities normalized to fp64 = 1.0
+  /// (reproduces Table 4's last column).
+  [[nodiscard]] const std::vector<FpuPoint>& fpu_points() const { return points_; }
+  [[nodiscard]] double normalized_density(const FpuPoint& p) const {
+    return p.density() / points_[0].density();
+  }
+
+  /// Power-law fit of normalized performance density vs storage width:
+  /// density(bits) = (64 / bits)^alpha, alpha fitted to the FPNew points.
+  [[nodiscard]] double density_exponent() const { return alpha_; }
+  [[nodiscard]] double perf_density(int storage_bits) const;
+
+  /// Area ratio A_dbl : A_low implied by the configured peak ratio
+  /// (paper §7.2 derives 1.39 for fp32).
+  [[nodiscard]] double area_ratio(int low_storage_bits = 32) const;
+
+  /// Speedup estimates for a profiled workload truncated into `fmt`.
+  [[nodiscard]] SpeedupEstimate estimate(const rt::CounterSnapshot& counters,
+                                         const sf::Format& fmt) const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::vector<FpuPoint> points_;
+  double alpha_ = 1.4;
+};
+
+}  // namespace raptor::model

@@ -1,0 +1,57 @@
+// Operation and memory-traffic counters (paper §3.4: "the runtime also keeps
+// track of how many floating-point operations are executed and how much
+// memory is accessed in truncated and non-truncated regions"). These feed
+// the Figure 7 bar plots and the §7.2 hardware co-design model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "runtime/opkind.hpp"
+#include "support/common.hpp"
+
+namespace raptor::rt {
+
+struct CounterSnapshot {
+  u64 trunc_flops = 0;
+  u64 full_flops = 0;
+  u64 trunc_bytes = 0;
+  u64 full_bytes = 0;
+  std::array<u64, kNumOpKinds> trunc_by_kind{};
+  std::array<u64, kNumOpKinds> full_by_kind{};
+
+  void merge(const CounterSnapshot& o) {
+    trunc_flops += o.trunc_flops;
+    full_flops += o.full_flops;
+    trunc_bytes += o.trunc_bytes;
+    full_bytes += o.full_bytes;
+    for (int i = 0; i < kNumOpKinds; ++i) {
+      trunc_by_kind[i] += o.trunc_by_kind[i];
+      full_by_kind[i] += o.full_by_kind[i];
+    }
+  }
+
+  [[nodiscard]] u64 total_flops() const { return trunc_flops + full_flops; }
+  [[nodiscard]] u64 total_bytes() const { return trunc_bytes + full_bytes; }
+
+  /// Fraction of FP operations executed in truncated precision (the
+  /// "Truncated FP ops" column of Tables 2 and 3).
+  [[nodiscard]] double trunc_fraction() const {
+    const u64 t = total_flops();
+    return t == 0 ? 0.0 : static_cast<double>(trunc_flops) / static_cast<double>(t);
+  }
+};
+
+/// One deviation-heatmap record (mem-mode, paper §6.3): operations at
+/// `location` whose truncated result deviated from the FP64 shadow by more
+/// than the configured threshold.
+struct FlagRecord {
+  std::string location;  ///< region label (or explicit source location)
+  OpKind op = OpKind::Add;
+  u64 flagged = 0;  ///< results above threshold
+  u64 fresh = 0;    ///< results above threshold whose inputs were all below
+  double max_deviation = 0.0;
+};
+
+}  // namespace raptor::rt

@@ -1,0 +1,119 @@
+#include "runtime/profile_config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace raptor::rt {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw ConfigError("profile:" + std::to_string(line) + ": " + msg);
+}
+
+bool parse_on_off(std::string_view v, int line) {
+  if (v == "on" || v == "true" || v == "1") return true;
+  if (v == "off" || v == "false" || v == "0") return false;
+  fail(line, "expected on/off, got '" + std::string(v) + "'");
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+ProfileConfig parse_profile(std::string_view text) {
+  ProfileConfig out;
+  int lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto space = line.find_first_of(" \t");
+    const std::string_view key = space == std::string_view::npos ? line : line.substr(0, space);
+    const std::string_view val =
+        space == std::string_view::npos ? std::string_view{} : trim(line.substr(space + 1));
+
+    if (key == "mode") {
+      if (val == "op") {
+        out.mode = Mode::Op;
+      } else if (val == "mem") {
+        out.mode = Mode::Mem;
+      } else {
+        fail(lineno, "mode must be 'op' or 'mem'");
+      }
+    } else if (key == "alloc") {
+      if (val == "naive") {
+        out.alloc = AllocStrategy::Naive;
+      } else if (val == "scratch") {
+        out.alloc = AllocStrategy::Scratch;
+      } else {
+        fail(lineno, "alloc must be 'naive' or 'scratch'");
+      }
+    } else if (key == "counting") {
+      out.counting = parse_on_off(val, lineno);
+    } else if (key == "hw-fastpath") {
+      out.hw_fastpath = parse_on_off(val, lineno);
+    } else if (key == "threshold") {
+      char* end = nullptr;
+      const std::string vs(val);
+      const double t = std::strtod(vs.c_str(), &end);
+      if (end != vs.c_str() + vs.size() || !(t > 0.0)) {
+        fail(lineno, "threshold must be a positive number");
+      }
+      out.threshold = t;
+    } else if (key == "truncate-all") {
+      try {
+        out.truncate_all = TruncationSpec::parse(val);
+      } catch (const ConfigError& e) {
+        fail(lineno, e.what());
+      }
+      if (out.truncate_all->empty()) fail(lineno, "truncate-all: empty spec");
+    } else if (key == "exclude") {
+      if (val.empty()) fail(lineno, "exclude needs a region label");
+      out.exclusions.emplace_back(val);
+    } else {
+      fail(lineno, "unknown directive '" + std::string(key) + "'");
+    }
+  }
+  return out;
+}
+
+ProfileConfig load_profile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw ConfigError("profile: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_profile(ss.str());
+}
+
+void apply_profile(Runtime& runtime, const ProfileConfig& cfg) {
+  if (cfg.mode) runtime.set_mode(*cfg.mode);
+  if (cfg.alloc) runtime.set_alloc_strategy(*cfg.alloc);
+  if (cfg.counting) runtime.set_counting(*cfg.counting);
+  if (cfg.hw_fastpath) runtime.set_hw_fastpath(*cfg.hw_fastpath);
+  if (cfg.threshold) runtime.set_deviation_threshold(*cfg.threshold);
+  if (cfg.truncate_all) runtime.set_truncate_all(*cfg.truncate_all);
+  for (const auto& label : cfg.exclusions) runtime.exclude_region(label);
+}
+
+}  // namespace raptor::rt

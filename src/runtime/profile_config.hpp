@@ -1,0 +1,47 @@
+// Profiler-style configuration files (paper §7.3: "support function
+// filtering using a configuration file (similar to profilers)").
+//
+// A profile config is a line-oriented text file:
+//
+//   # raptor profile
+//   mode mem                     # op | mem
+//   alloc scratch                # naive | scratch
+//   counting on                  # on | off
+//   hw-fastpath off              # on | off
+//   threshold 1e-6               # mem-mode deviation threshold
+//   truncate-all 64_to_5_14;32_to_3_8
+//   exclude hydro/recon          # repeatable
+//   exclude hydro/riemann
+//
+// apply_profile() configures the global Runtime accordingly; parse errors
+// throw rt::ConfigError with a line number.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "runtime/runtime.hpp"
+
+namespace raptor::rt {
+
+/// Parsed form (useful for inspection/tests before applying).
+struct ProfileConfig {
+  std::optional<Mode> mode;
+  std::optional<AllocStrategy> alloc;
+  std::optional<bool> counting;
+  std::optional<bool> hw_fastpath;
+  std::optional<double> threshold;
+  std::optional<TruncationSpec> truncate_all;
+  std::vector<std::string> exclusions;
+};
+
+/// Parse a config from text. Throws ConfigError ("profile:<line>: ...").
+[[nodiscard]] ProfileConfig parse_profile(std::string_view text);
+
+/// Read and parse a config file. Throws ConfigError on I/O or parse errors.
+[[nodiscard]] ProfileConfig load_profile(const std::string& path);
+
+/// Apply a parsed profile to a Runtime (only the fields that were set).
+void apply_profile(Runtime& runtime, const ProfileConfig& cfg);
+
+}  // namespace raptor::rt

@@ -1,0 +1,589 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace raptor::rt {
+
+namespace {
+
+/// Emulation cell: stands in for an MPFR variable. Naive allocation strategy
+/// news/deletes these per operation (the cost profile of mpfr_init2 /
+/// mpfr_clear in Fig. 5a); scratch mode reuses a thread-local pad (Fig. 4b).
+struct EmuCell {
+  sf::BigFloat v;
+};
+
+double deviation_of(double t, double s) {
+  if (std::isnan(t) || std::isnan(s)) return 0.0;
+  const double denom = std::max(std::fabs(s), 1e-300);
+  return std::fabs(t - s) / denom;
+}
+
+}  // namespace
+
+struct Runtime::ThreadState {
+  struct ScopeFrame {
+    TruncationSpec spec;
+    bool enabled = true;
+  };
+  struct RegionFrame {
+    const char* label = "";
+    bool excluded = false;
+  };
+
+  std::vector<ScopeFrame> scopes;
+  std::vector<RegionFrame> regions;
+  CounterSnapshot counters;
+  EmuCell scratch[4];
+  Runtime* owner;
+
+  explicit ThreadState(Runtime* o) : owner(o) { o->register_thread(this); }
+  ~ThreadState() { owner->retire_thread(this); }
+};
+
+Runtime& Runtime::instance() {
+  static Runtime* r = new Runtime;  // leaked: immune to shutdown-order issues
+  return *r;
+}
+
+Runtime::ThreadState& Runtime::tls() {
+  thread_local ThreadState ts(this);
+  return ts;
+}
+
+void Runtime::register_thread(ThreadState* ts) {
+  std::lock_guard lock(threads_mu_);
+  threads_.push_back(ts);
+}
+
+void Runtime::retire_thread(ThreadState* ts) {
+  std::lock_guard lock(threads_mu_);
+  retired_.merge(ts->counters);
+  std::erase(threads_, ts);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+void Runtime::set_truncate_all(const TruncationSpec& spec) {
+  std::lock_guard lock(config_mu_);
+  global_spec_ = spec;
+  have_global_ = true;
+}
+
+void Runtime::clear_truncate_all() {
+  std::lock_guard lock(config_mu_);
+  have_global_ = false;
+}
+
+std::optional<TruncationSpec> Runtime::truncate_all() const {
+  std::lock_guard lock(config_mu_);
+  if (!have_global_) return std::nullopt;
+  return global_spec_;
+}
+
+void Runtime::exclude_region(const std::string& label) {
+  std::lock_guard lock(config_mu_);
+  if (std::find(exclusions_.begin(), exclusions_.end(), label) == exclusions_.end()) {
+    exclusions_.push_back(label);
+  }
+}
+
+void Runtime::clear_exclusions() {
+  std::lock_guard lock(config_mu_);
+  exclusions_.clear();
+}
+
+bool Runtime::is_excluded(const std::string& label) const {
+  std::lock_guard lock(config_mu_);
+  return std::find(exclusions_.begin(), exclusions_.end(), label) != exclusions_.end();
+}
+
+// ---------------------------------------------------------------------------
+// Scoping
+// ---------------------------------------------------------------------------
+
+void Runtime::push_scope(const TruncationSpec& spec, bool enabled) {
+  tls().scopes.push_back({spec, enabled});
+}
+
+void Runtime::pop_scope() {
+  ThreadState& ts = tls();
+  RAPTOR_REQUIRE(!ts.scopes.empty(), "pop_scope without matching push_scope");
+  ts.scopes.pop_back();
+}
+
+void Runtime::push_region(const char* label) {
+  ThreadState& ts = tls();
+  // Exclusion is decided at region entry (cheap per-op reads afterwards);
+  // a region nested under an excluded one stays excluded.
+  bool excluded = !ts.regions.empty() && ts.regions.back().excluded;
+  if (!excluded) excluded = is_excluded(label);
+  ts.regions.push_back({label, excluded});
+}
+
+void Runtime::pop_region() {
+  ThreadState& ts = tls();
+  RAPTOR_REQUIRE(!ts.regions.empty(), "pop_region without matching push_region");
+  ts.regions.pop_back();
+}
+
+const char* Runtime::current_region() {
+  ThreadState& ts = tls();
+  return ts.regions.empty() ? "<toplevel>" : ts.regions.back().label;
+}
+
+const sf::Format* Runtime::effective_format(ThreadState& ts, int width) const {
+  const TruncationSpec* spec = nullptr;
+  bool enabled = false;
+  if (!ts.scopes.empty()) {
+    spec = &ts.scopes.back().spec;
+    enabled = ts.scopes.back().enabled;
+  } else if (have_global_) {
+    spec = &global_spec_;
+    enabled = true;
+  }
+  if (!enabled || spec == nullptr) return nullptr;
+  if (!ts.regions.empty() && ts.regions.back().excluded) return nullptr;
+  const auto& f = spec->for_width(width);
+  return f ? &*f : nullptr;
+}
+
+bool Runtime::truncation_active(int width) { return effective_format(tls(), width) != nullptr; }
+
+std::optional<sf::Format> Runtime::active_format(int width) {
+  const sf::Format* f = effective_format(tls(), width);
+  if (f == nullptr) return std::nullopt;
+  return *f;
+}
+
+// ---------------------------------------------------------------------------
+// Native execution paths
+// ---------------------------------------------------------------------------
+
+double Runtime::native1(OpKind k, double a) const {
+  switch (k) {
+    case OpKind::Neg: return -a;
+    case OpKind::Sqrt: return std::sqrt(a);
+    case OpKind::Exp: return std::exp(a);
+    case OpKind::Log: return std::log(a);
+    case OpKind::Log2: return std::log2(a);
+    case OpKind::Log10: return std::log10(a);
+    case OpKind::Sin: return std::sin(a);
+    case OpKind::Cos: return std::cos(a);
+    case OpKind::Tan: return std::tan(a);
+    case OpKind::Atan: return std::atan(a);
+    case OpKind::Tanh: return std::tanh(a);
+    case OpKind::Cbrt: return std::cbrt(a);
+    default: RAPTOR_REQUIRE(false, "bad unary op"); return 0;
+  }
+}
+
+double Runtime::native2(OpKind k, double a, double b) const {
+  switch (k) {
+    case OpKind::Add: return a + b;
+    case OpKind::Sub: return a - b;
+    case OpKind::Mul: return a * b;
+    case OpKind::Div: return a / b;
+    case OpKind::Pow: return std::pow(a, b);
+    case OpKind::Atan2: return std::atan2(a, b);
+    default: RAPTOR_REQUIRE(false, "bad binary op"); return 0;
+  }
+}
+
+double Runtime::native1_f32(OpKind k, double a) const {
+  const float x = static_cast<float>(a);
+  switch (k) {
+    case OpKind::Neg: return -x;
+    case OpKind::Sqrt: return std::sqrt(x);
+    case OpKind::Exp: return std::exp(x);
+    case OpKind::Log: return std::log(x);
+    case OpKind::Log2: return std::log2(x);
+    case OpKind::Log10: return std::log10(x);
+    case OpKind::Sin: return std::sin(x);
+    case OpKind::Cos: return std::cos(x);
+    case OpKind::Tan: return std::tan(x);
+    case OpKind::Atan: return std::atan(x);
+    case OpKind::Tanh: return std::tanh(x);
+    case OpKind::Cbrt: return std::cbrt(x);
+    default: RAPTOR_REQUIRE(false, "bad unary op"); return 0;
+  }
+}
+
+double Runtime::native2_f32(OpKind k, double a, double b) const {
+  const float x = static_cast<float>(a);
+  const float y = static_cast<float>(b);
+  switch (k) {
+    case OpKind::Add: return x + y;
+    case OpKind::Sub: return x - y;
+    case OpKind::Mul: return x * y;
+    case OpKind::Div: return x / y;
+    case OpKind::Pow: return std::pow(x, y);
+    case OpKind::Atan2: return std::atan2(x, y);
+    default: RAPTOR_REQUIRE(false, "bad binary op"); return 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Emulated execution (op-mode, Fig. 5a semantics)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sf::BigFloat bf_op1(OpKind k, const sf::BigFloat& a, const sf::Format& f) {
+  switch (k) {
+    case OpKind::Neg: return a.negated();
+    case OpKind::Sqrt: return sf::BigFloat::sqrt(a, f);
+    case OpKind::Exp: return sf::bf_exp(a, f);
+    case OpKind::Log: return sf::bf_log(a, f);
+    case OpKind::Log2: return sf::bf_log2(a, f);
+    case OpKind::Log10: return sf::bf_log10(a, f);
+    case OpKind::Sin: return sf::bf_sin(a, f);
+    case OpKind::Cos: return sf::bf_cos(a, f);
+    case OpKind::Tan: return sf::bf_tan(a, f);
+    case OpKind::Atan: return sf::bf_atan(a, f);
+    case OpKind::Tanh: return sf::bf_tanh(a, f);
+    case OpKind::Cbrt: return sf::bf_cbrt(a, f);
+    default: RAPTOR_REQUIRE(false, "bad unary op"); return {};
+  }
+}
+
+sf::BigFloat bf_op2(OpKind k, const sf::BigFloat& a, const sf::BigFloat& b, const sf::Format& f) {
+  switch (k) {
+    case OpKind::Add: return sf::BigFloat::add(a, b, f);
+    case OpKind::Sub: return sf::BigFloat::sub(a, b, f);
+    case OpKind::Mul: return sf::BigFloat::mul(a, b, f);
+    case OpKind::Div: return sf::BigFloat::div(a, b, f);
+    case OpKind::Pow: return sf::bf_pow(a, b, f);
+    case OpKind::Atan2: return sf::bf_atan2(a, b, f);
+    default: RAPTOR_REQUIRE(false, "bad binary op"); return {};
+  }
+}
+
+double native3(OpKind k, double a, double b, double c) {
+  RAPTOR_REQUIRE(k == OpKind::Fma, "bad ternary op");
+  return std::fma(a, b, c);
+}
+
+}  // namespace
+
+double Runtime::emulate1(ThreadState& ts, OpKind k, double a, const sf::Format& f) {
+  const auto compute = [&](EmuCell& ma, EmuCell& mc) {
+    ma.v = sf::BigFloat::from_double_rounded(a, f);  // mpfr_set
+    mc.v = bf_op1(k, ma.v, f);
+    return mc.v.to_double();  // mpfr_get
+  };
+  if (alloc_ == AllocStrategy::Naive) {
+    auto* ma = new EmuCell;  // mpfr_init2 per op
+    auto* mc = new EmuCell;
+    const double r = compute(*ma, *mc);
+    delete ma;  // mpfr_clear per op
+    delete mc;
+    return r;
+  }
+  return compute(ts.scratch[0], ts.scratch[2]);
+}
+
+double Runtime::emulate2(ThreadState& ts, OpKind k, double a, double b, const sf::Format& f) {
+  const auto compute = [&](EmuCell& ma, EmuCell& mb, EmuCell& mc) {
+    ma.v = sf::BigFloat::from_double_rounded(a, f);
+    mb.v = sf::BigFloat::from_double_rounded(b, f);
+    mc.v = bf_op2(k, ma.v, mb.v, f);
+    return mc.v.to_double();
+  };
+  if (alloc_ == AllocStrategy::Naive) {
+    auto* ma = new EmuCell;
+    auto* mb = new EmuCell;
+    auto* mc = new EmuCell;
+    const double r = compute(*ma, *mb, *mc);
+    delete ma;
+    delete mb;
+    delete mc;
+    return r;
+  }
+  return compute(ts.scratch[0], ts.scratch[1], ts.scratch[2]);
+}
+
+double Runtime::emulate3(ThreadState& ts, OpKind k, double a, double b, double c,
+                         const sf::Format& f) {
+  RAPTOR_REQUIRE(k == OpKind::Fma, "bad ternary op");
+  const auto compute = [&](EmuCell& ma, EmuCell& mb, EmuCell& mc, EmuCell& md) {
+    ma.v = sf::BigFloat::from_double_rounded(a, f);
+    mb.v = sf::BigFloat::from_double_rounded(b, f);
+    mc.v = sf::BigFloat::from_double_rounded(c, f);
+    md.v = sf::BigFloat::fma(ma.v, mb.v, mc.v, f);
+    return md.v.to_double();
+  };
+  if (alloc_ == AllocStrategy::Naive) {
+    auto* ma = new EmuCell;
+    auto* mb = new EmuCell;
+    auto* mc = new EmuCell;
+    auto* md = new EmuCell;
+    const double r = compute(*ma, *mb, *mc, *md);
+    delete ma;
+    delete mb;
+    delete mc;
+    delete md;
+    return r;
+  }
+  return compute(ts.scratch[0], ts.scratch[1], ts.scratch[2], ts.scratch[3]);
+}
+
+// ---------------------------------------------------------------------------
+// Mem-mode (Fig. 5b semantics with refcounting on top)
+// ---------------------------------------------------------------------------
+
+double Runtime::mem_op(ThreadState& ts, OpKind k, const double* args, int n, const sf::Format& f,
+                       bool truncated) {
+  sf::BigFloat t[3];
+  double s[3];
+  double dev[3];
+  for (int i = 0; i < n; ++i) {
+    if (boxing::is_boxed(args[i]) &&
+        boxing::unbox_generation(args[i]) == shadow_.generation()) {
+      const ShadowEntry e = shadow_.snapshot(boxing::unbox_id(args[i]));
+      t[i] = e.trunc;
+      s[i] = e.shadow;
+      dev[i] = deviation_of(t[i].to_double(), s[i]);
+    } else {
+      // Constant / unconverted operand: promote on the fly. Rounding error
+      // introduced here belongs to *this* operation (it is the _raptor_pre_c
+      // step), so it does not disqualify the result from being "fresh".
+      t[i] = truncated ? sf::BigFloat::from_double_rounded(args[i], f)
+                       : sf::BigFloat::from_double(args[i]);
+      s[i] = args[i];
+      dev[i] = 0.0;
+    }
+  }
+
+  sf::BigFloat tr;
+  double sr;
+  switch (n) {
+    case 1:
+      tr = bf_op1(k, t[0], f);
+      sr = native1(k, s[0]);
+      break;
+    case 2:
+      tr = bf_op2(k, t[0], t[1], f);
+      sr = native2(k, s[0], s[1]);
+      break;
+    default:
+      tr = sf::BigFloat::fma(t[0], t[1], t[2], f);
+      sr = native3(k, s[0], s[1], s[2]);
+      break;
+  }
+
+  const double dev_r = deviation_of(tr.to_double(), sr);
+  if (dev_r > dev_threshold_) {
+    bool fresh = true;
+    for (int i = 0; i < n; ++i) fresh = fresh && dev[i] <= dev_threshold_;
+    const char* label = ts.regions.empty() ? "<toplevel>" : ts.regions.back().label;
+    record_flag(label, k, dev_r, fresh);
+  }
+  return boxing::box(shadow_.alloc(tr, sr), shadow_.generation());
+}
+
+// Handles carry the table generation; after mem_clear() (which bumps it),
+// straggling handles become stale: reads return NaN, retain/release are
+// ignored. This keeps long-lived instrumented data structures safe across
+// experiment resets.
+bool Runtime::handle_current(double boxed) const {
+  return boxing::unbox_generation(boxed) == shadow_.generation();
+}
+
+double Runtime::mem_make(double v, int width) {
+  ThreadState& ts = tls();
+  const sf::Format* f = effective_format(ts, width);
+  const sf::BigFloat t =
+      f ? sf::BigFloat::from_double_rounded(v, *f) : sf::BigFloat::from_double(v);
+  return boxing::box(shadow_.alloc(t, v), shadow_.generation());
+}
+
+double Runtime::mem_value(double maybe_boxed) const {
+  if (!boxing::is_boxed(maybe_boxed)) return maybe_boxed;
+  if (!handle_current(maybe_boxed)) return std::nan("");
+  return shadow_.snapshot(boxing::unbox_id(maybe_boxed)).trunc.to_double();
+}
+
+double Runtime::mem_shadow(double maybe_boxed) const {
+  if (!boxing::is_boxed(maybe_boxed)) return maybe_boxed;
+  if (!handle_current(maybe_boxed)) return std::nan("");
+  return shadow_.snapshot(boxing::unbox_id(maybe_boxed)).shadow;
+}
+
+double Runtime::mem_deviation(double maybe_boxed) const {
+  if (!boxing::is_boxed(maybe_boxed)) return 0.0;
+  if (!handle_current(maybe_boxed)) return 0.0;
+  const ShadowEntry e = shadow_.snapshot(boxing::unbox_id(maybe_boxed));
+  return deviation_of(e.trunc.to_double(), e.shadow);
+}
+
+void Runtime::mem_retain(double boxed) {
+  if (handle_current(boxed)) shadow_.retain(boxing::unbox_id(boxed));
+}
+
+void Runtime::mem_release(double maybe_boxed) {
+  if (boxing::is_boxed(maybe_boxed) && handle_current(maybe_boxed)) {
+    shadow_.release(boxing::unbox_id(maybe_boxed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented entry points
+// ---------------------------------------------------------------------------
+
+namespace {
+inline void count_op(CounterSnapshot& c, OpKind k, bool trunc) {
+  if (trunc) {
+    ++c.trunc_flops;
+    ++c.trunc_by_kind[static_cast<int>(k)];
+  } else {
+    ++c.full_flops;
+    ++c.full_by_kind[static_cast<int>(k)];
+  }
+}
+}  // namespace
+
+double Runtime::op1(OpKind k, double a, int width) {
+  ThreadState& ts = tls();
+  const sf::Format* f = effective_format(ts, width);
+  if (f == nullptr) {
+    if (mode_ == Mode::Mem && boxing::is_boxed(a)) {
+      if (counting_) count_op(ts.counters, k, false);
+      return mem_op(ts, k, &a, 1, sf::Format::fp64(), /*truncated=*/false);
+    }
+    if (counting_) count_op(ts.counters, k, false);
+    return native1(k, a);
+  }
+  if (counting_) count_op(ts.counters, k, true);
+  if (mode_ == Mode::Mem) return mem_op(ts, k, &a, 1, *f, true);
+  if (hw_fastpath_) {
+    if (*f == sf::Format::fp64()) return native1(k, a);
+    if (*f == sf::Format::fp32()) return native1_f32(k, a);
+  }
+  return emulate1(ts, k, a, *f);
+}
+
+double Runtime::op2(OpKind k, double a, double b, int width) {
+  ThreadState& ts = tls();
+  const sf::Format* f = effective_format(ts, width);
+  if (f == nullptr) {
+    if (mode_ == Mode::Mem && (boxing::is_boxed(a) || boxing::is_boxed(b))) {
+      if (counting_) count_op(ts.counters, k, false);
+      const double args[2] = {a, b};
+      return mem_op(ts, k, args, 2, sf::Format::fp64(), /*truncated=*/false);
+    }
+    if (counting_) count_op(ts.counters, k, false);
+    return native2(k, a, b);
+  }
+  if (counting_) count_op(ts.counters, k, true);
+  if (mode_ == Mode::Mem) {
+    const double args[2] = {a, b};
+    return mem_op(ts, k, args, 2, *f, true);
+  }
+  if (hw_fastpath_) {
+    if (*f == sf::Format::fp64()) return native2(k, a, b);
+    if (*f == sf::Format::fp32()) return native2_f32(k, a, b);
+  }
+  return emulate2(ts, k, a, b, *f);
+}
+
+double Runtime::op3(OpKind k, double a, double b, double c, int width) {
+  ThreadState& ts = tls();
+  const sf::Format* f = effective_format(ts, width);
+  if (f == nullptr) {
+    if (mode_ == Mode::Mem &&
+        (boxing::is_boxed(a) || boxing::is_boxed(b) || boxing::is_boxed(c))) {
+      if (counting_) count_op(ts.counters, k, false);
+      const double args[3] = {a, b, c};
+      return mem_op(ts, k, args, 3, sf::Format::fp64(), /*truncated=*/false);
+    }
+    if (counting_) count_op(ts.counters, k, false);
+    return native3(k, a, b, c);
+  }
+  if (counting_) count_op(ts.counters, k, true);
+  if (mode_ == Mode::Mem) {
+    const double args[3] = {a, b, c};
+    return mem_op(ts, k, args, 3, *f, true);
+  }
+  if (hw_fastpath_ && *f == sf::Format::fp64()) return native3(k, a, b, c);
+  return emulate3(ts, k, a, b, c, *f);
+}
+
+void Runtime::count_mem(u64 bytes) {
+  if (!counting_) return;
+  ThreadState& ts = tls();
+  if (effective_format(ts, 64) != nullptr) {
+    ts.counters.trunc_bytes += bytes;
+  } else {
+    ts.counters.full_bytes += bytes;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+void Runtime::record_flag(const char* location, OpKind k, double deviation, bool fresh) {
+  std::lock_guard lock(flags_mu_);
+  for (auto& f : flags_) {
+    if (f.op == k && f.location == location) {
+      ++f.flagged;
+      if (fresh) ++f.fresh;
+      f.max_deviation = std::max(f.max_deviation, deviation);
+      return;
+    }
+  }
+  FlagRecord rec;
+  rec.location = location;
+  rec.op = k;
+  rec.flagged = 1;
+  rec.fresh = fresh ? 1 : 0;
+  rec.max_deviation = deviation;
+  flags_.push_back(std::move(rec));
+}
+
+CounterSnapshot Runtime::counters() const {
+  std::lock_guard lock(threads_mu_);
+  CounterSnapshot out = retired_;
+  for (const ThreadState* ts : threads_) out.merge(ts->counters);
+  return out;
+}
+
+void Runtime::reset_counters() {
+  std::lock_guard lock(threads_mu_);
+  retired_ = CounterSnapshot{};
+  for (ThreadState* ts : threads_) ts->counters = CounterSnapshot{};
+}
+
+std::vector<FlagRecord> Runtime::flag_report() const {
+  std::lock_guard lock(flags_mu_);
+  std::vector<FlagRecord> out = flags_;
+  std::sort(out.begin(), out.end(), [](const FlagRecord& a, const FlagRecord& b) {
+    if (a.fresh != b.fresh) return a.fresh > b.fresh;
+    return a.flagged > b.flagged;
+  });
+  return out;
+}
+
+void Runtime::reset_flags() {
+  std::lock_guard lock(flags_mu_);
+  flags_.clear();
+}
+
+void Runtime::reset_all() {
+  clear_truncate_all();
+  clear_exclusions();
+  reset_counters();
+  reset_flags();
+  mem_clear();
+  set_mode(Mode::Op);
+  set_alloc_strategy(AllocStrategy::Scratch);
+  set_hw_fastpath(false);
+  set_counting(true);
+  set_deviation_threshold(1e-4);
+}
+
+}  // namespace raptor::rt

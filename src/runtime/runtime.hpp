@@ -1,0 +1,183 @@
+// The RAPTOR runtime (paper §3.4-§3.5): executes floating-point operations
+// in the instructed precision and collects profiling data.
+//
+// Responsibilities:
+//  * op-mode: round operands into the target format, execute the operation
+//    correctly rounded in that format, widen back (Fig. 5a) — either via the
+//    BigFloat emulator or a native "hardware" fast path when the target is a
+//    machine format;
+//  * mem-mode: values remain in their target-format representation between
+//    operations, with an FP64 shadow tracking the never-truncated reference;
+//    deviations beyond a threshold are flagged and grouped per code location
+//    into a heatmap (Fig. 5b, §6.3);
+//  * counters for truncated/full FP operations and memory traffic (§3.4);
+//  * dynamic scoping: a thread-local stack of truncation scopes (function /
+//    file / program level; the AMR experiments toggle a scope per block) and
+//    a thread-local stack of named regions supporting dynamic exclusion
+//    (Table 2's "excluded modules");
+//  * the naive-vs-scratch allocation ablation (Fig. 4b): naive mode heap-
+//    allocates the three intermediate emulation cells per operation (the
+//    cost profile of mpfr_init2/mpfr_clear); scratch mode reuses a
+//    thread-local pad.
+//
+// Thread model: every mutating per-op structure is thread-local; aggregate
+// views lock a registry. op-mode is safe under OpenMP; mem-mode is intended
+// for single-threaded analysis sections (as in the paper, §3.6).
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "runtime/counters.hpp"
+#include "runtime/shadow_table.hpp"
+#include "softfloat/bigfloat.hpp"
+
+namespace raptor::rt {
+
+enum class Mode { Op, Mem };
+enum class AllocStrategy { Naive, Scratch };
+
+class Runtime {
+ public:
+  /// Process-wide instance (leaked singleton: safe at any shutdown order).
+  static Runtime& instance();
+
+  // -- Configuration (set while no instrumented code is executing) -------
+
+  void set_mode(Mode m) { mode_ = m; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+  void set_alloc_strategy(AllocStrategy s) { alloc_ = s; }
+  [[nodiscard]] AllocStrategy alloc_strategy() const { return alloc_; }
+  /// Execute natively when the target format is a machine format
+  /// (fp64/fp32): the paper's "hardware types" path with ~zero overhead.
+  void set_hw_fastpath(bool on) { hw_fastpath_ = on; }
+  [[nodiscard]] bool hw_fastpath() const { return hw_fastpath_; }
+  /// Toggle operation counting (counting itself costs time; Table 3
+  /// measures both settings).
+  void set_counting(bool on) { counting_ = on; }
+  [[nodiscard]] bool counting() const { return counting_; }
+  /// Mem-mode deviation threshold (relative to the FP64 shadow).
+  void set_deviation_threshold(double t) { dev_threshold_ = t; }
+  [[nodiscard]] double deviation_threshold() const { return dev_threshold_; }
+
+  /// Program-scope truncation (the --raptor-truncate-all flag).
+  void set_truncate_all(const TruncationSpec& spec);
+  void clear_truncate_all();
+  [[nodiscard]] std::optional<TruncationSpec> truncate_all() const;
+
+  // -- Region exclusion (Table 2 workflow) --------------------------------
+
+  void exclude_region(const std::string& label);
+  void clear_exclusions();
+  [[nodiscard]] bool is_excluded(const std::string& label) const;
+
+  // -- Thread-local scoping (used via trunc/scope.hpp RAII) ---------------
+
+  void push_scope(const TruncationSpec& spec, bool enabled);
+  void pop_scope();
+  void push_region(const char* label);
+  void pop_region();
+  [[nodiscard]] const char* current_region();
+  /// True if operations of `width` would currently be truncated here.
+  [[nodiscard]] bool truncation_active(int width = 64);
+  /// The format `width` ops currently execute in (nullopt = native).
+  [[nodiscard]] std::optional<sf::Format> active_format(int width = 64);
+
+  // -- Instrumented operations (inserted by the pass / Real<> frontend) ---
+
+  double op2(OpKind k, double a, double b, int width = 64);
+  double op1(OpKind k, double a, int width = 64);
+  double op3(OpKind k, double a, double b, double c, int width = 64);
+
+  /// Memory-traffic accounting: `bytes` accessed at the current truncation
+  /// state (solver kernels call this once per cell update).
+  void count_mem(u64 bytes);
+
+  // -- Mem-mode value management ------------------------------------------
+
+  /// Convert a plain double into a mem-mode value (the `_raptor_pre_c`
+  /// primitive): allocates a shadow entry in the current format.
+  double mem_make(double v, int width = 64);
+  /// Read back the truncated value (the `_raptor_post_c` primitive);
+  /// does not release.
+  [[nodiscard]] double mem_value(double maybe_boxed) const;
+  /// FP64 shadow of a mem-mode value (plain doubles are their own shadow).
+  [[nodiscard]] double mem_shadow(double maybe_boxed) const;
+  /// Relative deviation |trunc - shadow| / max(|shadow|, eps).
+  [[nodiscard]] double mem_deviation(double maybe_boxed) const;
+  void mem_retain(double boxed);
+  void mem_release(double maybe_boxed);
+  [[nodiscard]] static bool is_boxed(double d) { return boxing::is_boxed(d); }
+  [[nodiscard]] std::size_t mem_live() const { return shadow_.live(); }
+  /// Drop all mem-mode entries (between experiments; callers ensure no
+  /// boxed doubles survive).
+  void mem_clear() { shadow_.clear(); }
+
+  // -- Reports --------------------------------------------------------------
+
+  [[nodiscard]] CounterSnapshot counters() const;
+  void reset_counters();
+  /// Mem-mode deviation heatmap, sorted by fresh-deviation count descending.
+  [[nodiscard]] std::vector<FlagRecord> flag_report() const;
+  void reset_flags();
+
+  /// Reset every piece of global state (tests).
+  void reset_all();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+ private:
+  Runtime() = default;
+
+  struct ThreadState;
+  ThreadState& tls();
+
+  /// nullptr when no truncation applies at the current point.
+  const sf::Format* effective_format(ThreadState& ts, int width) const;
+
+  double native1(OpKind k, double a) const;
+  double native2(OpKind k, double a, double b) const;
+  double native2_f32(OpKind k, double a, double b) const;
+  double native1_f32(OpKind k, double a) const;
+
+  double emulate1(ThreadState& ts, OpKind k, double a, const sf::Format& f);
+  double emulate2(ThreadState& ts, OpKind k, double a, double b, const sf::Format& f);
+  double emulate3(ThreadState& ts, OpKind k, double a, double b, double c, const sf::Format& f);
+
+  double mem_op(ThreadState& ts, OpKind k, const double* args, int n, const sf::Format& f,
+                bool truncated);
+  /// True if a boxed handle belongs to the current shadow-table generation.
+  [[nodiscard]] bool handle_current(double boxed) const;
+
+  void record_flag(const char* location, OpKind k, double deviation, bool fresh);
+
+  void register_thread(ThreadState* ts);
+  void retire_thread(ThreadState* ts);
+
+  // Configuration (plain fields; configured while quiescent).
+  Mode mode_ = Mode::Op;
+  AllocStrategy alloc_ = AllocStrategy::Scratch;
+  bool hw_fastpath_ = false;
+  bool counting_ = true;
+  double dev_threshold_ = 1e-4;
+
+  mutable std::mutex config_mu_;
+  bool have_global_ = false;
+  TruncationSpec global_spec_;
+  std::vector<std::string> exclusions_;
+
+  mutable std::mutex threads_mu_;
+  std::vector<ThreadState*> threads_;
+  CounterSnapshot retired_;
+
+  mutable std::mutex flags_mu_;
+  std::vector<FlagRecord> flags_;
+
+  ShadowTable shadow_;
+};
+
+}  // namespace raptor::rt

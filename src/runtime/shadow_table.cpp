@@ -1,0 +1,57 @@
+#include "runtime/shadow_table.hpp"
+
+namespace raptor::rt {
+
+u32 ShadowTable::alloc(const sf::BigFloat& trunc, double shadow) {
+  std::lock_guard lock(mu_);
+  u32 id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = static_cast<u32>(entries_.size());
+    RAPTOR_REQUIRE(id < 0xFFFFFFFFu, "shadow table exhausted (2^32 live values)");
+    entries_.emplace_back();
+  }
+  ShadowEntry& e = entries_[id];
+  e.trunc = trunc;
+  e.shadow = shadow;
+  e.refcount = 1;
+  ++live_;
+  return id;
+}
+
+void ShadowTable::retain(u32 id) {
+  std::lock_guard lock(mu_);
+  RAPTOR_ASSERT(id < entries_.size() && entries_[id].refcount > 0);
+  ++entries_[id].refcount;
+}
+
+void ShadowTable::release(u32 id) {
+  std::lock_guard lock(mu_);
+  RAPTOR_ASSERT(id < entries_.size() && entries_[id].refcount > 0);
+  if (--entries_[id].refcount == 0) {
+    free_.push_back(id);
+    --live_;
+  }
+}
+
+std::size_t ShadowTable::live() const {
+  std::lock_guard lock(mu_);
+  return live_;
+}
+
+std::size_t ShadowTable::capacity() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+void ShadowTable::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+  free_.clear();
+  live_ = 0;
+  generation_ = (generation_ + 1) & 0xFFFF;
+}
+
+}  // namespace raptor::rt

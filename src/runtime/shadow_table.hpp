@@ -1,0 +1,102 @@
+// Mem-mode shadow storage (paper Fig. 5b): each live value in a truncated
+// region is an entry holding (a) the value in its kept MPFR/BigFloat
+// representation and (b) an FP64 shadow updated with full-precision
+// operations. User-visible doubles carry a NaN-boxed integer id that
+// recovers the entry, mirroring the paper's bitcast<int>(float) trick.
+//
+// We add reference counting on top (the paper's runtime keeps a grow-only
+// list); the Real<> front-end retains/releases automatically so long runs
+// stay bounded. The raw C API exposes retain/release for manual use.
+#pragma once
+
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "softfloat/bigfloat.hpp"
+#include "support/common.hpp"
+
+namespace raptor::rt {
+
+struct ShadowEntry {
+  sf::BigFloat trunc;   ///< value as maintained in the target format
+  double shadow = 0.0;  ///< FP64 reference as if never truncated
+  u32 refcount = 0;
+};
+
+namespace boxing {
+// Quiet-NaN payload tag: sign=1, exponent all-ones, top mantissa nibble 0xA.
+// The 48-bit payload carries a 16-bit table generation plus a 32-bit entry
+// id; the generation invalidates outstanding handles across clear() so a
+// straggling release cannot touch a recycled slot.
+inline constexpr u64 kTag = u64{0xFFFA} << 48;
+inline constexpr u64 kMask = u64{0xFFFF} << 48;
+
+inline bool is_boxed(double d) {
+  u64 b;
+  std::memcpy(&b, &d, sizeof b);
+  return (b & kMask) == kTag;
+}
+
+inline double box(u32 id, u32 generation) {
+  const u64 b = kTag | (static_cast<u64>(generation & 0xFFFF) << 32) | id;
+  double d;
+  std::memcpy(&d, &b, sizeof d);
+  return d;
+}
+
+inline u32 unbox_id(double d) {
+  u64 b;
+  std::memcpy(&b, &d, sizeof b);
+  RAPTOR_ASSERT((b & kMask) == kTag);
+  return static_cast<u32>(b);
+}
+
+inline u32 unbox_generation(double d) {
+  u64 b;
+  std::memcpy(&b, &d, sizeof b);
+  RAPTOR_ASSERT((b & kMask) == kTag);
+  return static_cast<u32>((b >> 32) & 0xFFFF);
+}
+}  // namespace boxing
+
+class ShadowTable {
+ public:
+  /// Allocate an entry with refcount 1; returns its id.
+  u32 alloc(const sf::BigFloat& trunc, double shadow);
+
+  /// Locked copy of an entry. Copy-out (rather than a reference) keeps
+  /// readers safe against concurrent deque growth in alloc() when op-mode
+  /// threads and a mem-mode analysis section coexist.
+  [[nodiscard]] ShadowEntry snapshot(u32 id) const {
+    std::lock_guard lock(mu_);
+    RAPTOR_ASSERT(id < entries_.size());
+    return entries_[id];
+  }
+
+  void retain(u32 id);
+  /// Drop a reference; frees the slot at zero.
+  void release(u32 id);
+
+  [[nodiscard]] std::size_t live() const;
+  [[nodiscard]] std::size_t capacity() const;
+  /// Drop everything (between experiments) and bump the generation:
+  /// outstanding boxed handles become stale and their later retain/release
+  /// calls are ignored by the runtime.
+  void clear();
+  /// Current generation stamped into newly boxed handles.
+  [[nodiscard]] u32 generation() const {
+    std::lock_guard lock(mu_);
+    return generation_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<ShadowEntry> entries_;
+  std::vector<u32> free_;
+  std::size_t live_ = 0;
+  u32 generation_ = 0;
+};
+
+}  // namespace raptor::rt

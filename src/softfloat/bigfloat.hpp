@@ -1,0 +1,158 @@
+// BigFloat: software emulation of IEEE-style binary floating point in any
+// Format the engine supports (mantissa 1..61 bits, exponent 2..18 bits).
+//
+// This is the repository's substitute for GNU MPFR (paper §3.4): each
+// arithmetic entry point takes a target Format and returns the correctly
+// rounded (round-to-nearest-even) result in that format, including gradual
+// underflow, signed zero, infinities and NaN. `add/sub/mul/div/sqrt/fma` are
+// correctly rounded at every supported precision; elementary functions (see
+// bigfloat_math.cpp) are faithful to <= 1-2 ulp.
+//
+// Representation: a value is either Zero/Inf/NaN or Finite with
+//   value = (-1)^neg * (sig / 2^63) * 2^exp,   sig in [2^63, 2^64)
+// i.e. the significand is kept normalized with its MSB at bit 63 and `exp`
+// is the unbiased exponent of that MSB. Rounding to a Format quantizes the
+// significand to the format's (possibly subnormal-reduced) precision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "softfloat/format.hpp"
+#include "support/int128.hpp"
+
+namespace raptor::sf {
+
+class BigFloat {
+ public:
+  enum class Kind : u8 { Zero, Finite, Inf, NaN };
+
+  /// Default: +0.
+  constexpr BigFloat() = default;
+
+  // -- Constructors / conversions --------------------------------------
+
+  /// Exact conversion from a double (doubles always fit in the engine).
+  static BigFloat from_double(double d);
+  /// from_double followed by round_to(fmt): the "truncation" primitive.
+  static BigFloat from_double_rounded(double d, const Format& fmt);
+  static BigFloat zero(bool neg = false);
+  static BigFloat inf(bool neg = false);
+  static BigFloat nan();
+  /// Exact small-integer constant (|v| < 2^63).
+  static BigFloat from_int(i64 v);
+
+  /// Round to nearest double (exact when precision() <= 53 and the exponent
+  /// fits; otherwise correctly rounded with double's own under/overflow).
+  [[nodiscard]] double to_double() const;
+
+  // -- Queries ----------------------------------------------------------
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_zero() const { return kind_ == Kind::Zero; }
+  [[nodiscard]] bool is_finite() const { return kind_ == Kind::Zero || kind_ == Kind::Finite; }
+  [[nodiscard]] bool is_inf() const { return kind_ == Kind::Inf; }
+  [[nodiscard]] bool is_nan() const { return kind_ == Kind::NaN; }
+  [[nodiscard]] bool negative() const { return neg_; }
+  /// Unbiased exponent of the MSB (only meaningful for Finite).
+  [[nodiscard]] i32 exponent() const { return exp_; }
+  /// Normalized significand, MSB at bit 63 (only meaningful for Finite).
+  [[nodiscard]] u64 significand() const { return sig_; }
+
+  /// Total ordering compare (-1/0/+1); NaN compares unordered (returns +2).
+  [[nodiscard]] int compare(const BigFloat& o) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  // -- Correctly rounded arithmetic --------------------------------------
+  // Every function rounds its exact result into `fmt` (RTNE).
+
+  static BigFloat add(const BigFloat& a, const BigFloat& b, const Format& fmt);
+  static BigFloat sub(const BigFloat& a, const BigFloat& b, const Format& fmt);
+  static BigFloat mul(const BigFloat& a, const BigFloat& b, const Format& fmt);
+  static BigFloat div(const BigFloat& a, const BigFloat& b, const Format& fmt);
+  static BigFloat sqrt(const BigFloat& a, const Format& fmt);
+  /// Fused multiply-add: round(a*b + c) with a single rounding.
+  static BigFloat fma(const BigFloat& a, const BigFloat& b, const BigFloat& c,
+                      const Format& fmt);
+
+  [[nodiscard]] BigFloat negated() const;
+  [[nodiscard]] BigFloat abs() const;
+  /// Exact scaling by 2^delta (no rounding; range-checked only on round_to).
+  [[nodiscard]] BigFloat scaled(i64 delta_exp) const;
+  /// Re-round this value into (a possibly narrower) format.
+  [[nodiscard]] BigFloat round_to(const Format& fmt) const;
+
+  /// True if the value is exactly representable in `fmt`.
+  [[nodiscard]] bool representable_in(const Format& fmt) const;
+
+  // -- Internal rounding core (exposed for the math kernels) -------------
+
+  /// Round value = (-1)^neg * sig * 2^(e-127) (+ sticky below the LSB of the
+  /// 128-bit window) into `fmt`. `sig` need not be normalized; `e` is the
+  /// weight exponent of bit 127 of the window.
+  static BigFloat round_window(bool neg, i64 e, u128 sig, bool sticky, const Format& fmt);
+
+  /// As round_window but for a 192-bit window, bit 191 weight = 2^e.
+  static BigFloat round_window192(bool neg, i64 e, U192 sig, bool sticky, const Format& fmt);
+
+ private:
+  static BigFloat make_finite(bool neg, i64 exp, u64 sig);
+
+  u64 sig_ = 0;
+  i32 exp_ = 0;
+  Kind kind_ = Kind::Zero;
+  bool neg_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Double-in / double-out convenience layer. These implement the op-mode
+// semantics of the paper's runtime (Fig. 5a): operands are first rounded
+// into the target format (mpfr_set), the operation executes in the target
+// format, and the result is widened back to double (mpfr_get).
+// ---------------------------------------------------------------------------
+
+/// Round a double into `fmt` and back: the scalar truncation primitive.
+double quantize(double x, const Format& fmt);
+
+double trunc_add(double a, double b, const Format& fmt);
+double trunc_sub(double a, double b, const Format& fmt);
+double trunc_mul(double a, double b, const Format& fmt);
+double trunc_div(double a, double b, const Format& fmt);
+double trunc_sqrt(double a, const Format& fmt);
+double trunc_fma(double a, double b, double c, const Format& fmt);
+
+// Elementary functions (bigfloat_math.cpp). Correctly rounded for
+// precision <= 52 in practice; faithful (<= ~2 ulp) above.
+BigFloat bf_exp(const BigFloat& x, const Format& fmt);
+BigFloat bf_log(const BigFloat& x, const Format& fmt);
+BigFloat bf_log2(const BigFloat& x, const Format& fmt);
+BigFloat bf_log10(const BigFloat& x, const Format& fmt);
+BigFloat bf_sin(const BigFloat& x, const Format& fmt);
+BigFloat bf_cos(const BigFloat& x, const Format& fmt);
+BigFloat bf_tan(const BigFloat& x, const Format& fmt);
+BigFloat bf_pow(const BigFloat& x, const BigFloat& y, const Format& fmt);
+BigFloat bf_atan(const BigFloat& x, const Format& fmt);
+BigFloat bf_atan2(const BigFloat& y, const BigFloat& x, const Format& fmt);
+BigFloat bf_tanh(const BigFloat& x, const Format& fmt);
+BigFloat bf_cbrt(const BigFloat& x, const Format& fmt);
+
+double trunc_exp(double x, const Format& fmt);
+double trunc_log(double x, const Format& fmt);
+double trunc_log2(double x, const Format& fmt);
+double trunc_log10(double x, const Format& fmt);
+double trunc_sin(double x, const Format& fmt);
+double trunc_cos(double x, const Format& fmt);
+double trunc_tan(double x, const Format& fmt);
+double trunc_pow(double x, double y, const Format& fmt);
+double trunc_atan(double x, const Format& fmt);
+double trunc_atan2(double y, double x, const Format& fmt);
+double trunc_tanh(double x, const Format& fmt);
+double trunc_cbrt(double x, const Format& fmt);
+
+/// High-precision cached constants at the engine's working precision.
+const BigFloat& const_ln2();
+const BigFloat& const_pi();
+const BigFloat& const_pi_over_2();
+
+}  // namespace raptor::sf

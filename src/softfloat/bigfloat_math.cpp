@@ -1,0 +1,395 @@
+// Elementary functions for BigFloat (the mpfr_* math substitutes).
+//
+// Strategy: every function evaluates at the engine's maximum working
+// precision kWork (62 significand bits) using classic argument reduction +
+// truncated series, then rounds once into the caller's target format. For
+// target precisions <= 52 bits this leaves >= 5 guard bits, so results are
+// faithful (<= 1 ulp, almost always correctly rounded); at the maximum
+// precision they are accurate to ~2 ulp. The paper's runtime calls MPFR for
+// the same purpose (Section 3.4); the experiments only require target
+// mantissas of 4..52 bits.
+#include <cmath>
+
+#include "softfloat/bigfloat.hpp"
+
+namespace raptor::sf {
+
+namespace {
+
+constexpr Format kWork{18, 61};
+
+/// Build a working-precision constant from a 64-bit significand whose true
+/// value continues past bit 0 (sticky=true yields correct 62-bit rounding).
+BigFloat make_const(i64 msb_exp, u64 sig64) {
+  return BigFloat::round_window(false, msb_exp, u128{sig64} << 64, /*sticky=*/true, kWork);
+}
+
+BigFloat w_add(const BigFloat& a, const BigFloat& b) { return BigFloat::add(a, b, kWork); }
+BigFloat w_sub(const BigFloat& a, const BigFloat& b) { return BigFloat::sub(a, b, kWork); }
+BigFloat w_mul(const BigFloat& a, const BigFloat& b) { return BigFloat::mul(a, b, kWork); }
+BigFloat w_div(const BigFloat& a, const BigFloat& b) { return BigFloat::div(a, b, kWork); }
+
+const BigFloat& one() {
+  static const BigFloat v = BigFloat::from_int(1);
+  return v;
+}
+
+// Cody-Waite split of ln2: hi has its low 32 bits clear, so n*ln2_hi is
+// exact in working precision for |n| < 2^29.
+const BigFloat& ln2_hi() {
+  static const BigFloat v =
+      BigFloat::round_window(false, -1, u128{0xB17217F700000000ULL} << 64, false, kWork);
+  return v;
+}
+const BigFloat& ln2_lo() {
+  // ln2 - ln2_hi = 0x.00000000D1CF79ABC9E3B398... * 2^-1
+  //             = 0xD1CF79ABC9E3B398... * 2^-33 scale; MSB exponent = -33.
+  static const BigFloat v = make_const(-33, 0xD1CF79ABC9E3B398ULL);
+  return v;
+}
+
+// pi/2 split in the same style (low 32 bits of hi clear).
+const BigFloat& pio2_hi() {
+  static const BigFloat v =
+      BigFloat::round_window(false, 0, u128{0xC90FDAA200000000ULL} << 64, false, kWork);
+  return v;
+}
+const BigFloat& pio2_lo() {
+  // (pi/2)*2^63 = 0xC90FDAA22168C234.C4C6628B80DC1CD1...; subtracting hi
+  // leaves 0x2168C234.C4C6628B80DC1CD1... * 2^-63, whose MSB has weight
+  // 2^-34. Left-normalizing 64 bits: 0x2168C234C4C6628B << 2 | 0b10
+  // = 0x85A308D313198A2E, continuation nonzero (sticky).
+  static const BigFloat v = make_const(-34, 0x85A308D313198A2EULL);
+  return v;
+}
+
+const BigFloat& ln10() {
+  static const BigFloat v = bf_log(BigFloat::from_int(10), kWork);
+  return v;
+}
+
+/// Reduced exp core: exp(r) for |r| <= ln2/2, working precision.
+BigFloat exp_reduced(const BigFloat& r) {
+  // Horner: exp(r) = 1 + r(1 + r/2(1 + r/3(...)))
+  BigFloat s = one();
+  for (int k = 26; k >= 1; --k) {
+    s = w_add(one(), w_div(w_mul(r, s), BigFloat::from_int(k)));
+  }
+  return s;
+}
+
+/// Reduced sin core: |r| <= pi/4.
+BigFloat sin_reduced(const BigFloat& r) {
+  const BigFloat r2 = w_mul(r, r);
+  BigFloat term = r;
+  BigFloat sum = r;
+  for (int k = 1; k <= 16; ++k) {
+    term = w_div(w_mul(term, r2), BigFloat::from_int(i64{2 * k} * (2 * k + 1))).negated();
+    sum = w_add(sum, term);
+  }
+  return sum;
+}
+
+/// Reduced cos core: |r| <= pi/4.
+BigFloat cos_reduced(const BigFloat& r) {
+  const BigFloat r2 = w_mul(r, r);
+  BigFloat term = one();
+  BigFloat sum = one();
+  for (int k = 1; k <= 16; ++k) {
+    term = w_div(w_mul(term, r2), BigFloat::from_int(i64{2 * k - 1} * (2 * k))).negated();
+    sum = w_add(sum, term);
+  }
+  return sum;
+}
+
+/// Argument reduction x = n*(pi/2) + r, |r| <= pi/4. Accurate for
+/// |x| <~ 2^29 (Cody-Waite two-term); the physics workloads stay O(1).
+void trig_reduce(const BigFloat& x, int& quadrant, BigFloat& r) {
+  const double xd = x.to_double();
+  const double nd = std::nearbyint(xd / 1.5707963267948966);
+  const i64 n = static_cast<i64>(nd);
+  const BigFloat nbf = BigFloat::from_int(n);
+  r = w_sub(w_sub(x, w_mul(nbf, pio2_hi())), w_mul(nbf, pio2_lo()));
+  quadrant = static_cast<int>(((n % 4) + 4) % 4);
+}
+
+/// atan core via double half-angle reduction then odd series.
+BigFloat atan_core(const BigFloat& x) {
+  // Reduce twice: atan(x) = 2 atan(x / (1 + sqrt(1 + x^2))).
+  BigFloat t = x;
+  int doublings = 0;
+  for (int i = 0; i < 2; ++i) {
+    const BigFloat root = BigFloat::sqrt(w_add(one(), w_mul(t, t)), kWork);
+    t = w_div(t, w_add(one(), root));
+    ++doublings;
+  }
+  const BigFloat t2 = w_mul(t, t);
+  BigFloat term = t;
+  BigFloat sum = t;
+  for (int k = 1; k <= 20; ++k) {
+    term = w_mul(term, t2).negated();
+    sum = w_add(sum, w_div(term, BigFloat::from_int(2 * k + 1)));
+  }
+  return sum.scaled(doublings);
+}
+
+}  // namespace
+
+const BigFloat& const_ln2() {
+  static const BigFloat v = make_const(-1, 0xB17217F7D1CF79ABULL);
+  return v;
+}
+
+const BigFloat& const_pi() {
+  static const BigFloat v = make_const(1, 0xC90FDAA22168C234ULL);
+  return v;
+}
+
+const BigFloat& const_pi_over_2() {
+  static const BigFloat v = make_const(0, 0xC90FDAA22168C234ULL);
+  return v;
+}
+
+BigFloat bf_exp(const BigFloat& x, const Format& fmt) {
+  if (x.is_nan()) return BigFloat::nan();
+  if (x.is_inf()) return x.negative() ? BigFloat::zero() : BigFloat::inf();
+  if (x.is_zero()) return BigFloat::from_int(1).round_to(fmt);
+  const double xd = x.to_double();
+  if (xd > 1.0e5) return BigFloat::inf();
+  if (xd < -1.0e5) return BigFloat::zero();
+  const i64 n = static_cast<i64>(std::nearbyint(xd / 0.6931471805599453));
+  const BigFloat nbf = BigFloat::from_int(n);
+  const BigFloat r = w_sub(w_sub(x, w_mul(nbf, ln2_hi())), w_mul(nbf, ln2_lo()));
+  return exp_reduced(r).scaled(n).round_to(fmt);
+}
+
+BigFloat bf_log(const BigFloat& x, const Format& fmt) {
+  if (x.is_nan() || x.negative()) return x.is_zero() ? BigFloat::inf(true) : BigFloat::nan();
+  if (x.is_zero()) return BigFloat::inf(true);
+  if (x.is_inf()) return BigFloat::inf();
+  // x = m * 2^E with m in [1, 2); recenter so m' in [sqrt(1/2), sqrt(2)).
+  i64 e = x.exponent();
+  BigFloat m = x.scaled(-e);
+  // If m >= sqrt(2) (~1.41421), halve m and bump E. Compare via double.
+  if (m.to_double() >= 1.4142135623730951) {
+    m = m.scaled(-1);
+    e += 1;
+  }
+  // log m = 2 atanh(t), t = (m-1)/(m+1), |t| <= 0.1716.
+  const BigFloat t = w_div(w_sub(m, one()), w_add(m, one()));
+  const BigFloat t2 = w_mul(t, t);
+  BigFloat term = t;
+  BigFloat sum = t;
+  for (int k = 1; k <= 16; ++k) {
+    term = w_mul(term, t2);
+    sum = w_add(sum, w_div(term, BigFloat::from_int(2 * k + 1)));
+  }
+  const BigFloat log_m = sum.scaled(1);
+  const BigFloat ebf = BigFloat::from_int(e);
+  const BigFloat e_ln2 = w_add(w_mul(ebf, ln2_hi()), w_mul(ebf, ln2_lo()));
+  return w_add(e_ln2, log_m).round_to(fmt);
+}
+
+BigFloat bf_log2(const BigFloat& x, const Format& fmt) {
+  const BigFloat l = bf_log(x, kWork);
+  if (!l.is_finite()) return l;
+  return w_div(l, const_ln2()).round_to(fmt);
+}
+
+BigFloat bf_log10(const BigFloat& x, const Format& fmt) {
+  const BigFloat l = bf_log(x, kWork);
+  if (!l.is_finite()) return l;
+  return w_div(l, ln10()).round_to(fmt);
+}
+
+BigFloat bf_sin(const BigFloat& x, const Format& fmt) {
+  if (x.is_nan() || x.is_inf()) return BigFloat::nan();
+  if (x.is_zero()) return BigFloat::zero(x.negative());
+  int q = 0;
+  BigFloat r;
+  trig_reduce(x, q, r);
+  BigFloat v;
+  switch (q) {
+    case 0: v = sin_reduced(r); break;
+    case 1: v = cos_reduced(r); break;
+    case 2: v = sin_reduced(r).negated(); break;
+    default: v = cos_reduced(r).negated(); break;
+  }
+  return v.round_to(fmt);
+}
+
+BigFloat bf_cos(const BigFloat& x, const Format& fmt) {
+  if (x.is_nan() || x.is_inf()) return BigFloat::nan();
+  if (x.is_zero()) return BigFloat::from_int(1).round_to(fmt);
+  int q = 0;
+  BigFloat r;
+  trig_reduce(x, q, r);
+  BigFloat v;
+  switch (q) {
+    case 0: v = cos_reduced(r); break;
+    case 1: v = sin_reduced(r).negated(); break;
+    case 2: v = cos_reduced(r).negated(); break;
+    default: v = sin_reduced(r); break;
+  }
+  return v.round_to(fmt);
+}
+
+BigFloat bf_tan(const BigFloat& x, const Format& fmt) {
+  if (x.is_nan() || x.is_inf()) return BigFloat::nan();
+  if (x.is_zero()) return BigFloat::zero(x.negative());
+  int q = 0;
+  BigFloat r;
+  trig_reduce(x, q, r);
+  const BigFloat s = sin_reduced(r);
+  const BigFloat c = cos_reduced(r);
+  const BigFloat t = (q % 2 == 0) ? w_div(s, c) : w_div(c, s).negated();
+  return t.round_to(fmt);
+}
+
+BigFloat bf_atan(const BigFloat& x, const Format& fmt) {
+  if (x.is_nan()) return BigFloat::nan();
+  if (x.is_zero()) return BigFloat::zero(x.negative());
+  if (x.is_inf()) {
+    const BigFloat h = const_pi_over_2();
+    return (x.negative() ? h.negated() : h).round_to(fmt);
+  }
+  const bool neg = x.negative();
+  const BigFloat ax = x.abs();
+  BigFloat v;
+  if (ax.compare(one()) > 0) {
+    v = w_sub(const_pi_over_2(), atan_core(w_div(one(), ax)));
+  } else {
+    v = atan_core(ax);
+  }
+  if (neg) v = v.negated();
+  return v.round_to(fmt);
+}
+
+BigFloat bf_atan2(const BigFloat& y, const BigFloat& x, const Format& fmt) {
+  if (y.is_nan() || x.is_nan()) return BigFloat::nan();
+  if (x.is_zero() && y.is_zero()) return BigFloat::zero(y.negative());
+  if (x.is_zero()) {
+    const BigFloat h = const_pi_over_2();
+    return (y.negative() ? h.negated() : h).round_to(fmt);
+  }
+  const BigFloat base = bf_atan(w_div(y, x), kWork);
+  BigFloat v = base;
+  if (x.negative()) {
+    v = y.negative() ? w_sub(base, const_pi()) : w_add(base, const_pi());
+  }
+  return v.round_to(fmt);
+}
+
+BigFloat bf_tanh(const BigFloat& x, const Format& fmt) {
+  if (x.is_nan()) return BigFloat::nan();
+  if (x.is_zero()) return BigFloat::zero(x.negative());
+  if (x.is_inf()) return BigFloat::from_int(x.negative() ? -1 : 1).round_to(fmt);
+  const double xd = x.to_double();
+  if (std::fabs(xd) > 48.0) return BigFloat::from_int(xd < 0 ? -1 : 1).round_to(fmt);
+  if (std::fabs(xd) < 0x1.0p-8) {
+    // tanh(x) = x - x^3/3 + 2 x^5/15 - ... for tiny x (avoids cancellation).
+    const BigFloat x2 = w_mul(x, x);
+    const BigFloat t3 = w_div(w_mul(x, x2), BigFloat::from_int(3));
+    const BigFloat t5 =
+        w_div(w_mul(w_mul(x, x2), x2).scaled(1), BigFloat::from_int(15));
+    return w_add(w_sub(x, t3), t5).round_to(fmt);
+  }
+  const BigFloat e2x = bf_exp(x.scaled(1), kWork);
+  return w_div(w_sub(e2x, one()), w_add(e2x, one())).round_to(fmt);
+}
+
+BigFloat bf_cbrt(const BigFloat& x, const Format& fmt) {
+  if (!x.is_finite() || x.is_zero()) return x.round_to(fmt);
+  const bool neg = x.negative();
+  const BigFloat ax = x.abs();
+  BigFloat y = BigFloat::from_double(std::cbrt(ax.to_double()));
+  // Newton: y <- y - (y^3 - x) / (3 y^2); double seed + 2 steps reaches
+  // working precision.
+  for (int i = 0; i < 2; ++i) {
+    const BigFloat y2 = w_mul(y, y);
+    const BigFloat y3 = w_mul(y2, y);
+    y = w_sub(y, w_div(w_sub(y3, ax), w_mul(BigFloat::from_int(3), y2)));
+  }
+  if (neg) y = y.negated();
+  return y.round_to(fmt);
+}
+
+BigFloat bf_pow(const BigFloat& x, const BigFloat& y, const Format& fmt) {
+  if (x.is_nan() || y.is_nan()) return BigFloat::nan();
+  if (y.is_zero()) return BigFloat::from_int(1).round_to(fmt);
+  const double yd = y.to_double();
+  const bool y_integral = y.is_finite() && std::nearbyint(yd) == yd && std::fabs(yd) < 1.0e15;
+  const bool y_odd = y_integral && (std::fabs(std::fmod(yd, 2.0)) == 1.0);
+  if (x.is_zero()) {
+    const bool rneg = x.negative() && y_odd;
+    return yd > 0 ? BigFloat::zero(rneg) : BigFloat::inf(rneg);
+  }
+  if (x.is_inf()) {
+    const bool rneg = x.negative() && y_odd;
+    return yd > 0 ? BigFloat::inf(rneg) : BigFloat::zero(rneg);
+  }
+  if (y.is_inf()) {
+    const int cmp_mag = x.abs().compare(one());
+    if (cmp_mag == 0) return BigFloat::from_int(1).round_to(fmt);
+    const bool grows = (cmp_mag > 0) == !y.negative();
+    return grows ? BigFloat::inf() : BigFloat::zero();
+  }
+  if (x.negative() && !y_integral) return BigFloat::nan();
+
+  // Small integral exponents: exact repeated squaring at working precision.
+  if (y_integral && std::fabs(yd) <= 64.0) {
+    i64 n = static_cast<i64>(yd);
+    const bool recip = n < 0;
+    u64 un = static_cast<u64>(recip ? -n : n);
+    BigFloat base = x;
+    BigFloat acc = BigFloat::from_int(1);
+    while (un != 0) {
+      if (un & 1) acc = w_mul(acc, base);
+      base = w_mul(base, base);
+      un >>= 1;
+    }
+    if (recip) acc = w_div(one(), acc);
+    return acc.round_to(fmt);
+  }
+
+  const bool neg_result = x.negative() && y_odd;
+  const BigFloat lx = bf_log(x.abs(), kWork);
+  BigFloat r = bf_exp(w_mul(y, lx), kWork);
+  if (neg_result) r = r.negated();
+  return r.round_to(fmt);
+}
+
+// ---------------------------------------------------------------------------
+// double-in/double-out wrappers (op-mode semantics: operand pre-rounding)
+// ---------------------------------------------------------------------------
+
+namespace {
+template <typename Fn>
+double unary_trunc(double x, const Format& fmt, Fn&& fn) {
+  return fn(BigFloat::from_double_rounded(x, fmt), fmt).to_double();
+}
+}  // namespace
+
+double trunc_exp(double x, const Format& fmt) { return unary_trunc(x, fmt, bf_exp); }
+double trunc_log(double x, const Format& fmt) { return unary_trunc(x, fmt, bf_log); }
+double trunc_log2(double x, const Format& fmt) { return unary_trunc(x, fmt, bf_log2); }
+double trunc_log10(double x, const Format& fmt) { return unary_trunc(x, fmt, bf_log10); }
+double trunc_sin(double x, const Format& fmt) { return unary_trunc(x, fmt, bf_sin); }
+double trunc_cos(double x, const Format& fmt) { return unary_trunc(x, fmt, bf_cos); }
+double trunc_tan(double x, const Format& fmt) { return unary_trunc(x, fmt, bf_tan); }
+double trunc_atan(double x, const Format& fmt) { return unary_trunc(x, fmt, bf_atan); }
+double trunc_tanh(double x, const Format& fmt) { return unary_trunc(x, fmt, bf_tanh); }
+double trunc_cbrt(double x, const Format& fmt) { return unary_trunc(x, fmt, bf_cbrt); }
+
+double trunc_pow(double x, double y, const Format& fmt) {
+  return bf_pow(BigFloat::from_double_rounded(x, fmt), BigFloat::from_double_rounded(y, fmt), fmt)
+      .to_double();
+}
+
+double trunc_atan2(double y, double x, const Format& fmt) {
+  return bf_atan2(BigFloat::from_double_rounded(y, fmt), BigFloat::from_double_rounded(x, fmt),
+                  fmt)
+      .to_double();
+}
+
+}  // namespace raptor::sf

@@ -1,0 +1,59 @@
+// Floating-point format descriptor: an IEEE-754-style binary format with a
+// configurable exponent width and stored-mantissa width. This is the unit of
+// "truncation" throughout RAPTOR: `--raptor-truncate-all=64_to_5_14` means
+// "execute FP64 operations in Format{5, 14}".
+//
+// Conventions follow IEEE-754 (and the paper's (exp, man) notation):
+//   * man_bits is the *stored* mantissa field, excluding the hidden bit;
+//     precision() = man_bits + 1 significand bits.
+//   * bias = 2^(exp_bits-1) - 1; normal numbers span exponents
+//     [emin, emax] = [1-bias, bias]; gradual underflow (subnormals) applies
+//     below emin; overflow rounds to infinity.
+//   * fp64 = {11, 52}, fp32 = {8, 23}, fp16 = {5, 10}, bfloat16 = {8, 7},
+//     fp8 (E5M2) = {5, 2}.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "support/common.hpp"
+
+namespace raptor::sf {
+
+struct Format {
+  int exp_bits = 11;
+  int man_bits = 52;
+
+  /// Significand precision in bits (stored mantissa + hidden bit).
+  [[nodiscard]] constexpr int precision() const { return man_bits + 1; }
+  [[nodiscard]] constexpr int bias() const { return (1 << (exp_bits - 1)) - 1; }
+  /// Largest unbiased exponent of a normal number (value MSB weight).
+  [[nodiscard]] constexpr int emax() const { return bias(); }
+  /// Smallest unbiased exponent of a normal number.
+  [[nodiscard]] constexpr int emin() const { return 1 - bias(); }
+  /// Exponent (MSB weight) of the smallest positive subnormal.
+  [[nodiscard]] constexpr int emin_subnormal() const { return emin() - man_bits; }
+  /// Total storage width in bits (sign + exponent + mantissa), used by the
+  /// memory-traffic model (Section 7.2 of the paper).
+  [[nodiscard]] constexpr int storage_bits() const { return 1 + exp_bits + man_bits; }
+
+  /// Envelope supported by the BigFloat engine (see DESIGN.md §6).
+  [[nodiscard]] constexpr bool valid() const {
+    return exp_bits >= 2 && exp_bits <= 18 && man_bits >= 1 && man_bits <= 61;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "(" + std::to_string(exp_bits) + "," + std::to_string(man_bits) + ")";
+  }
+
+  friend constexpr bool operator==(const Format&, const Format&) = default;
+
+  static constexpr Format fp64() { return {11, 52}; }
+  static constexpr Format fp32() { return {8, 23}; }
+  static constexpr Format fp16() { return {5, 10}; }
+  static constexpr Format bf16() { return {8, 7}; }
+  static constexpr Format fp8_e5m2() { return {5, 2}; }
+  static constexpr Format fp8_e4m3() { return {4, 3}; }
+};
+
+}  // namespace raptor::sf

@@ -1,0 +1,44 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace raptor {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      options_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else {
+      // Bare --flag. (--key value is intentionally unsupported: it is
+      // ambiguous with a following positional argument.)
+      options_[std::string(arg)] = "1";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? def : it->second;
+}
+
+int Cli::get_int(const std::string& key, int def) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? def : std::atof(it->second.c_str());
+}
+
+}  // namespace raptor

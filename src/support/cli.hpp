@@ -1,0 +1,28 @@
+// Minimal command-line parsing for examples and bench harnesses:
+// --key=value and --flag forms plus positional arguments.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace raptor {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& def) const;
+  [[nodiscard]] int get_int(const std::string& key, int def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace raptor

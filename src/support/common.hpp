@@ -1,0 +1,36 @@
+// Common small utilities shared by every RAPTOR module.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace raptor {
+
+/// Abort with a formatted message. Used for programmer errors (broken
+/// invariants), never for user input; user-facing errors throw.
+[[noreturn]] inline void fatal(std::string_view msg, const char* file, int line) {
+  std::fprintf(stderr, "raptor: fatal: %.*s (%s:%d)\n", static_cast<int>(msg.size()),
+               msg.data(), file, line);
+  std::abort();
+}
+
+#define RAPTOR_REQUIRE(cond, msg)                          \
+  do {                                                     \
+    if (!(cond)) ::raptor::fatal((msg), __FILE__, __LINE__); \
+  } while (false)
+
+#ifdef NDEBUG
+#define RAPTOR_ASSERT(cond) ((void)0)
+#else
+#define RAPTOR_ASSERT(cond) RAPTOR_REQUIRE(cond, "assertion failed: " #cond)
+#endif
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+}  // namespace raptor

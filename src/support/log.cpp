@@ -1,0 +1,29 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace raptor {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::fprintf(stderr, "[raptor:%s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace raptor

@@ -1,0 +1,20 @@
+// Tiny leveled logger; benches and examples use it for progress reporting.
+#pragma once
+
+#include <string>
+
+namespace raptor {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& msg) { log(LogLevel::Debug, msg); }
+inline void log_info(const std::string& msg) { log(LogLevel::Info, msg); }
+inline void log_warn(const std::string& msg) { log(LogLevel::Warn, msg); }
+inline void log_error(const std::string& msg) { log(LogLevel::Error, msg); }
+
+}  // namespace raptor

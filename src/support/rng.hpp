@@ -1,0 +1,51 @@
+// Deterministic xoshiro256++ RNG. Every stochastic test and workload
+// generator seeds one of these explicitly so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "support/common.hpp"
+
+namespace raptor {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    u64 z = seed;
+    for (auto& s : s_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      u64 x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n).
+  u64 next_below(u64 n) { return n == 0 ? 0 : next_u64() % n; }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4]{};
+};
+
+}  // namespace raptor

@@ -1,0 +1,21 @@
+// Wall-clock timer used by the overhead measurements (Table 3).
+#pragma once
+
+#include <chrono>
+
+namespace raptor {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace raptor

@@ -1,0 +1,134 @@
+#include "trunc/capi.hpp"
+
+#include "runtime/runtime.hpp"
+#include "softfloat/bigfloat.hpp"
+
+namespace raptor::capi {
+
+namespace {
+
+/// The C shims carry their target format explicitly (the pass bakes the
+/// compile-time constants into each call site), so they bypass the scope
+/// stack and execute directly in (to_e, to_m) — matching the transformed
+/// code of Fig. 4a. Counting still flows through the runtime counters.
+sf::Format fmt_of(int to_e, int to_m) {
+  const sf::Format f{to_e, to_m};
+  RAPTOR_REQUIRE(f.valid(), "C API: format outside supported envelope");
+  return f;
+}
+
+double run2(rt::OpKind k, double a, double b, int to_e, int to_m, const char* loc) {
+  auto& R = rt::Runtime::instance();
+  rt::TruncationSpec spec;
+  spec.for64 = fmt_of(to_e, to_m);
+  R.push_scope(spec, true);
+  if (loc != nullptr) R.push_region(loc);
+  const double r = R.op2(k, a, b, 64);
+  if (loc != nullptr) R.pop_region();
+  R.pop_scope();
+  return r;
+}
+
+double run1(rt::OpKind k, double a, int to_e, int to_m, const char* loc) {
+  auto& R = rt::Runtime::instance();
+  rt::TruncationSpec spec;
+  spec.for64 = fmt_of(to_e, to_m);
+  R.push_scope(spec, true);
+  if (loc != nullptr) R.push_region(loc);
+  const double r = R.op1(k, a, 64);
+  if (loc != nullptr) R.pop_region();
+  R.pop_scope();
+  return r;
+}
+
+}  // namespace
+
+double _raptor_add_f64(double a, double b, int e, int m, const char* loc) {
+  return run2(rt::OpKind::Add, a, b, e, m, loc);
+}
+double _raptor_sub_f64(double a, double b, int e, int m, const char* loc) {
+  return run2(rt::OpKind::Sub, a, b, e, m, loc);
+}
+double _raptor_mul_f64(double a, double b, int e, int m, const char* loc) {
+  return run2(rt::OpKind::Mul, a, b, e, m, loc);
+}
+double _raptor_div_f64(double a, double b, int e, int m, const char* loc) {
+  return run2(rt::OpKind::Div, a, b, e, m, loc);
+}
+double _raptor_sqrt_f64(double a, int e, int m, const char* loc) {
+  return run1(rt::OpKind::Sqrt, a, e, m, loc);
+}
+double _raptor_neg_f64(double a, int e, int m, const char* loc) {
+  return run1(rt::OpKind::Neg, a, e, m, loc);
+}
+double _raptor_exp_f64(double a, int e, int m, const char* loc) {
+  return run1(rt::OpKind::Exp, a, e, m, loc);
+}
+double _raptor_log_f64(double a, int e, int m, const char* loc) {
+  return run1(rt::OpKind::Log, a, e, m, loc);
+}
+double _raptor_sin_f64(double a, int e, int m, const char* loc) {
+  return run1(rt::OpKind::Sin, a, e, m, loc);
+}
+double _raptor_cos_f64(double a, int e, int m, const char* loc) {
+  return run1(rt::OpKind::Cos, a, e, m, loc);
+}
+double _raptor_pow_f64(double a, double b, int e, int m, const char* loc) {
+  return run2(rt::OpKind::Pow, a, b, e, m, loc);
+}
+double _raptor_fma_f64(double a, double b, double c, int e, int m, const char* loc) {
+  auto& R = rt::Runtime::instance();
+  rt::TruncationSpec spec;
+  spec.for64 = fmt_of(e, m);
+  R.push_scope(spec, true);
+  if (loc != nullptr) R.push_region(loc);
+  const double r = R.op3(rt::OpKind::Fma, a, b, c, 64);
+  if (loc != nullptr) R.pop_region();
+  R.pop_scope();
+  return r;
+}
+
+float _raptor_add_f32(float a, float b, int e, int m, const char* loc) {
+  return static_cast<float>(run2(rt::OpKind::Add, a, b, e, m, loc));
+}
+float _raptor_sub_f32(float a, float b, int e, int m, const char* loc) {
+  return static_cast<float>(run2(rt::OpKind::Sub, a, b, e, m, loc));
+}
+float _raptor_mul_f32(float a, float b, int e, int m, const char* loc) {
+  return static_cast<float>(run2(rt::OpKind::Mul, a, b, e, m, loc));
+}
+float _raptor_div_f32(float a, float b, int e, int m, const char* loc) {
+  return static_cast<float>(run2(rt::OpKind::Div, a, b, e, m, loc));
+}
+float _raptor_sqrt_f32(float a, int e, int m, const char* loc) {
+  return static_cast<float>(run1(rt::OpKind::Sqrt, a, e, m, loc));
+}
+
+double _raptor_pre_c(double v, int to_e, int to_m) {
+  auto& R = rt::Runtime::instance();
+  rt::TruncationSpec spec;
+  spec.for64 = fmt_of(to_e, to_m);
+  R.push_scope(spec, true);
+  const double boxed = R.mem_make(v, 64);
+  R.pop_scope();
+  return boxed;
+}
+
+double _raptor_post_c(double v, int /*to_e*/, int /*to_m*/) {
+  auto& R = rt::Runtime::instance();
+  const double out = R.mem_value(v);
+  R.mem_release(v);
+  return out;
+}
+
+void* _raptor_alloc_scratch(int /*to_e*/, int /*to_m*/) {
+  // The library runtime keeps its scratch pad thread-local (see
+  // Runtime::ThreadState); this shim exists so pass-transformed code (and
+  // the mini-IR interpreter) can express the Fig. 4b calling convention.
+  // Returning a distinct non-null cookie keeps call sites honest.
+  return new char(0);
+}
+
+void _raptor_free_scratch(void* scratch) { delete static_cast<char*>(scratch); }
+
+}  // namespace raptor::capi

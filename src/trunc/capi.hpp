@@ -1,0 +1,53 @@
+// Paper-spelled C-style entry points (Sections 3.2, 3.5 and Figs. 3-5).
+//
+// These are the names the RAPTOR compiler pass inserts into instrumented
+// code; the mini-IR instrumentation pass in src/ir/ emits calls to exactly
+// these symbols, and user code can call the *_trunc_func_* helpers directly
+// as in the paper's usage examples. They are thin shims over
+// rt::Runtime::instance().
+#pragma once
+
+#include "softfloat/format.hpp"
+#include "support/common.hpp"
+
+namespace raptor::capi {
+
+// -- op-mode operation shims (Fig. 5a). `loc` is a source-location string
+//    ("f.cpp:10:11"); pass nullptr when unknown. ---------------------------
+
+double _raptor_add_f64(double a, double b, int to_e, int to_m, const char* loc);
+double _raptor_sub_f64(double a, double b, int to_e, int to_m, const char* loc);
+double _raptor_mul_f64(double a, double b, int to_e, int to_m, const char* loc);
+double _raptor_div_f64(double a, double b, int to_e, int to_m, const char* loc);
+double _raptor_sqrt_f64(double a, int to_e, int to_m, const char* loc);
+double _raptor_fma_f64(double a, double b, double c, int to_e, int to_m, const char* loc);
+double _raptor_neg_f64(double a, int to_e, int to_m, const char* loc);
+double _raptor_exp_f64(double a, int to_e, int to_m, const char* loc);
+double _raptor_log_f64(double a, int to_e, int to_m, const char* loc);
+double _raptor_sin_f64(double a, int to_e, int to_m, const char* loc);
+double _raptor_cos_f64(double a, int to_e, int to_m, const char* loc);
+double _raptor_pow_f64(double a, double b, int to_e, int to_m, const char* loc);
+
+float _raptor_add_f32(float a, float b, int to_e, int to_m, const char* loc);
+float _raptor_sub_f32(float a, float b, int to_e, int to_m, const char* loc);
+float _raptor_mul_f32(float a, float b, int to_e, int to_m, const char* loc);
+float _raptor_div_f32(float a, float b, int to_e, int to_m, const char* loc);
+float _raptor_sqrt_f32(float a, int to_e, int to_m, const char* loc);
+
+// -- mem-mode conversion protocol (Fig. 3c) --------------------------------
+
+/// Convert a live value into mem-mode representation (allocates a shadow
+/// entry; returns the boxed handle).
+double _raptor_pre_c(double v, int to_e, int to_m);
+/// Convert back out of mem-mode (reads the truncated value and releases the
+/// entry).
+double _raptor_post_c(double v, int to_e, int to_m);
+
+// -- scratch-pad protocol (Fig. 4b): the pass threads an opaque scratch
+//    pointer through truncated call chains so intermediate MPFR variables
+//    are allocated once per region instead of once per operation. ----------
+
+void* _raptor_alloc_scratch(int to_e, int to_m);
+void _raptor_free_scratch(void* scratch);
+
+}  // namespace raptor::capi

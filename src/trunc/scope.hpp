@@ -1,0 +1,94 @@
+// RAII scoping for truncation and region labelling.
+//
+//  * TruncScope: activates a truncation spec for the current thread until
+//    destroyed. The `enabled` flag makes truncation *dynamic* (paper
+//    Table 1 feature "Dynamic truncation"): the AMR experiments construct a
+//    scope per block with enabled = (block level <= M - l).
+//  * Region: names a code section ("hydro/recon"); mem-mode deviation flags
+//    are grouped by the innermost region, and regions can be dynamically
+//    excluded from truncation (Runtime::exclude_region — the Table 2 flow).
+//  * trunc_func_op / trunc_func_mem: the paper's function-scope API
+//    (Fig. 3b/3c): wrap a callable so the entire call executes under the
+//    given truncation.
+#pragma once
+
+#include <utility>
+
+#include "runtime/runtime.hpp"
+
+namespace raptor {
+
+class TruncScope {
+ public:
+  explicit TruncScope(const rt::TruncationSpec& spec, bool enabled = true) {
+    rt::Runtime::instance().push_scope(spec, enabled);
+  }
+  /// Convenience: truncate 64-bit ops to (exp, man) bits.
+  TruncScope(int to_exp, int to_man, bool enabled = true)
+      : TruncScope(rt::TruncationSpec::trunc64(to_exp, to_man), enabled) {}
+  ~TruncScope() { rt::Runtime::instance().pop_scope(); }
+
+  TruncScope(const TruncScope&) = delete;
+  TruncScope& operator=(const TruncScope&) = delete;
+};
+
+class Region {
+ public:
+  explicit Region(const char* label) { rt::Runtime::instance().push_region(label); }
+  ~Region() { rt::Runtime::instance().pop_region(); }
+
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+};
+
+/// Function-scope op-mode truncation (paper Fig. 3b): returns a callable
+/// executing `fn` with 64-bit FP ops truncated to (to_exp, to_man).
+template <typename Fn>
+auto trunc_func_op(Fn fn, int from_width, int to_exp, int to_man) {
+  return [fn = std::move(fn), from_width, to_exp, to_man](auto&&... args) {
+    rt::TruncationSpec spec;
+    const sf::Format fmt{to_exp, to_man};
+    switch (from_width) {
+      case 64: spec.for64 = fmt; break;
+      case 32: spec.for32 = fmt; break;
+      default: spec.for16 = fmt; break;
+    }
+    TruncScope scope(spec);
+    return fn(std::forward<decltype(args)>(args)...);
+  };
+}
+
+/// Function-scope mem-mode truncation (paper Fig. 3c): as trunc_func_op but
+/// switches the runtime into mem-mode for the duration of the call. The
+/// caller remains responsible for converting inputs/outputs with
+/// Real::materialize() / runtime mem_make, mirroring the paper's
+/// _raptor_pre_c/_raptor_post_c protocol.
+template <typename Fn>
+auto trunc_func_mem(Fn fn, int from_width, int to_exp, int to_man) {
+  return [fn = std::move(fn), from_width, to_exp, to_man](auto&&... args) {
+    auto& R = rt::Runtime::instance();
+    const rt::Mode saved = R.mode();
+    R.set_mode(rt::Mode::Mem);
+    rt::TruncationSpec spec;
+    const sf::Format fmt{to_exp, to_man};
+    switch (from_width) {
+      case 64: spec.for64 = fmt; break;
+      case 32: spec.for32 = fmt; break;
+      default: spec.for16 = fmt; break;
+    }
+    if constexpr (std::is_void_v<decltype(fn(std::forward<decltype(args)>(args)...))>) {
+      {
+        TruncScope scope(spec);
+        fn(std::forward<decltype(args)>(args)...);
+      }
+      R.set_mode(saved);
+    } else {
+      TruncScope scope(spec);
+      auto result = fn(std::forward<decltype(args)>(args)...);
+      R.set_mode(saved);
+      return result;
+    }
+  };
+}
+
+}  // namespace raptor

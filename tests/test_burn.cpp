@@ -1,0 +1,130 @@
+// Burn module and Cellular mini-app tests: rate physics, backward-Euler
+// stability under stiffness, fuel conservation, detonation propagation, and
+// the module-scoped truncation wiring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "burn/burn.hpp"
+#include "burn/cellular.hpp"
+#include "runtime/runtime.hpp"
+
+namespace raptor::burn {
+namespace {
+
+class BurnTest : public ::testing::Test {
+ protected:
+  void SetUp() override { rt::Runtime::instance().reset_all(); }
+  void TearDown() override { rt::Runtime::instance().reset_all(); }
+  BurnParams bp;
+};
+
+TEST_F(BurnTest, RateIsZeroWhenCold) {
+  EXPECT_DOUBLE_EQ(to_double(burn_rate(bp, 1.0, 1e7, 4e7)), 0.0);
+}
+
+TEST_F(BurnTest, RateIsNegativeAndTemperatureSensitive) {
+  const double r1 = to_double(burn_rate(bp, 1.0, 1e7, 1.5e9));
+  const double r2 = to_double(burn_rate(bp, 1.0, 1e7, 3.0e9));
+  EXPECT_LT(r1, 0.0);
+  EXPECT_LT(r2, r1);                      // hotter burns faster
+  EXPECT_GT(std::fabs(r2 / r1), 5.0);     // strongly nonlinear in T
+}
+
+TEST_F(BurnTest, RateScalesWithFuelSquared) {
+  const double r_full = to_double(burn_rate(bp, 1.0, 1e7, 2e9));
+  const double r_half = to_double(burn_rate(bp, 0.5, 1e7, 2e9));
+  EXPECT_NEAR(r_half / r_full, 0.25, 1e-12);
+}
+
+TEST_F(BurnTest, CellBurnConsumesFuelAndReleasesEnergy) {
+  const auto res = burn_cell(bp, 1.0, 1e7, 3e9, 1e-9);
+  EXPECT_LT(to_double(res.x_new), 1.0);
+  EXPECT_GE(to_double(res.x_new), 0.0);
+  const double consumed = 1.0 - to_double(res.x_new);
+  EXPECT_NEAR(to_double(res.energy_released), bp.q_release * consumed,
+              1e-6 * bp.q_release * std::max(consumed, 1e-12));
+}
+
+TEST_F(BurnTest, StiffStepStaysBounded) {
+  // A huge dt must not produce negative fuel or energy overshoot.
+  const auto res = burn_cell(bp, 1.0, 1e7, 4e9, 1.0);
+  EXPECT_GE(to_double(res.x_new), 0.0);
+  EXPECT_LE(to_double(res.x_new), 1.0);
+  EXPECT_LE(to_double(res.energy_released), bp.q_release * 1.0000001);
+  EXPECT_GT(res.substeps, 1);  // sub-cycling engaged
+}
+
+TEST_F(BurnTest, NoBurnMeansNoEnergy) {
+  const auto res = burn_cell(bp, 1.0, 1e7, 5e7, 1e-6);
+  EXPECT_DOUBLE_EQ(to_double(res.x_new), 1.0);
+  EXPECT_DOUBLE_EQ(to_double(res.energy_released), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cellular mini-app
+// ---------------------------------------------------------------------------
+
+TEST_F(BurnTest, CellularDetonationPropagates) {
+  CellularConfig cfg;
+  cfg.n = 192;
+  CellularSim<double> sim(cfg);
+  const double front0 = sim.front_position();
+  double t = 0.0;
+  for (int s = 0; s < 120; ++s) t += sim.step();
+  const double front1 = sim.front_position();
+  EXPECT_GT(front1, front0);
+  EXPECT_GT(sim.total_energy_released(), 0.0);
+  // Burned region is hot, unburned fuel ahead remains cool-ish.
+  EXPECT_GT(sim.temperature(2), 1e9);
+  EXPECT_LT(sim.mass_fraction(2), 0.5);
+  EXPECT_GT(sim.mass_fraction(cfg.n - 2), 0.95);
+}
+
+TEST_F(BurnTest, CellularEosConvergesAtFullPrecision) {
+  CellularConfig cfg;
+  cfg.n = 128;
+  CellularSim<double> sim(cfg);
+  for (int s = 0; s < 40; ++s) sim.step();
+  const auto& stats = sim.eos_stats();
+  EXPECT_GT(stats.calls, 1000u);
+  EXPECT_LT(stats.failure_rate(), 0.01);
+}
+
+TEST_F(BurnTest, CellularEosTruncationCausesNewtonFailures) {
+  // The §6.1 result end-to-end: truncating the EOS module to a small
+  // mantissa makes Newton-Raphson fail persistently. Flash-X aborts on the
+  // first failed call; our stats count per-call failures, and with O(cells)
+  // calls per step any nonzero rate above a few percent means the real
+  // application would never complete a step.
+  CellularConfig cfg;
+  cfg.n = 96;
+  cfg.eos_trunc = rt::TruncationSpec::trunc64(11, 24);
+  CellularSim<Real> sim(cfg);
+  for (int s = 0; s < 12; ++s) sim.step();
+  const double fail24 = sim.eos_stats().failure_rate();
+  EXPECT_GT(fail24, 0.05);
+
+  rt::Runtime::instance().reset_all();
+  CellularConfig cfg52 = cfg;
+  cfg52.eos_trunc = rt::TruncationSpec::trunc64(11, 52);
+  CellularSim<Real> sim52(cfg52);
+  for (int s = 0; s < 12; ++s) sim52.step();
+  EXPECT_LT(sim52.eos_stats().failure_rate(), 0.005);
+  EXPECT_GT(fail24, 20.0 * sim52.eos_stats().failure_rate() + 0.02);
+}
+
+TEST_F(BurnTest, CellularCountsEosOpsAsTruncated) {
+  rt::Runtime::instance().reset_counters();
+  CellularConfig cfg;
+  cfg.n = 64;
+  cfg.eos_trunc = rt::TruncationSpec::trunc64(11, 30);
+  CellularSim<Real> sim(cfg);
+  sim.step();
+  const auto c = rt::Runtime::instance().counters();
+  EXPECT_GT(c.trunc_flops, 0u);  // eos module truncated
+  EXPECT_GT(c.full_flops, 0u);   // hydro + burn at full precision
+}
+
+}  // namespace
+}  // namespace raptor::burn

@@ -1,0 +1,189 @@
+// Cross-module integration tests: miniature versions of the paper's
+// experiments wired end-to-end, asserting the qualitative shapes that the
+// full bench harnesses reproduce at scale.
+#include <gtest/gtest.h>
+
+#include "bench/common.hpp"
+#include "burn/cellular.hpp"
+#include "incomp/bubble.hpp"
+#include "model/codesign.hpp"
+#include "runtime/runtime.hpp"
+
+namespace raptor {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { rt::Runtime::instance().reset_all(); }
+  void TearDown() override { rt::Runtime::instance().reset_all(); }
+};
+
+// ---------------------------------------------------------------------------
+// Fig. 7a shape: Sedov M-1 cutoff slashes the error by orders of magnitude
+// ---------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, SedovCutoffSlashesError) {
+  hydro::SedovParams sp;
+  bench::CompressibleCase pc;
+  pc.grid_cfg = hydro::sedov_grid_config(/*max_level=*/4);
+  pc.init = [sp](double x, double y, std::span<Real> v) { hydro::sedov_init(sp, x, y, v); };
+  pc.t_end = 0.003;
+
+  amr::AmrGrid<double> ref(pc.grid_cfg);
+  ref.build_with_ic(
+      [&sp](double x, double y, std::span<double> v) { hydro::sedov_init(sp, x, y, v); });
+  hydro::HydroConfig hc;
+  hydro::HydroSolver<double> solver(hc);
+  hydro::run_to_time(ref, solver, pc.t_end);
+  const auto ref_dens = io::to_uniform(ref, hydro::DENS);
+  const auto ref_velx = bench::velx_field(ref);
+
+  const auto m0 = bench::run_truncated_case(pc, 6, 0, ref_dens, ref_velx);
+  const auto m1 = bench::run_truncated_case(pc, 6, 1, ref_dens, ref_velx);
+  EXPECT_GT(m0.l1_dens, 1e-5);
+  EXPECT_LT(m1.l1_dens, m0.l1_dens / 100.0)
+      << "excluding the finest AMR level must slash the Sedov error";
+  // Truncated-op share shrinks with the cutoff.
+  const double f0 = static_cast<double>(m0.trunc_flops) /
+                    static_cast<double>(m0.trunc_flops + m0.full_flops);
+  const double f1 = static_cast<double>(m1.trunc_flops) /
+                    static_cast<double>(m1.trunc_flops + m1.full_flops);
+  EXPECT_GT(f0, 0.95);
+  EXPECT_LT(f1, f0);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7b shape: Sod benefits far less from the same cutoff (Hypothesis 1)
+// ---------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, SodCutoffBenefitIsSmallerThanSedovs) {
+  hydro::SodParams sp;
+  bench::CompressibleCase pc;
+  pc.grid_cfg = hydro::sod_grid_config(/*max_level=*/4);
+  pc.init = [sp](double x, double y, std::span<Real> v) { hydro::sod_init(sp, x, y, v); };
+  // Long enough that the rarefaction/contact occupy coarser levels; at very
+  // short times the non-finest levels are still quiescent and the cutoff
+  // trivially wins.
+  pc.t_end = 0.06;
+
+  amr::AmrGrid<double> ref(pc.grid_cfg);
+  ref.build_with_ic(
+      [&sp](double x, double y, std::span<double> v) { hydro::sod_init(sp, x, y, v); });
+  hydro::HydroConfig hc;
+  hydro::HydroSolver<double> solver(hc);
+  hydro::run_to_time(ref, solver, pc.t_end);
+  const auto ref_dens = io::to_uniform(ref, hydro::DENS);
+  const auto ref_velx = bench::velx_field(ref);
+
+  const auto m0 = bench::run_truncated_case(pc, 4, 0, ref_dens, ref_velx);
+  const auto m1 = bench::run_truncated_case(pc, 4, 1, ref_dens, ref_velx);
+  EXPECT_GT(m0.l1_dens, 1e-4);           // visible error when truncating all
+  EXPECT_LT(m1.l1_dens, m0.l1_dens);     // cutoff helps...
+  EXPECT_GT(m1.l1_dens, m0.l1_dens / 300.0)
+      << "...but by far less than Sedov's orders-of-magnitude (Hypothesis 1)";
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 bars: AMR reacts to aggressive truncation with extra refinement
+// ---------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, AggressiveTruncationPerturbsAmr) {
+  hydro::SodParams sp;
+  bench::CompressibleCase pc;
+  pc.grid_cfg = hydro::sod_grid_config(/*max_level=*/4);
+  pc.init = [sp](double x, double y, std::span<Real> v) { hydro::sod_init(sp, x, y, v); };
+  pc.t_end = 0.06;
+
+  amr::AmrGrid<double> ref(pc.grid_cfg);
+  ref.build_with_ic(
+      [&sp](double x, double y, std::span<double> v) { hydro::sod_init(sp, x, y, v); });
+  hydro::HydroConfig hc;
+  hydro::HydroSolver<double> solver(hc);
+  hydro::run_to_time(ref, solver, pc.t_end);
+  const auto ref_dens = io::to_uniform(ref, hydro::DENS);
+  const auto ref_velx = bench::velx_field(ref);
+
+  const auto coarse = bench::run_truncated_case(pc, 4, 0, ref_dens, ref_velx);
+  const auto fine = bench::run_truncated_case(pc, 24, 0, ref_dens, ref_velx);
+  // Extra refinement shows up both in the leaf census and in total work.
+  EXPECT_GE(coarse.leaves_end, fine.leaves_end);
+  EXPECT_GT(static_cast<double>(coarse.trunc_flops + coarse.full_flops),
+            1.01 * static_cast<double>(fine.trunc_flops + fine.full_flops))
+      << "4-bit truncation noise must trigger extra AMR refinement work";
+}
+
+// ---------------------------------------------------------------------------
+// §7.2 end-to-end: profiled counters -> speedup estimate
+// ---------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, CountersFeedTheCodesignModel) {
+  auto& R = rt::Runtime::instance();
+  R.reset_counters();
+  {
+    TruncScope scope(5, 10);
+    Real acc = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      acc += Real(1.0) / Real(i + 1);
+      R.count_mem(16);
+    }
+  }
+  const auto counters = R.counters();
+  EXPECT_GT(counters.trunc_flops, 1000u);
+  EXPECT_GT(counters.trunc_bytes, 0u);
+
+  const model::CodesignModel codesign;
+  const auto est = codesign.estimate(counters, sf::Format{5, 10});
+  EXPECT_GT(est.compute_bound, 3.0);  // fully truncated fp16-ish workload
+  EXPECT_GT(est.memory_bound, 3.0);
+  EXPECT_GT(est.operational_intensity, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Bubble: cutoff ordering of interface deviation at fixed mantissa
+// ---------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, BubbleCutoffReducesInterfaceDeviation) {
+  const int steps = 15;
+  incomp::BubbleConfig base;
+  base.nx = 32;
+  base.ny = 64;
+
+  incomp::BubbleSim<double> ref(base);
+  for (int s = 0; s < steps; ++s) ref.step();
+  const auto ref_phi = ref.phi_field().v;
+
+  const auto run = [&](int cutoff) {
+    rt::Runtime::instance().reset_counters();
+    auto cfg = base;
+    cfg.trunc = rt::TruncationSpec::trunc64(8, 6);
+    cfg.cutoff_l = cutoff;
+    incomp::BubbleSim<Real> sim(cfg);
+    for (int s = 0; s < steps; ++s) sim.step();
+    return io::compare_fields(sim.phi_field().v, ref_phi).l1;
+  };
+  const double everywhere = run(0);
+  const double m1 = run(1);
+  EXPECT_GT(everywhere, m1) << "sparing the interface band must reduce deviation";
+  EXPECT_GT(everywhere, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Cellular: EOS truncation cliff end-to-end (Hypothesis 2 falsified)
+// ---------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, CellularEosCliffBelowPaperThreshold) {
+  const auto failure_rate = [](int mantissa) {
+    rt::Runtime::instance().reset_all();
+    burn::CellularConfig cfg;
+    cfg.n = 64;
+    cfg.eos_trunc = rt::TruncationSpec::trunc64(11, mantissa);
+    burn::CellularSim<Real> sim(cfg);
+    for (int s = 0; s < 8; ++s) sim.step();
+    return sim.eos_stats().failure_rate();
+  };
+  EXPECT_GT(failure_rate(28), 0.05);   // below the cliff: the app cannot run
+  EXPECT_LT(failure_rate(52), 0.005);  // full precision: clean
+}
+
+}  // namespace
+}  // namespace raptor

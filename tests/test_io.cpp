@@ -1,0 +1,135 @@
+// I/O tests: sfocu-style comparison (norms, cross-hierarchy sampling), PPM
+// writer, CSV writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "amr/grid.hpp"
+#include "io/csv.hpp"
+#include "io/ppm.hpp"
+#include "io/sfocu.hpp"
+
+namespace raptor::io {
+namespace {
+
+TEST(CompareFields, IdenticalFieldsAreZeroError) {
+  const std::vector<double> a{1.0, -2.0, 3.0, 0.5};
+  const auto r = compare_fields(a, a);
+  EXPECT_DOUBLE_EQ(r.l1, 0.0);
+  EXPECT_DOUBLE_EQ(r.l2, 0.0);
+  EXPECT_DOUBLE_EQ(r.linf, 0.0);
+}
+
+TEST(CompareFields, NormalizedL1MatchesHandComputation) {
+  const std::vector<double> a{1.1, 2.0};
+  const std::vector<double> b{1.0, 2.0};
+  const auto r = compare_fields(a, b);
+  EXPECT_NEAR(r.l1, 0.1 / 3.0, 1e-12);  // sum|a-b| / sum|b|
+  EXPECT_NEAR(r.linf, 0.1 / 2.0, 1e-12);
+  EXPECT_NEAR(r.abs_max, 0.1, 1e-12);
+}
+
+TEST(CompareFields, SymmetricInMagnitudeOrdering) {
+  const std::vector<double> a{2.0, 4.0};
+  const std::vector<double> b{1.0, 5.0};
+  const auto ab = compare_fields(a, b);
+  EXPECT_GT(ab.l1, 0.0);
+  EXPECT_GT(ab.l2, 0.0);
+}
+
+TEST(SfocuCompare, DifferentHierarchiesSameFieldAgree) {
+  // Two grids with different refinement of the same smooth function should
+  // compare nearly equal (prolongation is 2nd order).
+  amr::GridConfig c;
+  c.nxb = c.nyb = 8;
+  c.ng = 2;
+  c.nbx = c.nby = 2;
+  c.max_level = 2;
+  c.nvar = 1;
+  c.refine_vars = {0};
+  const auto ic = [](double x, double y, std::span<double> v) {
+    v[0] = 1.0 + 0.2 * x + 0.1 * y;
+  };
+  amr::AmrGrid<double> coarse(c);
+  coarse.init(ic);
+  auto c2 = c;
+  c2.refine_thresh = -1.0;  // refine all
+  amr::AmrGrid<double> fine(c2);
+  fine.init(ic);
+  fine.fill_guards();
+  fine.regrid();
+  fine.init(ic);
+  // Sampling is piecewise constant per covering cell, so comparing across
+  // hierarchies of a sloped field carries O(h) discretization error — small
+  // but not zero.
+  const auto r = sfocu_compare(fine, coarse, 0);
+  EXPECT_LT(r.l1, 0.01);
+  // Identical hierarchies and data compare exactly.
+  const auto same = sfocu_compare(coarse, coarse, 0);
+  EXPECT_DOUBLE_EQ(same.l1, 0.0);
+}
+
+TEST(SfocuCompare, DetectsPerturbation) {
+  amr::GridConfig c;
+  c.nxb = c.nyb = 8;
+  c.ng = 2;
+  c.nbx = c.nby = 2;
+  c.max_level = 1;
+  c.nvar = 1;
+  amr::AmrGrid<double> a(c), b(c);
+  a.init([](double x, double, std::span<double> v) { v[0] = x; });
+  b.init([](double x, double, std::span<double> v) { v[0] = x * 1.01; });
+  const auto r = sfocu_compare(a, b, 0);
+  EXPECT_NEAR(r.l1, 0.01 / 1.01, 1e-3);
+}
+
+TEST(Ppm, WritesWellFormedFile) {
+  const std::string path = "/tmp/raptor_test_io.ppm";
+  std::vector<unsigned char> rgb(4 * 3 * 3, 128);
+  write_ppm(path, 4, 3, rgb);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 4);
+  EXPECT_EQ(h, 3);
+  EXPECT_EQ(maxv, 255);
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, ColormapEndpointsAndMidpoint) {
+  unsigned char lo[3], mid[3], hi[3];
+  colormap(0.0, 0.0, 1.0, lo);
+  colormap(0.5, 0.0, 1.0, mid);
+  colormap(1.0, 0.0, 1.0, hi);
+  EXPECT_GT(lo[2], lo[0]);   // low end is blue-ish
+  EXPECT_GT(hi[0], hi[2]);   // high end is red-ish
+  EXPECT_GT(mid[1], 200);    // middle is near-white
+  unsigned char clamped[3];
+  colormap(5.0, 0.0, 1.0, clamped);  // out of range clamps
+  EXPECT_EQ(clamped[0], hi[0]);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/raptor_test_io.csv";
+  {
+    CsvWriter csv(path, {"a", "b", "c"});
+    csv.row({1.0, 2.5, -3.0});
+    csv.row_strings({"x", "y", "z"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b,c");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5,-3");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y,z");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace raptor::io

@@ -1,0 +1,380 @@
+// Mini-IR tests: parser, printer round-trip, interpreter (straight-line,
+// branches, loops, calls), call-graph analysis, and — most importantly —
+// the truncation pass: transformed modules must behave exactly like the
+// equivalent op-mode truncated computation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/instrument.hpp"
+#include "ir/interp.hpp"
+#include "ir/parser.hpp"
+#include "runtime/runtime.hpp"
+#include "softfloat/bigfloat.hpp"
+#include "support/rng.hpp"
+
+namespace raptor::ir {
+namespace {
+
+constexpr const char* kAxpy = R"(
+# a*x + y
+func @axpy(%a, %x, %y) -> f64 {
+entry:
+  %t = fmul %a, %x
+  %r = fadd %t, %y
+  ret %r
+}
+)";
+
+constexpr const char* kCallChain = R"(
+func @bar(%a, %b) -> f64 {
+entry:
+  %s = fadd %a, %b
+  ret %s
+}
+
+func @foo(%a, %b) -> f64 {
+entry:
+  %q = fsqrt %b
+  %c = call @bar(%q, %a)
+  %d = fdiv %c, %b
+  ret %d
+}
+)";
+
+constexpr const char* kLoop = R"(
+# sum of 1/k for k = 1..n (harmonic series)
+func @harmonic(%n) -> f64 {
+entry:
+  %k = const 1
+  %sum = const 0
+  %one = const 1
+  br loop
+loop:
+  %cond = fcmp le %k, %n
+  brcond %cond, body, done
+body:
+  %term = fdiv %one, %k
+  %sum2 = fadd %sum, %term
+  set %sum, %sum2
+  %k2 = fadd %k, %one
+  set %k, %k2
+  br loop
+done:
+  ret %sum
+}
+)";
+
+class IrTest : public ::testing::Test {
+ protected:
+  void SetUp() override { rt::Runtime::instance().reset_all(); }
+  void TearDown() override { rt::Runtime::instance().reset_all(); }
+};
+
+// ---------------------------------------------------------------------------
+// Parser / printer
+// ---------------------------------------------------------------------------
+
+TEST_F(IrTest, ParsesSimpleFunction) {
+  const Module m = parse_module(kAxpy);
+  ASSERT_EQ(m.funcs.size(), 1u);
+  const Function& f = m.funcs[0];
+  EXPECT_EQ(f.name, "axpy");
+  EXPECT_EQ(f.num_params, 3);
+  ASSERT_EQ(f.blocks.size(), 1u);
+  EXPECT_EQ(f.blocks[0].insts.size(), 3u);
+  EXPECT_EQ(f.blocks[0].insts[0].op, Opcode::FMul);
+  EXPECT_EQ(f.blocks[0].insts[2].op, Opcode::Ret);
+}
+
+TEST_F(IrTest, PrinterRoundTripsThroughParser) {
+  for (const char* src : {kAxpy, kCallChain, kLoop}) {
+    const Module m1 = parse_module(src);
+    const std::string printed = m1.to_string();
+    const Module m2 = parse_module(printed);
+    EXPECT_EQ(m2.to_string(), printed) << printed;
+  }
+}
+
+TEST_F(IrTest, ParseErrorsCarryLineNumbers) {
+  EXPECT_THROW(parse_module("func @f( {\n"), ParseError);
+  try {
+    parse_module("func @f(%a) -> f64 {\nentry:\n  %b = bogus %a\n  ret %b\n}\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+  EXPECT_THROW(parse_module("func @f(%a) -> f64 {\nentry:\n  ret %undefined\n}\n"), ParseError);
+  EXPECT_THROW(parse_module("func @f(%a) -> f64 {\nentry:\n  br nowhere\n}\n"), ParseError);
+}
+
+TEST_F(IrTest, RejectsDuplicateFunctionsAndLabels) {
+  EXPECT_THROW(parse_module("func @f(%a) {\nentry:\n ret %a\n}\nfunc @f(%a) {\nentry:\n ret %a\n}\n"),
+               ParseError);
+  EXPECT_THROW(parse_module("func @f(%a) {\nentry:\n ret %a\nentry:\n ret %a\n}\n"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+TEST_F(IrTest, InterpretsStraightLine) {
+  const Module m = parse_module(kAxpy);
+  Interpreter interp(m);
+  EXPECT_DOUBLE_EQ(interp.call("axpy", {2.0, 3.0, 4.0}), 10.0);
+  EXPECT_DOUBLE_EQ(interp.call("axpy", {-1.5, 2.0, 0.5}), -2.5);
+}
+
+TEST_F(IrTest, InterpretsCalls) {
+  const Module m = parse_module(kCallChain);
+  Interpreter interp(m);
+  // foo(a, b) = (sqrt(b) + a) / b
+  const double a = 2.0, b = 9.0;
+  EXPECT_DOUBLE_EQ(interp.call("foo", {a, b}), (std::sqrt(b) + a) / b);
+}
+
+TEST_F(IrTest, InterpretsLoops) {
+  const Module m = parse_module(kLoop);
+  Interpreter interp(m);
+  double expect = 0.0;
+  for (int k = 1; k <= 20; ++k) expect += 1.0 / k;
+  EXPECT_DOUBLE_EQ(interp.call("harmonic", {20.0}), expect);
+}
+
+TEST_F(IrTest, InstructionBudgetStopsRunaways) {
+  const Module m = parse_module(R"(
+func @spin() -> f64 {
+entry:
+  br entry
+}
+)");
+  Interpreter interp(m, /*max_insts=*/1000);
+  EXPECT_THROW(interp.call("spin", {}), std::runtime_error);
+}
+
+TEST_F(IrTest, ArityAndMissingFunctionErrors) {
+  const Module m = parse_module(kAxpy);
+  Interpreter interp(m);
+  EXPECT_THROW(interp.call("axpy", {1.0}), std::runtime_error);
+  EXPECT_THROW(interp.call("nope", {}), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Call graph
+// ---------------------------------------------------------------------------
+
+TEST_F(IrTest, TransitiveCalleesAndExternals) {
+  const Module m = parse_module(R"(
+func @leaf(%x) {
+entry:
+  ret %x
+}
+func @mid(%x) {
+entry:
+  %a = call @leaf(%x)
+  %b = call @external_lib_fn(%a)
+  ret %b
+}
+func @top(%x) {
+entry:
+  %r = call @mid(%x)
+  ret %r
+}
+)");
+  std::vector<std::string> externals;
+  const auto set = transitive_callees(m, "top", &externals);
+  EXPECT_EQ(set.size(), 3u);
+  ASSERT_EQ(externals.size(), 1u);
+  EXPECT_EQ(externals[0], "external_lib_fn");
+}
+
+// ---------------------------------------------------------------------------
+// Truncation pass
+// ---------------------------------------------------------------------------
+
+TEST_F(IrTest, FunctionScopeClonesPreserveOriginals) {
+  const Module m = parse_module(kCallChain);
+  TruncPassOptions opts;
+  opts.root = "foo";
+  opts.to_exp = 5;
+  opts.to_man = 8;
+  const auto result = run_trunc_pass(m, opts);
+  // Originals intact:
+  ASSERT_NE(result.module.find("foo"), nullptr);
+  ASSERT_NE(result.module.find("bar"), nullptr);
+  // Clones added with the paper's naming scheme (Fig. 4a):
+  ASSERT_NE(result.module.find("_foo_trunc_f64_to_5_8"), nullptr);
+  ASSERT_NE(result.module.find("_bar_trunc_f64_to_5_8"), nullptr);
+  EXPECT_EQ(result.entry, "_foo_trunc_f64_to_5_8");
+  // Original still runs natively:
+  Interpreter interp(result.module);
+  EXPECT_DOUBLE_EQ(interp.call("foo", {2.0, 9.0}), (3.0 + 2.0) / 9.0);
+}
+
+TEST_F(IrTest, TransformedMatchesOpModeTruncationSemantics) {
+  // The key equivalence: interpreting the transformed entry point must equal
+  // composing the scalar op-mode truncation primitives by hand.
+  const Module m = parse_module(kCallChain);
+  TruncPassOptions opts;
+  opts.root = "foo";
+  opts.to_exp = 8;
+  opts.to_man = 10;
+  const sf::Format f{8, 10};
+  const auto result = run_trunc_pass(m, opts);
+  Interpreter interp(result.module);
+  Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(0.1, 50.0);
+    const double b = rng.uniform(0.1, 50.0);
+    const double got = interp.call(result.entry, {a, b});
+    const double q = sf::trunc_sqrt(b, f);
+    const double s = sf::trunc_add(q, a, f);
+    const double expect = sf::trunc_div(s, b, f);
+    EXPECT_DOUBLE_EQ(got, expect) << a << " " << b;
+  }
+}
+
+TEST_F(IrTest, ScratchOptimizationThreadsParameter) {
+  const Module m = parse_module(kCallChain);
+  TruncPassOptions opts;
+  opts.root = "foo";
+  opts.scratch_opt = true;
+  const auto result = run_trunc_pass(m, opts);
+  const Function* bar_clone = result.module.find("_bar_trunc_f64_to_8_23");
+  ASSERT_NE(bar_clone, nullptr);
+  // Cloned callee gained the trailing scratch parameter:
+  EXPECT_EQ(bar_clone->num_params, m.find("bar")->num_params + 1);
+  // Root keeps its public signature and self-allocates:
+  const Function* foo_clone = result.module.find(result.entry);
+  ASSERT_NE(foo_clone, nullptr);
+  EXPECT_EQ(foo_clone->num_params, m.find("foo")->num_params);
+
+  Interpreter interp(result.module);
+  interp.call(result.entry, {2.0, 9.0});
+  const auto& stats = interp.stats();
+  EXPECT_EQ(stats.builtin_calls.at("_raptor_alloc_scratch"), 1u);
+  EXPECT_EQ(stats.builtin_calls.at("_raptor_free_scratch"), 1u);
+}
+
+TEST_F(IrTest, ScratchOffOmitsAllScratchMachinery) {
+  const Module m = parse_module(kCallChain);
+  TruncPassOptions opts;
+  opts.root = "foo";
+  opts.scratch_opt = false;
+  const auto result = run_trunc_pass(m, opts);
+  Interpreter interp(result.module);
+  interp.call(result.entry, {2.0, 9.0});
+  EXPECT_EQ(interp.stats().builtin_calls.count("_raptor_alloc_scratch"), 0u);
+  const Function* bar_clone = result.module.find("_bar_trunc_f64_to_8_23");
+  ASSERT_NE(bar_clone, nullptr);
+  EXPECT_EQ(bar_clone->num_params, m.find("bar")->num_params);
+}
+
+TEST_F(IrTest, WholeModuleScopeTransformsInPlace) {
+  const Module m = parse_module(kCallChain);
+  TruncPassOptions opts;  // empty root = file/program scope
+  opts.to_exp = 5;
+  opts.to_man = 8;
+  const auto result = run_trunc_pass(m, opts);
+  EXPECT_EQ(result.module.funcs.size(), m.funcs.size());  // no clones
+  EXPECT_EQ(result.transformed.size(), 2u);
+  // Both functions now call runtime shims:
+  const std::string printed = result.module.to_string();
+  EXPECT_NE(printed.find("_raptor_add_f64"), std::string::npos);
+  EXPECT_NE(printed.find("_raptor_sqrt_f64"), std::string::npos);
+  // And execution truncates:
+  Interpreter interp(result.module);
+  const sf::Format f{5, 8};
+  const double got = interp.call("foo", {2.0, 7.0});
+  const double expect =
+      sf::trunc_div(sf::trunc_add(sf::trunc_sqrt(7.0, f), 2.0, f), 7.0, f);
+  EXPECT_DOUBLE_EQ(got, expect);
+}
+
+TEST_F(IrTest, ExternalCallsWarnAndSurvive) {
+  const Module m = parse_module(R"(
+func @kernel(%x) {
+entry:
+  %y = fmul %x, %x
+  %z = call @mystery(%y)
+  ret %z
+}
+)");
+  TruncPassOptions opts;
+  opts.root = "kernel";
+  const auto result = run_trunc_pass(m, opts);
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find("mystery"), std::string::npos);
+}
+
+TEST_F(IrTest, PassRejectsBadInputs) {
+  const Module m = parse_module(kAxpy);
+  TruncPassOptions opts;
+  opts.root = "no_such_function";
+  EXPECT_THROW(run_trunc_pass(m, opts), std::invalid_argument);
+  opts.root = "axpy";
+  opts.to_man = 99;
+  EXPECT_THROW(run_trunc_pass(m, opts), std::invalid_argument);
+}
+
+TEST_F(IrTest, TruncatedOpsAreCountedByRuntime) {
+  auto& R = rt::Runtime::instance();
+  R.reset_counters();
+  const Module m = parse_module(kLoop);
+  TruncPassOptions opts;
+  opts.root = "harmonic";
+  opts.to_exp = 8;
+  opts.to_man = 12;
+  const auto result = run_trunc_pass(m, opts);
+  Interpreter interp(result.module);
+  interp.call(result.entry, {50.0});
+  const auto c = R.counters();
+  // 50 iterations x (div + add + k increment) plus loop compares (native).
+  EXPECT_GE(c.trunc_flops, 150u);
+  EXPECT_EQ(c.full_flops, 0u);
+}
+
+TEST_F(IrTest, TransformedLoopShowsPrecisionLoss) {
+  // n = 60 keeps the loop counter below the 6-bit-mantissa saturation
+  // threshold (see CounterSaturationHaltsTruncatedLoop below).
+  const Module m = parse_module(kLoop);
+  Interpreter native(m);
+  const double exact = native.call("harmonic", {60.0});
+
+  TruncPassOptions opts;
+  opts.root = "harmonic";
+  opts.to_exp = 8;
+  opts.to_man = 6;
+  const auto result = run_trunc_pass(m, opts);
+  Interpreter coarse(result.module);
+  const double truncated = coarse.call(result.entry, {60.0});
+  EXPECT_NE(truncated, exact);
+  // At 6-bit mantissa the sum absorbs terms below ulp(4) and parks at
+  // exactly 4.0 — ballpark correct but visibly degraded.
+  EXPECT_NEAR(truncated, exact, 1.0);
+
+  opts.to_man = 40;
+  const auto result40 = run_trunc_pass(m, opts);
+  Interpreter fine(result40.module);
+  const double better = fine.call(result40.entry, {60.0});
+  EXPECT_LT(std::fabs(better - exact), std::fabs(truncated - exact));
+}
+
+TEST_F(IrTest, CounterSaturationHaltsTruncatedLoop) {
+  // A genuine low-precision hazard the tool must surface: with a 6-bit
+  // mantissa, k+1 == k once k reaches 128 (ulp = 2), so a truncated loop to
+  // n = 200 never terminates. The interpreter's instruction budget catches
+  // it; a real run would hang — exactly the kind of behaviour RAPTOR exists
+  // to expose before a production port to low precision.
+  const Module m = parse_module(kLoop);
+  TruncPassOptions opts;
+  opts.root = "harmonic";
+  opts.to_exp = 8;
+  opts.to_man = 6;
+  const auto result = run_trunc_pass(m, opts);
+  Interpreter coarse(result.module, /*max_insts=*/200'000);
+  EXPECT_THROW(coarse.call(result.entry, {200.0}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace raptor::ir

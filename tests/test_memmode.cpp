@@ -1,0 +1,286 @@
+// Mem-mode tests: NaN boxing, shadow tracking, deviation flags/heatmap,
+// precision increase, refcounting via Real, the C API conversion protocol.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/runtime.hpp"
+#include "trunc/capi.hpp"
+#include "trunc/real.hpp"
+#include "trunc/scope.hpp"
+
+namespace raptor::rt {
+namespace {
+
+class MemModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::instance().reset_all();
+    Runtime::instance().set_mode(Mode::Mem);
+  }
+  void TearDown() override { Runtime::instance().reset_all(); }
+  Runtime& R = Runtime::instance();
+};
+
+TEST(Boxing, TagRoundTripsIdsAndGenerations) {
+  for (u32 gen : {0u, 1u, 0xFFFFu}) {
+    for (u32 id : {0u, 1u, 77u, 0xFFFFFFu, 0xFFFFFFFFu}) {
+      const double d = boxing::box(id, gen);
+      EXPECT_TRUE(boxing::is_boxed(d));
+      EXPECT_TRUE(std::isnan(d));  // boxed values are NaNs by construction
+      EXPECT_EQ(boxing::unbox_id(d), id);
+      EXPECT_EQ(boxing::unbox_generation(d), gen);
+    }
+  }
+}
+
+TEST(Boxing, OrdinaryDoublesAreNotBoxed) {
+  for (double d : {0.0, -0.0, 1.5, -3.7e300, 5e-324, HUGE_VAL, -HUGE_VAL}) {
+    EXPECT_FALSE(boxing::is_boxed(d));
+  }
+  EXPECT_FALSE(boxing::is_boxed(std::nan("")));  // default quiet NaN != our tag
+}
+
+TEST_F(MemModeTest, ShadowTracksFullPrecisionReference) {
+  TruncScope scope(8, 8);
+  // c = a + b in 8-bit mantissa; shadow keeps the FP64 result.
+  const double a = R.mem_make(1.0 / 3.0);
+  const double b = R.mem_make(1.0 / 7.0);
+  const double args_sum = R.op2(OpKind::Add, a, b, 64);
+  ASSERT_TRUE(Runtime::is_boxed(args_sum));
+  EXPECT_DOUBLE_EQ(R.mem_shadow(args_sum), 1.0 / 3.0 + 1.0 / 7.0);
+  EXPECT_NE(R.mem_value(args_sum), R.mem_shadow(args_sum));
+  EXPECT_NEAR(R.mem_value(args_sum), R.mem_shadow(args_sum), 1e-2);
+  R.mem_release(args_sum);
+  R.mem_release(a);
+  R.mem_release(b);
+}
+
+TEST_F(MemModeTest, ValuesStayInRepresentationBetweenOps) {
+  // Unlike op-mode, intermediate values are NOT re-rounded through double:
+  // a chain keeps its target-format representation (here trivially checked
+  // by precision increase below 52 bits still differing from shadow).
+  TruncScope scope(5, 6);
+  double x = R.mem_make(1.0);
+  for (int i = 0; i < 5; ++i) {
+    const double nx = R.op2(OpKind::Div, x, 3.0, 64);
+    R.mem_release(x);
+    x = nx;
+  }
+  const double shadow = R.mem_shadow(x);
+  EXPECT_DOUBLE_EQ(shadow, 1.0 / 243.0);
+  EXPECT_NE(R.mem_value(x), shadow);
+  R.mem_release(x);
+}
+
+TEST_F(MemModeTest, PrecisionIncreaseBeyondFp64) {
+  // Mem-mode supports precision increases (paper Fig. 2b): compute a value
+  // at 58-bit mantissa; its trunc representation is *closer* to the exact
+  // rational result than the FP64 shadow.
+  TruncScope scope(15, 58);
+  const double a = R.mem_make(1.0);
+  const double r = R.op2(OpKind::Div, a, 3.0, 64);
+  const ShadowEntry like{};
+  (void)like;
+  // The shadow is FP64 1/3; the wide value rounds differently:
+  const double wide_as_double = R.mem_value(r);
+  EXPECT_DOUBLE_EQ(wide_as_double, 1.0 / 3.0);  // collapses on readback
+  // but its deviation from the shadow is below one double ulp:
+  EXPECT_LT(R.mem_deviation(r), 0x1p-52);
+  R.mem_release(r);
+  R.mem_release(a);
+}
+
+TEST_F(MemModeTest, DeviationFlagsGroupByRegion) {
+  R.set_deviation_threshold(1e-6);
+  TruncScope scope(8, 4);
+  {
+    Region region("solver/hot");
+    const double a = R.mem_make(1.0 / 3.0);
+    const double b = R.op2(OpKind::Mul, a, a, 64);  // error well above 1e-6
+    R.mem_release(b);
+    R.mem_release(a);
+  }
+  const auto report = R.flag_report();
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report[0].location, "solver/hot");
+  EXPECT_GE(report[0].flagged, 1u);
+  EXPECT_GT(report[0].max_deviation, 1e-6);
+}
+
+TEST_F(MemModeTest, FreshFlagsMarkDeviationSources) {
+  R.set_deviation_threshold(1e-3);
+  TruncScope scope(8, 4);  // 4-bit mantissa: rel error up to ~3%
+  Region region("origin");
+  const double a = R.mem_make(1.0);
+  // First op introduces deviation (fresh); further ops inherit it (not fresh).
+  const double b = R.op2(OpKind::Div, a, 3.0, 64);
+  const double c = R.op2(OpKind::Mul, b, 5.0, 64);
+  const auto report = R.flag_report();
+  u64 fresh = 0, flagged = 0;
+  for (const auto& rec : report) {
+    fresh += rec.fresh;
+    flagged += rec.flagged;
+  }
+  EXPECT_GE(flagged, 2u);
+  EXPECT_EQ(fresh, 1u);  // only the division created deviation from clean inputs
+  R.mem_release(c);
+  R.mem_release(b);
+  R.mem_release(a);
+}
+
+TEST_F(MemModeTest, ExcludedRegionComputesFullPrecisionButKeepsTracking) {
+  R.exclude_region("safe");
+  TruncScope scope(8, 4);
+  double x;
+  {
+    Region region("safe");
+    const double a = R.mem_make(1.0);  // made inside excluded region: no rounding
+    x = R.op2(OpKind::Div, a, 3.0, 64);
+    R.mem_release(a);
+  }
+  ASSERT_TRUE(Runtime::is_boxed(x));
+  EXPECT_DOUBLE_EQ(R.mem_value(x), 1.0 / 3.0);  // full precision
+  EXPECT_DOUBLE_EQ(R.mem_shadow(x), 1.0 / 3.0);
+  EXPECT_EQ(R.mem_deviation(x), 0.0);
+  R.mem_release(x);
+}
+
+TEST_F(MemModeTest, RefcountingFreesEntries) {
+  TruncScope scope(8, 10);
+  EXPECT_EQ(R.mem_live(), 0u);
+  {
+    const double a = R.mem_make(2.0);
+    EXPECT_EQ(R.mem_live(), 1u);
+    R.mem_retain(a);
+    R.mem_release(a);
+    EXPECT_EQ(R.mem_live(), 1u);
+    R.mem_release(a);
+  }
+  EXPECT_EQ(R.mem_live(), 0u);
+}
+
+TEST_F(MemModeTest, RealFrontEndManagesLifetimesAutomatically) {
+  TruncScope scope(8, 10);
+  {
+    Real a = 1.0 / 3.0;
+    Real b = a * a + Real(0.5);
+    Real c = b;  // copy retains
+    EXPECT_GT(R.mem_live(), 0u);
+    EXPECT_NEAR(c.value(), 1.0 / 9.0 + 0.5, 1e-2);
+    EXPECT_DOUBLE_EQ(c.shadow(), c.shadow());
+  }
+  EXPECT_EQ(R.mem_live(), 0u);  // all entries released by destructors
+}
+
+TEST_F(MemModeTest, RealMaterializeCollapsesToPlainDouble) {
+  TruncScope scope(8, 10);
+  Real a = 1.0 / 3.0;
+  Real b = a * 3.0;
+  b.materialize();
+  EXPECT_FALSE(Runtime::is_boxed(b.raw()));
+  EXPECT_NEAR(b.value(), 1.0, 1e-2);
+}
+
+TEST_F(MemModeTest, MixedPlainAndBoxedOperandsPromote) {
+  TruncScope scope(8, 10);
+  const double a = R.mem_make(2.0);
+  const double r = R.op2(OpKind::Mul, a, 3.0, 64);  // 3.0 is a plain constant
+  EXPECT_DOUBLE_EQ(R.mem_shadow(r), 6.0);
+  R.mem_release(r);
+  R.mem_release(a);
+}
+
+TEST_F(MemModeTest, CApiPrePostProtocol) {
+  TruncScope scope(5, 8);
+  const double boxed = capi::_raptor_pre_c(1.0 / 3.0, 5, 8);
+  ASSERT_TRUE(Runtime::is_boxed(boxed));
+  const double back = capi::_raptor_post_c(boxed, 5, 8);
+  EXPECT_FALSE(Runtime::is_boxed(back));
+  EXPECT_DOUBLE_EQ(back, sf::quantize(1.0 / 3.0, sf::Format{5, 8}));
+  EXPECT_EQ(R.mem_live(), 0u);
+}
+
+TEST_F(MemModeTest, TruncFuncMemSwitchesMode) {
+  R.set_mode(Mode::Op);  // start in op-mode; wrapper must switch to mem
+  auto fn = trunc_func_mem([this](double x) {
+    EXPECT_EQ(R.mode(), Mode::Mem);
+    const double v = R.mem_make(x);
+    const double r = R.op2(OpKind::Mul, v, v, 64);
+    const double out = R.mem_value(r);
+    R.mem_release(r);
+    R.mem_release(v);
+    return out;
+  }, 64, 8, 12);
+  const double r = fn(1.0 / 3.0);
+  EXPECT_EQ(R.mode(), Mode::Op);
+  EXPECT_NEAR(r, 1.0 / 9.0, 1e-3);
+}
+
+TEST_F(MemModeTest, FlagReportSortsByFreshness) {
+  R.set_deviation_threshold(1e-9);
+  TruncScope scope(8, 6);
+  {
+    Region region("noisy");
+    Real a = 1.0 / 3.0;
+    Real b = a;
+    for (int i = 0; i < 10; ++i) b = b * a;  // many fresh+inherited flags
+  }
+  {
+    Region region("quiet");
+    Real c = 1.0;  // exactly representable: no flags
+    Real d = c + c;
+    (void)d;
+  }
+  const auto report = R.flag_report();
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.front().location, "noisy");
+  for (const auto& rec : report) EXPECT_NE(rec.location, "quiet");
+}
+
+TEST_F(MemModeTest, StaleHandlesAfterClearAreInert) {
+  // Regression: mem_clear() (e.g. Runtime::reset_all between experiments)
+  // while instrumented data structures still hold boxed values must not
+  // corrupt the recycled table — stale handles read as NaN and their
+  // retain/release calls are ignored.
+  TruncScope scope(8, 10);
+  Real survivor = Real(1.0) / Real(3.0);
+  ASSERT_TRUE(Runtime::is_boxed(survivor.raw()));
+  const double raw = survivor.raw();
+  R.mem_clear();
+  // New generation: allocate fresh entries that would reuse the old ids.
+  const double fresh = R.mem_make(7.0);
+  EXPECT_TRUE(std::isnan(R.mem_value(raw)));   // stale read -> NaN
+  R.mem_retain(raw);                           // ignored
+  R.mem_release(raw);                          // ignored
+  EXPECT_DOUBLE_EQ(R.mem_value(fresh), 7.0);   // fresh entry untouched
+  R.mem_release(fresh);
+  EXPECT_EQ(R.mem_live(), 0u);
+  // survivor's destructor fires after this scope: also ignored.
+}
+
+TEST(ShadowTableUnit, GenerationBumpsOnClear) {
+  ShadowTable t;
+  const u32 g0 = t.generation();
+  t.clear();
+  EXPECT_NE(t.generation(), g0);
+}
+
+TEST(ShadowTableUnit, AllocReuseAfterRelease) {
+  ShadowTable t;
+  const u32 a = t.alloc(sf::BigFloat::from_int(1), 1.0);
+  const u32 b = t.alloc(sf::BigFloat::from_int(2), 2.0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.live(), 2u);
+  t.release(a);
+  EXPECT_EQ(t.live(), 1u);
+  const u32 c = t.alloc(sf::BigFloat::from_int(3), 3.0);
+  EXPECT_EQ(c, a);  // slot reused
+  EXPECT_DOUBLE_EQ(t.snapshot(c).shadow, 3.0);
+  t.release(b);
+  t.release(c);
+  EXPECT_EQ(t.live(), 0u);
+}
+
+}  // namespace
+}  // namespace raptor::rt

@@ -1,0 +1,146 @@
+// Co-design model tests: Table 4 densities, power-law extrapolation, area
+// ratio, compute/memory-bound speedups and roofline classification.
+#include <gtest/gtest.h>
+
+#include "model/codesign.hpp"
+
+namespace raptor::model {
+namespace {
+
+TEST(Table4, NormalizedDensitiesMatchPaper) {
+  const CodesignModel model;
+  const auto& pts = model.fpu_points();
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_NEAR(model.normalized_density(pts[0]), 1.00, 1e-12);  // fp64
+  EXPECT_NEAR(model.normalized_density(pts[1]), 2.65, 0.01);   // fp32
+  EXPECT_NEAR(model.normalized_density(pts[2]), 7.30, 0.01);   // fp16
+  EXPECT_NEAR(model.normalized_density(pts[3]), 18.41, 0.01);  // fp8
+}
+
+TEST(Table4, RawNumbersArePaperValues) {
+  const CodesignModel model;
+  EXPECT_DOUBLE_EQ(model.fpu_points()[0].gflops, 3.17);
+  EXPECT_DOUBLE_EQ(model.fpu_points()[0].area_kge, 53.0);
+  EXPECT_DOUBLE_EQ(model.fpu_points()[2].gflops, 12.67);
+  EXPECT_DOUBLE_EQ(model.fpu_points()[3].area_kge, 23.0);
+}
+
+TEST(DensityFit, InterpolatesThePointsClosely) {
+  const CodesignModel model;
+  // Power-law fit reproduces all four FPNew points within ~5%.
+  for (const auto& p : model.fpu_points()) {
+    EXPECT_NEAR(model.perf_density(p.fmt.storage_bits()) / model.normalized_density(p), 1.0,
+                0.06)
+        << p.name;
+  }
+  // Exponent ~1.4 (documented shape).
+  EXPECT_NEAR(model.density_exponent(), 1.41, 0.05);
+}
+
+TEST(DensityFit, MonotoneInWidth) {
+  const CodesignModel model;
+  double prev = 1e9;
+  for (int bits = 8; bits <= 64; bits += 4) {
+    const double d = model.perf_density(bits);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+  EXPECT_DOUBLE_EQ(model.perf_density(64), 1.0);
+}
+
+TEST(AreaRatio, MatchesPaperDerivation) {
+  // Paper §7.2 with a 1:2 FP64:FP32 peak: A_dbl : A_low ~ 1.39 (our fit
+  // gives P_low(32) / 2 ~ 1.3).
+  const CodesignModel model;
+  EXPECT_NEAR(model.area_ratio(32), 1.35, 0.15);
+}
+
+rt::CounterSnapshot profile(u64 trunc_flops, u64 full_flops, u64 trunc_bytes, u64 full_bytes) {
+  rt::CounterSnapshot c;
+  c.trunc_flops = trunc_flops;
+  c.full_flops = full_flops;
+  c.trunc_bytes = trunc_bytes;
+  c.full_bytes = full_bytes;
+  return c;
+}
+
+TEST(Speedup, FullTruncationComputeBoundInPaperRange) {
+  const CodesignModel model;
+  // Everything truncated, compute-bound: the paper's Fig. 8 reports ~3.7x
+  // for half-ish precision and ~2.2x for fp32 at full truncation.
+  const auto half = model.estimate(profile(1000, 0, 10, 0), sf::Format{5, 10});
+  EXPECT_GT(half.compute_bound, 3.0);
+  EXPECT_LT(half.compute_bound, 5.5);
+  const auto fp32 = model.estimate(profile(1000, 0, 10, 0), sf::Format{8, 23});
+  EXPECT_GT(fp32.compute_bound, 1.8);
+  EXPECT_LT(fp32.compute_bound, 3.0);
+}
+
+TEST(Speedup, Fp64WideFormatsRunOnTheDoubleUnit) {
+  // Truncating to a format as wide as FP64 is a no-op for the model: the
+  // "low" unit is the double unit (no 0.75x artifact from the smaller area).
+  const CodesignModel model;
+  const auto est = model.estimate(profile(1000, 0, 100, 0), sf::Format{11, 52});
+  EXPECT_DOUBLE_EQ(est.compute_bound, 1.0);
+  EXPECT_DOUBLE_EQ(est.memory_bound, 1.0);
+}
+
+TEST(Speedup, NoTruncationMeansNoSpeedup) {
+  const CodesignModel model;
+  const auto est = model.estimate(profile(0, 1000, 0, 800), sf::Format{5, 10});
+  EXPECT_DOUBLE_EQ(est.compute_bound, 1.0);
+  EXPECT_DOUBLE_EQ(est.memory_bound, 1.0);
+}
+
+TEST(Speedup, GrowsWithTruncatedFraction) {
+  const CodesignModel model;
+  const sf::Format f{5, 10};
+  double prev = 0.9;
+  for (u64 frac = 0; frac <= 10; ++frac) {
+    const auto est = model.estimate(profile(frac * 100, (10 - frac) * 100, 1, 1), f);
+    EXPECT_GE(est.compute_bound, prev - 1e-12);
+    prev = est.compute_bound;
+  }
+}
+
+TEST(Speedup, MemoryBoundScalesWithStorageWidth) {
+  const CodesignModel model;
+  // All bytes truncated: memory-bound speedup = 64 / storage_bits.
+  const auto est16 = model.estimate(profile(10, 0, 1000, 0), sf::Format{5, 10});
+  EXPECT_NEAR(est16.memory_bound, 64.0 / 16.0, 1e-9);
+  const auto est32 = model.estimate(profile(10, 0, 1000, 0), sf::Format{8, 23});
+  EXPECT_NEAR(est32.memory_bound, 2.0, 1e-9);
+  // Half the bytes truncated to fp32: 1 / (0.5 + 0.5 * 0.5).
+  const auto half = model.estimate(profile(10, 0, 500, 500), sf::Format{8, 23});
+  EXPECT_NEAR(half.memory_bound, 1.0 / 0.75, 1e-9);
+}
+
+TEST(Roofline, ClassifiesByOperationalIntensity) {
+  const CodesignModel model;  // balance = 3072/1024 = 3 FLOP/byte
+  const auto compute = model.estimate(profile(10000, 0, 100, 0), sf::Format{5, 10});
+  EXPECT_TRUE(compute.is_compute_bound);
+  EXPECT_DOUBLE_EQ(compute.applicable(), compute.compute_bound);
+  const auto memory = model.estimate(profile(100, 0, 10000, 0), sf::Format{5, 10});
+  EXPECT_FALSE(memory.is_compute_bound);
+  EXPECT_DOUBLE_EQ(memory.applicable(), memory.memory_bound);
+}
+
+TEST(Roofline, BalancePointConfigurable) {
+  CodesignModel::Config cfg;
+  cfg.dbl_peak_gflops = 100.0;
+  cfg.bandwidth_gbs = 1000.0;  // balance = 0.1: almost everything compute-bound
+  const CodesignModel model(cfg);
+  const auto est = model.estimate(profile(100, 0, 500, 0), sf::Format{5, 10});
+  EXPECT_TRUE(est.is_compute_bound);
+}
+
+TEST(AreaRatioSweep, PeakRatioShiftsAreas) {
+  CodesignModel::Config cfg;
+  cfg.peak_ratio = 4.0;  // machine with 1:4 FP64:FP32 peak
+  const CodesignModel wide(cfg);
+  const CodesignModel base;
+  EXPECT_LT(wide.area_ratio(32), base.area_ratio(32));
+}
+
+}  // namespace
+}  // namespace raptor::model

@@ -1,0 +1,176 @@
+// Tests for the profiler-style configuration file (paper §7.3 extension)
+// and the multi-format clone selection (runtime-chosen truncation levels).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "ir/instrument.hpp"
+#include "ir/interp.hpp"
+#include "ir/parser.hpp"
+#include "runtime/profile_config.hpp"
+#include "softfloat/bigfloat.hpp"
+#include "trunc/real.hpp"
+#include "trunc/scope.hpp"
+
+namespace raptor::rt {
+namespace {
+
+class ProfileConfigTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::instance().reset_all(); }
+  void TearDown() override { Runtime::instance().reset_all(); }
+  Runtime& R = Runtime::instance();
+};
+
+constexpr const char* kFullConfig = R"(
+# raptor profile for the hydro experiment
+mode mem
+alloc naive
+counting off
+hw-fastpath on
+threshold 1e-6
+truncate-all 64_to_5_14;32_to_3_8
+exclude hydro/recon
+exclude hydro/riemann   # trailing comment
+)";
+
+TEST_F(ProfileConfigTest, ParsesEveryDirective) {
+  const auto cfg = parse_profile(kFullConfig);
+  ASSERT_TRUE(cfg.mode.has_value());
+  EXPECT_EQ(*cfg.mode, Mode::Mem);
+  ASSERT_TRUE(cfg.alloc.has_value());
+  EXPECT_EQ(*cfg.alloc, AllocStrategy::Naive);
+  ASSERT_TRUE(cfg.counting.has_value());
+  EXPECT_FALSE(*cfg.counting);
+  ASSERT_TRUE(cfg.hw_fastpath.has_value());
+  EXPECT_TRUE(*cfg.hw_fastpath);
+  ASSERT_TRUE(cfg.threshold.has_value());
+  EXPECT_DOUBLE_EQ(*cfg.threshold, 1e-6);
+  ASSERT_TRUE(cfg.truncate_all.has_value());
+  EXPECT_EQ(cfg.truncate_all->to_string(), "64_to_5_14;32_to_3_8");
+  ASSERT_EQ(cfg.exclusions.size(), 2u);
+  EXPECT_EQ(cfg.exclusions[0], "hydro/recon");
+  EXPECT_EQ(cfg.exclusions[1], "hydro/riemann");
+}
+
+TEST_F(ProfileConfigTest, ApplyConfiguresRuntime) {
+  apply_profile(R, parse_profile(kFullConfig));
+  EXPECT_EQ(R.mode(), Mode::Mem);
+  EXPECT_EQ(R.alloc_strategy(), AllocStrategy::Naive);
+  EXPECT_FALSE(R.counting());
+  EXPECT_TRUE(R.hw_fastpath());
+  EXPECT_DOUBLE_EQ(R.deviation_threshold(), 1e-6);
+  ASSERT_TRUE(R.truncate_all().has_value());
+  EXPECT_TRUE(R.is_excluded("hydro/recon"));
+  EXPECT_TRUE(R.is_excluded("hydro/riemann"));
+  EXPECT_FALSE(R.is_excluded("hydro/update"));
+}
+
+TEST_F(ProfileConfigTest, PartialConfigLeavesDefaultsAlone) {
+  apply_profile(R, parse_profile("exclude only/this\n"));
+  EXPECT_EQ(R.mode(), Mode::Op);  // untouched
+  EXPECT_TRUE(R.counting());
+  EXPECT_FALSE(R.truncate_all().has_value());
+  EXPECT_TRUE(R.is_excluded("only/this"));
+}
+
+TEST_F(ProfileConfigTest, ErrorsCarryLineNumbers) {
+  const auto expect_error = [](const char* text, const char* needle) {
+    try {
+      (void)parse_profile(text);
+      FAIL() << "expected ConfigError for: " << text;
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_error("mode turbo\n", "profile:1");
+  expect_error("\n\nalloc heap\n", "profile:3");
+  expect_error("threshold -1\n", "positive");
+  expect_error("truncate-all 64_to_99_99\n", "truncation spec");
+  expect_error("exclude\n", "region label");
+  expect_error("frobnicate on\n", "unknown directive");
+}
+
+TEST_F(ProfileConfigTest, LoadFromFileRoundTrips) {
+  const std::string path = "/tmp/raptor_profile_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "truncate-all 64_to_8_12\nexclude a/b\n";
+  }
+  const auto cfg = load_profile(path);
+  ASSERT_TRUE(cfg.truncate_all.has_value());
+  EXPECT_EQ(cfg.truncate_all->to_string(), "64_to_8_12");
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_profile("/nonexistent/raptor.cfg"), ConfigError);
+}
+
+TEST_F(ProfileConfigTest, EndToEndConfigDrivesTruncation) {
+  apply_profile(R, parse_profile("truncate-all 64_to_8_4\nexclude clean\n"));
+  // Truncated everywhere...
+  const Real a = Real(1.0) / Real(3.0);
+  EXPECT_NE(a.value(), 1.0 / 3.0);
+  // ...except inside the excluded region.
+  {
+    Region region("clean");
+    const Real b = Real(1.0) / Real(3.0);
+    EXPECT_DOUBLE_EQ(b.value(), 1.0 / 3.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-format cloning (runtime-selected truncation, §7.3)
+// ---------------------------------------------------------------------------
+
+TEST(MultiTruncPass, ProducesOneEntryPerFormat) {
+  const ir::Module m = ir::parse_module(R"(
+func @kern(%x) -> f64 {
+entry:
+  %y = fdiv %x, %x
+  %z = fadd %y, %x
+  ret %z
+}
+)");
+  const auto multi = ir::run_trunc_pass_multi(m, "kern", {{5, 8}, {8, 23}, {11, 52}});
+  ASSERT_EQ(multi.entries.size(), 3u);
+  EXPECT_EQ(multi.entries[0], "_kern_trunc_f64_to_5_8");
+  EXPECT_EQ(multi.entries[2], "_kern_trunc_f64_to_11_52");
+  for (const auto& e : multi.entries) EXPECT_NE(multi.module.find(e), nullptr);
+  EXPECT_NE(multi.module.find("kern"), nullptr);  // original intact
+}
+
+TEST(MultiTruncPass, ClonesSelectableAtRuntime) {
+  Runtime::instance().reset_all();
+  const ir::Module m = ir::parse_module(R"(
+func @third(%x) -> f64 {
+entry:
+  %c = const 3
+  %y = fdiv %x, %c
+  ret %y
+}
+)");
+  const auto multi = ir::run_trunc_pass_multi(m, "third", {{8, 6}, {11, 40}});
+  ir::Interpreter interp(multi.module);
+  // "Conditionally using them": pick the coarse clone first, the fine one
+  // after — both live in the same module.
+  const double coarse = interp.call(multi.entries[0], {1.0});
+  const double fine = interp.call(multi.entries[1], {1.0});
+  EXPECT_DOUBLE_EQ(coarse, sf::trunc_div(1.0, 3.0, sf::Format{8, 6}));
+  EXPECT_DOUBLE_EQ(fine, sf::trunc_div(1.0, 3.0, sf::Format{11, 40}));
+  EXPECT_NE(coarse, fine);
+  Runtime::instance().reset_all();
+}
+
+TEST(MultiTruncPass, RejectsDuplicateFormats) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(%x) -> f64 {
+entry:
+  %y = fadd %x, %x
+  ret %y
+}
+)");
+  EXPECT_DEATH((void)ir::run_trunc_pass_multi(m, "f", {{5, 8}, {5, 8}}), "duplicate clone");
+}
+
+}  // namespace
+}  // namespace raptor::rt

@@ -1,0 +1,226 @@
+// Property-based and fuzz-style tests across modules: classic floating-
+// point identities that must survive the BigFloat engine at every format,
+// randomized AMR hierarchy stress, runtime scope stress, and the canonical
+// low-precision numerics demonstration (Kahan summation) running through
+// the instrumented scalar.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amr/grid.hpp"
+#include "runtime/runtime.hpp"
+#include "softfloat/bigfloat.hpp"
+#include "support/rng.hpp"
+#include "trunc/real.hpp"
+#include "trunc/scope.hpp"
+
+namespace raptor {
+namespace {
+
+// ---------------------------------------------------------------------------
+// IEEE identities at arbitrary formats
+// ---------------------------------------------------------------------------
+
+class FormatProperty : public ::testing::TestWithParam<sf::Format> {};
+
+TEST_P(FormatProperty, SterbenzSubtractionIsExact) {
+  // Sterbenz: if b/2 <= a <= 2b, then a - b is exact in any binary format.
+  const sf::Format f = GetParam();
+  Rng rng(101);
+  for (int i = 0; i < 2000; ++i) {
+    const double b = sf::quantize(rng.uniform(0.5, 4.0), f);
+    const double a = sf::quantize(rng.uniform(0.5 * b, 2.0 * b), f);
+    if (a < 0.5 * b || a > 2.0 * b) continue;
+    const double diff = sf::trunc_sub(a, b, f);
+    EXPECT_DOUBLE_EQ(diff, a - b) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST_P(FormatProperty, AdditionIsMonotone) {
+  const sf::Format f = GetParam();
+  Rng rng(102);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = sf::quantize(rng.uniform(-10.0, 10.0), f);
+    const double a2 = sf::quantize(a + rng.uniform(0.0, 5.0), f);
+    const double b = sf::quantize(rng.uniform(-10.0, 10.0), f);
+    EXPECT_LE(sf::trunc_add(a, b, f), sf::trunc_add(a2, b, f));
+  }
+}
+
+TEST_P(FormatProperty, MultiplicationByPowerOfTwoIsExact) {
+  const sf::Format f = GetParam();
+  Rng rng(103);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = sf::quantize(rng.uniform(0.1, 2.0), f);
+    for (const double p : {2.0, 4.0, 0.5, 0.25}) {
+      const double r = sf::trunc_mul(a, p, f);
+      EXPECT_DOUBLE_EQ(r, a * p) << a << " * " << p;  // in-range scaling exact
+    }
+  }
+}
+
+TEST_P(FormatProperty, DivisionRoundTripWithinOneUlp) {
+  const sf::Format f = GetParam();
+  Rng rng(104);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = sf::quantize(rng.uniform(0.5, 2.0), f);
+    const double b = sf::quantize(rng.uniform(0.5, 2.0), f);
+    if (b == 0.0) continue;
+    const double q = sf::trunc_div(a, b, f);
+    const double back = sf::trunc_mul(q, b, f);
+    // Two correctly rounded ops: result within 2 ulp of a.
+    EXPECT_NEAR(back, a, std::ldexp(std::fabs(a), -f.man_bits + 1)) << a << "/" << b;
+  }
+}
+
+TEST_P(FormatProperty, FmaAtLeastAsAccurateAsMulAdd) {
+  const sf::Format f = GetParam();
+  Rng rng(105);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = sf::quantize(rng.uniform(-2.0, 2.0), f);
+    const double b = sf::quantize(rng.uniform(-2.0, 2.0), f);
+    const double c = sf::quantize(rng.uniform(-2.0, 2.0), f);
+    const double exact = std::fma(a, b, c);
+    const double fused = sf::trunc_fma(a, b, c, f);
+    const double split = sf::trunc_add(sf::trunc_mul(a, b, f), c, f);
+    EXPECT_LE(std::fabs(fused - exact), std::fabs(split - exact) + 1e-300)
+        << a << " " << b << " " << c;
+  }
+}
+
+TEST_P(FormatProperty, NegationAndAbsAreExact) {
+  const sf::Format f = GetParam();
+  Rng rng(106);
+  for (int i = 0; i < 500; ++i) {
+    const double a = sf::quantize(rng.uniform(-100.0, 100.0), f);
+    const auto bf = sf::BigFloat::from_double(a);
+    EXPECT_DOUBLE_EQ(bf.negated().to_double(), -a);
+    EXPECT_DOUBLE_EQ(bf.abs().to_double(), std::fabs(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FormatProperty,
+                         ::testing::Values(sf::Format{5, 4}, sf::Format{5, 10}, sf::Format{8, 14},
+                                           sf::Format{8, 23}, sf::Format{11, 42},
+                                           sf::Format{11, 52}),
+                         [](const auto& info) {
+                           return "e" + std::to_string(info.param.exp_bits) + "m" +
+                                  std::to_string(info.param.man_bits);
+                         });
+
+// ---------------------------------------------------------------------------
+// Kahan summation through the instrumented scalar
+// ---------------------------------------------------------------------------
+
+TEST(KahanProperty, CompensatedSummationBeatsNaiveUnderTruncation) {
+  rt::Runtime::instance().reset_all();
+  TruncScope scope(8, 10);
+  const int n = 20000;
+  const double term = 1e-3;
+
+  Real naive = 0.0;
+  for (int i = 0; i < n; ++i) naive += Real(term);
+
+  Real sum = 0.0, comp = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Real y = Real(term) - comp;
+    const Real t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  const double exact = n * term;
+  const double err_naive = std::fabs(naive.value() - exact);
+  const double err_kahan = std::fabs(sum.value() - exact);
+  EXPECT_LT(err_kahan, 0.25 * err_naive)
+      << "compensation must recover precision lost to 10-bit absorption";
+  EXPECT_GT(err_naive, 1.0);  // naive absorbs terms badly at this scale
+  rt::Runtime::instance().reset_all();
+}
+
+// ---------------------------------------------------------------------------
+// AMR fuzz: random feature fields keep the hierarchy sane
+// ---------------------------------------------------------------------------
+
+TEST(AmrFuzz, RandomFeaturesKeepBalanceAndConservation) {
+  Rng rng(777);
+  for (int trial = 0; trial < 5; ++trial) {
+    amr::GridConfig cfg;
+    cfg.nxb = cfg.nyb = 8;
+    cfg.ng = 2;
+    cfg.nbx = cfg.nby = 2;
+    cfg.max_level = 4;
+    cfg.nvar = 1;
+    cfg.refine_vars = {0};
+    amr::AmrGrid<double> g(cfg);
+    // Random mixture of bumps.
+    const int bumps = 1 + static_cast<int>(rng.next_below(4));
+    std::vector<std::array<double, 3>> params;
+    for (int b = 0; b < bumps; ++b) {
+      params.push_back({rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8), rng.uniform(0.01, 0.06)});
+    }
+    const auto ic = [&params](double x, double y, std::span<double> v) {
+      double acc = 1.0;
+      for (const auto& p : params) {
+        const double r2 = (x - p[0]) * (x - p[0]) + (y - p[1]) * (y - p[1]);
+        acc += 8.0 * std::exp(-r2 / (p[2] * p[2]));
+      }
+      v[0] = acc;
+    };
+    g.build_with_ic(ic);
+    EXPECT_TRUE(g.balanced()) << "trial " << trial;
+    EXPECT_GE(g.max_level_present(), 2) << "trial " << trial;
+
+    // Pure regrid cycles on static data conserve the integral exactly.
+    const double before = g.integral(0);
+    for (int k = 0; k < 3; ++k) g.regrid();
+    EXPECT_TRUE(g.balanced()) << "trial " << trial;
+    EXPECT_NEAR(g.integral(0), before, 1e-11 * std::fabs(before)) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime scope stress
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeStress, DeepScopeAndRegionNesting) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  std::vector<std::unique_ptr<TruncScope>> scopes;
+  std::vector<std::unique_ptr<Region>> regions;
+  static const char* kLabels[8] = {"l0", "l1", "l2", "l3", "l4", "l5", "l6", "l7"};
+  for (int depth = 0; depth < 64; ++depth) {
+    scopes.push_back(std::make_unique<TruncScope>(11, 4 + depth % 48));
+    regions.push_back(std::make_unique<Region>(kLabels[depth % 8]));
+    // Innermost scope applies.
+    const auto fmt = R.active_format(64);
+    ASSERT_TRUE(fmt.has_value());
+    EXPECT_EQ(fmt->man_bits, 4 + depth % 48);
+  }
+  while (!scopes.empty()) {
+    scopes.pop_back();
+    regions.pop_back();
+  }
+  EXPECT_FALSE(R.truncation_active(64));
+  R.reset_all();
+}
+
+TEST(RuntimeStress, SpecParseToStringFuzz) {
+  Rng rng(555);
+  for (int i = 0; i < 500; ++i) {
+    rt::TruncationSpec spec;
+    if (rng.next_below(2) != 0u) {
+      spec.for64 = sf::Format{2 + static_cast<int>(rng.next_below(17)),
+                              1 + static_cast<int>(rng.next_below(61))};
+    }
+    if (rng.next_below(2) != 0u) {
+      spec.for32 = sf::Format{2 + static_cast<int>(rng.next_below(17)),
+                              1 + static_cast<int>(rng.next_below(61))};
+    }
+    if (spec.empty()) continue;
+    const auto round = rt::TruncationSpec::parse(spec.to_string());
+    EXPECT_EQ(round, spec) << spec.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace raptor

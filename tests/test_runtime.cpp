@@ -1,0 +1,316 @@
+// Runtime tests: truncation spec parsing, scoping, op-mode dispatch,
+// counters, exclusions, allocation strategies, OpenMP thread safety.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "runtime/runtime.hpp"
+#include "trunc/scope.hpp"
+
+namespace raptor::rt {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::instance().reset_all(); }
+  void TearDown() override { Runtime::instance().reset_all(); }
+  Runtime& R = Runtime::instance();
+};
+
+// ---------------------------------------------------------------------------
+// TruncationSpec parsing
+// ---------------------------------------------------------------------------
+
+TEST(TruncationSpec, ParsesPaperExampleFlag) {
+  const auto spec = TruncationSpec::parse("64_to_5_14;32_to_3_8");
+  ASSERT_TRUE(spec.for64.has_value());
+  EXPECT_EQ(spec.for64->exp_bits, 5);
+  EXPECT_EQ(spec.for64->man_bits, 14);
+  ASSERT_TRUE(spec.for32.has_value());
+  EXPECT_EQ(spec.for32->exp_bits, 3);
+  EXPECT_EQ(spec.for32->man_bits, 8);
+  EXPECT_FALSE(spec.for16.has_value());
+}
+
+TEST(TruncationSpec, RoundTripsThroughToString) {
+  const auto spec = TruncationSpec::parse("64_to_11_42");
+  EXPECT_EQ(spec.to_string(), "64_to_11_42");
+  EXPECT_EQ(TruncationSpec::parse(spec.to_string()), spec);
+}
+
+TEST(TruncationSpec, RejectsMalformedInput) {
+  EXPECT_THROW(TruncationSpec::parse("64to_5_14"), ConfigError);
+  EXPECT_THROW(TruncationSpec::parse("64_to_5"), ConfigError);
+  EXPECT_THROW(TruncationSpec::parse("48_to_5_14"), ConfigError);
+  EXPECT_THROW(TruncationSpec::parse("64_to_25_14"), ConfigError);   // exp too wide
+  EXPECT_THROW(TruncationSpec::parse("64_to_5_63"), ConfigError);    // man too wide
+  EXPECT_THROW(TruncationSpec::parse("64_to_x_14"), ConfigError);
+}
+
+TEST(TruncationSpec, EmptySpecIsEmpty) {
+  EXPECT_TRUE(TruncationSpec{}.empty());
+  EXPECT_TRUE(TruncationSpec::parse("").empty());
+  EXPECT_FALSE(TruncationSpec::trunc64(5, 10).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch and scoping
+// ---------------------------------------------------------------------------
+
+TEST_F(RuntimeTest, NoScopeMeansNativeExecution) {
+  const double a = 1.0, b = 3.0;
+  EXPECT_DOUBLE_EQ(R.op2(OpKind::Div, a, b, 64), a / b);
+  const auto c = R.counters();
+  EXPECT_EQ(c.full_flops, 1u);
+  EXPECT_EQ(c.trunc_flops, 0u);
+}
+
+TEST_F(RuntimeTest, ScopedTruncationQuantizesResults) {
+  // 1/3 in 4-bit mantissa differs from 1/3 in double far beyond 1e-3.
+  double truncated;
+  {
+    TruncScope scope(8, 4);
+    truncated = R.op2(OpKind::Div, 1.0, 3.0, 64);
+  }
+  const double exact = 1.0 / 3.0;
+  EXPECT_NE(truncated, exact);
+  EXPECT_NEAR(truncated, exact, std::ldexp(1.0, -4));
+  EXPECT_DOUBLE_EQ(truncated, sf::quantize(truncated, sf::Format{8, 4}));
+  // Outside the scope: native again.
+  EXPECT_DOUBLE_EQ(R.op2(OpKind::Div, 1.0, 3.0, 64), exact);
+}
+
+TEST_F(RuntimeTest, TruncationErrorShrinksWithMantissa) {
+  const double exact = 1.0 / 3.0;
+  double prev = HUGE_VAL;
+  for (int m : {2, 6, 12, 20, 30, 44, 52}) {
+    TruncScope scope(11, m);
+    const double err = std::fabs(R.op2(OpKind::Div, 1.0, 3.0, 64) - exact);
+    EXPECT_LE(err, prev) << m;
+    prev = err;
+  }
+}
+
+TEST_F(RuntimeTest, GlobalTruncateAllAppliesEverywhere) {
+  R.set_truncate_all(TruncationSpec::parse("64_to_5_10"));
+  const double r = R.op2(OpKind::Add, 1.0, 1e-5, 64);
+  EXPECT_DOUBLE_EQ(r, 1.0);  // 1e-5 below fp16 ulp of 1.0
+  EXPECT_EQ(R.counters().trunc_flops, 1u);
+  R.clear_truncate_all();
+  EXPECT_DOUBLE_EQ(R.op2(OpKind::Add, 1.0, 1e-5, 64), 1.0 + 1e-5);
+}
+
+TEST_F(RuntimeTest, InnermostScopeWins) {
+  TruncScope outer(5, 4);
+  {
+    TruncScope inner(11, 52);  // fp64: no visible rounding
+    EXPECT_DOUBLE_EQ(R.op2(OpKind::Div, 1.0, 3.0, 64), 1.0 / 3.0);
+  }
+  EXPECT_NE(R.op2(OpKind::Div, 1.0, 3.0, 64), 1.0 / 3.0);
+}
+
+TEST_F(RuntimeTest, DisabledScopeSuppressesOuterTruncation) {
+  // The dynamic-truncation pattern used for AMR level cutoffs: an inner
+  // scope with enabled=false turns truncation OFF even under an active one.
+  TruncScope outer(5, 4);
+  EXPECT_TRUE(R.truncation_active(64));
+  {
+    TruncScope inner(rt::TruncationSpec::trunc64(5, 4), /*enabled=*/false);
+    EXPECT_FALSE(R.truncation_active(64));
+    EXPECT_DOUBLE_EQ(R.op2(OpKind::Div, 1.0, 3.0, 64), 1.0 / 3.0);
+  }
+  EXPECT_TRUE(R.truncation_active(64));
+}
+
+TEST_F(RuntimeTest, WidthSelectsSpecSlot) {
+  R.set_truncate_all(TruncationSpec::parse("32_to_5_4"));
+  // 64-bit ops untouched; 32-bit ops truncated.
+  EXPECT_DOUBLE_EQ(R.op2(OpKind::Div, 1.0, 3.0, 64), 1.0 / 3.0);
+  EXPECT_NE(R.op2(OpKind::Div, 1.0, 3.0, 32), 1.0 / 3.0);
+}
+
+TEST_F(RuntimeTest, UnaryAndTernaryOpsDispatch) {
+  TruncScope scope(11, 52);
+  EXPECT_DOUBLE_EQ(R.op1(OpKind::Sqrt, 2.0, 64), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(R.op1(OpKind::Neg, 3.5, 64), -3.5);
+  EXPECT_DOUBLE_EQ(R.op3(OpKind::Fma, 2.0, 3.0, 4.0, 64), 10.0);
+  EXPECT_NEAR(R.op1(OpKind::Exp, 1.0, 64), M_E, 1e-15);
+  EXPECT_NEAR(R.op2(OpKind::Pow, 2.0, 0.5, 64), std::sqrt(2.0), 1e-15);
+}
+
+// ---------------------------------------------------------------------------
+// Region labels and exclusion (Table 2 machinery)
+// ---------------------------------------------------------------------------
+
+TEST_F(RuntimeTest, ExcludedRegionRunsAtFullPrecision) {
+  R.exclude_region("hydro/recon");
+  TruncScope scope(8, 4);
+  {
+    Region region("hydro/recon");
+    EXPECT_FALSE(R.truncation_active(64));
+    EXPECT_DOUBLE_EQ(R.op2(OpKind::Div, 1.0, 3.0, 64), 1.0 / 3.0);
+  }
+  {
+    Region region("hydro/riemann");
+    EXPECT_TRUE(R.truncation_active(64));
+    EXPECT_NE(R.op2(OpKind::Div, 1.0, 3.0, 64), 1.0 / 3.0);
+  }
+}
+
+TEST_F(RuntimeTest, NestedRegionInheritsExclusion) {
+  R.exclude_region("outer");
+  TruncScope scope(8, 4);
+  Region a("outer");
+  Region b("inner");
+  EXPECT_FALSE(R.truncation_active(64));
+}
+
+TEST_F(RuntimeTest, CurrentRegionTracksInnermost) {
+  EXPECT_STREQ(R.current_region(), "<toplevel>");
+  Region a("alpha");
+  EXPECT_STREQ(R.current_region(), "alpha");
+  {
+    Region b("beta");
+    EXPECT_STREQ(R.current_region(), "beta");
+  }
+  EXPECT_STREQ(R.current_region(), "alpha");
+}
+
+TEST_F(RuntimeTest, ClearExclusionsRestoresTruncation) {
+  R.exclude_region("x");
+  R.clear_exclusions();
+  TruncScope scope(8, 4);
+  Region region("x");
+  EXPECT_TRUE(R.truncation_active(64));
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+TEST_F(RuntimeTest, CountersSeparateTruncatedAndFull) {
+  for (int i = 0; i < 10; ++i) R.op2(OpKind::Add, 1.0, 2.0, 64);
+  {
+    TruncScope scope(5, 10);
+    for (int i = 0; i < 30; ++i) R.op2(OpKind::Mul, 1.5, 2.0, 64);
+  }
+  const auto c = R.counters();
+  EXPECT_EQ(c.full_flops, 10u);
+  EXPECT_EQ(c.trunc_flops, 30u);
+  EXPECT_NEAR(c.trunc_fraction(), 0.75, 1e-12);
+  EXPECT_EQ(c.full_by_kind[static_cast<int>(OpKind::Add)], 10u);
+  EXPECT_EQ(c.trunc_by_kind[static_cast<int>(OpKind::Mul)], 30u);
+}
+
+TEST_F(RuntimeTest, MemTrafficCounters) {
+  R.count_mem(64);
+  {
+    TruncScope scope(5, 10);
+    R.count_mem(128);
+  }
+  const auto c = R.counters();
+  EXPECT_EQ(c.full_bytes, 64u);
+  EXPECT_EQ(c.trunc_bytes, 128u);
+}
+
+TEST_F(RuntimeTest, CountingCanBeDisabled) {
+  R.set_counting(false);
+  R.op2(OpKind::Add, 1.0, 2.0, 64);
+  {
+    TruncScope scope(5, 10);
+    R.op2(OpKind::Add, 1.0, 2.0, 64);
+  }
+  const auto c = R.counters();
+  EXPECT_EQ(c.total_flops(), 0u);
+}
+
+TEST_F(RuntimeTest, ResetCountersZeroes) {
+  R.op2(OpKind::Add, 1.0, 2.0, 64);
+  R.reset_counters();
+  EXPECT_EQ(R.counters().total_flops(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation strategies and hardware fast path
+// ---------------------------------------------------------------------------
+
+TEST_F(RuntimeTest, NaiveAndScratchProduceIdenticalResults) {
+  TruncScope scope(8, 14);
+  R.set_alloc_strategy(AllocStrategy::Naive);
+  const double naive = R.op2(OpKind::Div, 355.0, 113.0, 64);
+  R.set_alloc_strategy(AllocStrategy::Scratch);
+  const double scratch = R.op2(OpKind::Div, 355.0, 113.0, 64);
+  EXPECT_DOUBLE_EQ(naive, scratch);
+}
+
+TEST_F(RuntimeTest, HwFastpathMatchesEmulationForFp32) {
+  TruncScope scope(8, 23);
+  R.set_hw_fastpath(false);
+  const double emu = R.op2(OpKind::Mul, 1.0 / 3.0, 3.14159, 64);
+  R.set_hw_fastpath(true);
+  const double hw = R.op2(OpKind::Mul, 1.0 / 3.0, 3.14159, 64);
+  EXPECT_DOUBLE_EQ(emu, hw);
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP thread safety (op-mode)
+// ---------------------------------------------------------------------------
+
+#ifdef _OPENMP
+TEST_F(RuntimeTest, OpModeIsThreadSafeUnderOpenMP) {
+  constexpr int kPerThread = 20000;
+  double sum = 0.0;
+#pragma omp parallel reduction(+ : sum)
+  {
+    TruncScope scope(8, 23);
+    double local = 0.0;
+    for (int i = 0; i < kPerThread; ++i) {
+      local = Runtime::instance().op2(OpKind::Add, local, 1.0, 64);
+    }
+    sum += local;
+  }
+  int threads = 1;
+#pragma omp parallel
+  {
+#pragma omp single
+    threads = omp_get_num_threads();
+  }
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(threads) * kPerThread);
+  EXPECT_EQ(Runtime::instance().counters().trunc_flops,
+            static_cast<u64>(threads) * kPerThread);
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// trunc_func wrappers (paper Fig. 3 usage)
+// ---------------------------------------------------------------------------
+
+double kernel_product(double a, double b) {
+  auto& R = Runtime::instance();
+  return R.op2(OpKind::Mul, a, b, 64);
+}
+
+TEST_F(RuntimeTest, TruncFuncOpWrapsWholeCall) {
+  auto f = trunc_func_op(kernel_product, 64, 5, 8);
+  const double truncated = f(1.0 / 3.0, 1.0 / 7.0);
+  const double native = kernel_product(1.0 / 3.0, 1.0 / 7.0);
+  EXPECT_NE(truncated, native);
+  EXPECT_DOUBLE_EQ(truncated, sf::quantize(truncated, sf::Format{5, 8}));
+}
+
+TEST_F(RuntimeTest, TruncFuncOpReturnsFunctionLikeObject) {
+  int calls = 0;
+  auto f = trunc_func_op([&calls](double x) {
+    ++calls;
+    return Runtime::instance().op2(OpKind::Add, x, x, 64);
+  }, 64, 8, 23);
+  EXPECT_DOUBLE_EQ(f(0.5), 1.0);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace raptor::rt

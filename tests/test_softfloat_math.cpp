@@ -1,0 +1,266 @@
+// Elementary-function tests for the BigFloat math kernels.
+//
+// Oracle strategy: at fp64 the results must match glibc's libm to within a
+// couple of ulps (neither is proven correctly rounded; both are faithful).
+// At reduced formats we check (a) representability/closure, (b) monotone
+// error decay with mantissa width, and (c) exact identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "softfloat/bigfloat.hpp"
+#include "support/rng.hpp"
+
+namespace raptor::sf {
+namespace {
+
+double ulp_diff(double a, double b) {
+  if (a == b) return 0.0;
+  if (std::isnan(a) || std::isnan(b)) return HUGE_VAL;
+  const double scale = std::ldexp(1.0, std::ilogb(std::fabs(b)) - 52);
+  return std::fabs(a - b) / scale;
+}
+
+TEST(MathConstants, MatchLibmToWorkingPrecision) {
+  EXPECT_NEAR(const_ln2().to_double(), M_LN2, 1e-16);
+  EXPECT_NEAR(const_pi().to_double(), M_PI, 1e-15);
+  EXPECT_NEAR(const_pi_over_2().to_double(), M_PI_2, 1e-15);
+}
+
+TEST(MathExp, MatchesLibmWithinUlps) {
+  Rng rng(21);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-700.0, 700.0);
+    EXPECT_LE(ulp_diff(trunc_exp(x, f), std::exp(x)), 2.0) << x;
+  }
+}
+
+TEST(MathExp, SmallArguments) {
+  const Format f = Format::fp64();
+  Rng rng(22);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-1e-8, 1e-8);
+    EXPECT_LE(ulp_diff(trunc_exp(x, f), std::exp(x)), 2.0) << x;
+  }
+}
+
+TEST(MathExp, SpecialValues) {
+  const Format f = Format::fp64();
+  EXPECT_DOUBLE_EQ(trunc_exp(0.0, f), 1.0);
+  EXPECT_TRUE(std::isinf(trunc_exp(INFINITY, f)));
+  EXPECT_DOUBLE_EQ(trunc_exp(-INFINITY, f), 0.0);
+  EXPECT_TRUE(std::isnan(trunc_exp(std::nan(""), f)));
+  EXPECT_TRUE(std::isinf(trunc_exp(1e6, f)));
+  EXPECT_DOUBLE_EQ(trunc_exp(-1e6, f), 0.0);
+}
+
+TEST(MathLog, MatchesLibmWithinUlps) {
+  Rng rng(23);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 5000; ++i) {
+    const double x = std::exp(rng.uniform(-700.0, 700.0));
+    EXPECT_LE(ulp_diff(trunc_log(x, f), std::log(x)), 2.0) << x;
+  }
+}
+
+TEST(MathLog, NearOne) {
+  const Format f = Format::fp64();
+  Rng rng(24);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = 1.0 + rng.uniform(-1e-6, 1e-6);
+    EXPECT_LE(ulp_diff(trunc_log(x, f), std::log(x)), 2.0) << x;
+  }
+}
+
+TEST(MathLog, SpecialValues) {
+  const Format f = Format::fp64();
+  EXPECT_DOUBLE_EQ(trunc_log(1.0, f), 0.0);
+  EXPECT_TRUE(std::isnan(trunc_log(-1.0, f)));
+  EXPECT_TRUE(std::isinf(trunc_log(0.0, f)));
+  EXPECT_LT(trunc_log(0.0, f), 0.0);
+  EXPECT_TRUE(std::isinf(trunc_log(INFINITY, f)));
+}
+
+TEST(MathLog, ExpLogRoundTrip) {
+  Rng rng(25);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-20.0, 20.0);
+    EXPECT_NEAR(trunc_log(trunc_exp(x, f), f), x, 1e-13 * std::max(1.0, std::fabs(x)));
+  }
+}
+
+TEST(MathLog2Log10, MatchesLibm) {
+  Rng rng(26);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 3000; ++i) {
+    const double x = std::exp(rng.uniform(-100.0, 100.0));
+    EXPECT_LE(ulp_diff(trunc_log2(x, f), std::log2(x)), 3.0) << x;
+    EXPECT_LE(ulp_diff(trunc_log10(x, f), std::log10(x)), 3.0) << x;
+  }
+  EXPECT_DOUBLE_EQ(trunc_log2(8.0, f), 3.0);
+  EXPECT_DOUBLE_EQ(trunc_log2(0.25, f), -2.0);
+}
+
+TEST(MathSinCos, MatchesLibmOnPrimaryRange) {
+  Rng rng(27);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    EXPECT_LE(ulp_diff(trunc_sin(x, f), std::sin(x)), 3.0) << x;
+    EXPECT_LE(ulp_diff(trunc_cos(x, f), std::cos(x)), 3.0) << x;
+  }
+}
+
+TEST(MathSinCos, PythagoreanIdentity) {
+  Rng rng(28);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-50.0, 50.0);
+    const double s = trunc_sin(x, f);
+    const double c = trunc_cos(x, f);
+    EXPECT_NEAR(s * s + c * c, 1.0, 1e-14) << x;
+  }
+}
+
+TEST(MathSinCos, ExactPoints) {
+  const Format f = Format::fp64();
+  EXPECT_DOUBLE_EQ(trunc_sin(0.0, f), 0.0);
+  EXPECT_DOUBLE_EQ(trunc_cos(0.0, f), 1.0);
+  EXPECT_NEAR(trunc_sin(M_PI_2, f), 1.0, 1e-15);
+  EXPECT_NEAR(trunc_cos(M_PI, f), -1.0, 1e-15);
+  EXPECT_TRUE(std::isnan(trunc_sin(INFINITY, f)));
+}
+
+TEST(MathTan, MatchesLibm) {
+  Rng rng(29);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform(-1.4, 1.4);
+    EXPECT_LE(ulp_diff(trunc_tan(x, f), std::tan(x)), 4.0) << x;
+  }
+}
+
+TEST(MathAtan, MatchesLibm) {
+  Rng rng(30);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-50.0, 50.0);
+    EXPECT_LE(ulp_diff(trunc_atan(x, f), std::atan(x)), 3.0) << x;
+  }
+  EXPECT_NEAR(trunc_atan(1e300, f), M_PI_2, 1e-15);
+  EXPECT_NEAR(trunc_atan(-1e300, f), -M_PI_2, 1e-15);
+}
+
+TEST(MathAtan2, QuadrantsMatchLibm) {
+  Rng rng(31);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 5000; ++i) {
+    const double y = rng.uniform(-10.0, 10.0);
+    const double x = rng.uniform(-10.0, 10.0);
+    if (std::fabs(x) < 1e-6) continue;
+    EXPECT_NEAR(trunc_atan2(y, x, f), std::atan2(y, x), 1e-14) << y << "," << x;
+  }
+  EXPECT_NEAR(trunc_atan2(1.0, 0.0, f), M_PI_2, 1e-15);
+  EXPECT_NEAR(trunc_atan2(-1.0, 0.0, f), -M_PI_2, 1e-15);
+}
+
+TEST(MathTanh, MatchesLibm) {
+  Rng rng(32);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform(-20.0, 20.0);
+    EXPECT_LE(ulp_diff(trunc_tanh(x, f), std::tanh(x)), 4.0) << x;
+  }
+  // Tiny-argument series path.
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-1e-3, 1e-3);
+    EXPECT_LE(ulp_diff(trunc_tanh(x, f), std::tanh(x)), 2.0) << x;
+  }
+  EXPECT_DOUBLE_EQ(trunc_tanh(100.0, f), 1.0);
+  EXPECT_DOUBLE_EQ(trunc_tanh(-100.0, f), -1.0);
+}
+
+TEST(MathCbrt, MatchesLibm) {
+  Rng rng(33);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform(-1e6, 1e6);
+    // glibc cbrt itself is only faithful to a few ulp; allow the combined
+    // discrepancy (we observed inputs where BigFloat is closer than libm).
+    EXPECT_LE(ulp_diff(trunc_cbrt(x, f), std::cbrt(x)), 4.0) << x;
+  }
+  EXPECT_DOUBLE_EQ(trunc_cbrt(27.0, f), 3.0);
+  EXPECT_DOUBLE_EQ(trunc_cbrt(-8.0, f), -2.0);
+}
+
+TEST(MathPow, MatchesLibm) {
+  Rng rng(34);
+  const Format f = Format::fp64();
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform(0.01, 100.0);
+    const double y = rng.uniform(-20.0, 20.0);
+    EXPECT_LE(ulp_diff(trunc_pow(x, y, f), std::pow(x, y)), 8.0) << x << "^" << y;
+  }
+}
+
+TEST(MathPow, IntegerExponentsNearExact) {
+  const Format f = Format::fp64();
+  EXPECT_DOUBLE_EQ(trunc_pow(2.0, 10.0, f), 1024.0);
+  EXPECT_DOUBLE_EQ(trunc_pow(3.0, 4.0, f), 81.0);
+  EXPECT_DOUBLE_EQ(trunc_pow(2.0, -3.0, f), 0.125);
+  EXPECT_DOUBLE_EQ(trunc_pow(-2.0, 3.0, f), -8.0);
+  EXPECT_DOUBLE_EQ(trunc_pow(-2.0, 2.0, f), 4.0);
+}
+
+TEST(MathPow, SpecialCases) {
+  const Format f = Format::fp64();
+  EXPECT_DOUBLE_EQ(trunc_pow(5.0, 0.0, f), 1.0);
+  EXPECT_DOUBLE_EQ(trunc_pow(0.0, 3.0, f), 0.0);
+  EXPECT_TRUE(std::isinf(trunc_pow(0.0, -2.0, f)));
+  EXPECT_TRUE(std::isnan(trunc_pow(-2.0, 0.5, f)));
+  EXPECT_DOUBLE_EQ(trunc_pow(1.0, 1e18, f), 1.0);
+  EXPECT_TRUE(std::isinf(trunc_pow(2.0, INFINITY, f)));
+  EXPECT_DOUBLE_EQ(trunc_pow(2.0, -INFINITY, f), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Reduced-precision behaviour of the math kernels
+// ---------------------------------------------------------------------------
+
+class MathFormatSweep : public ::testing::TestWithParam<Format> {};
+
+TEST_P(MathFormatSweep, ResultsRepresentableInFormat) {
+  const Format f = GetParam();
+  Rng rng(35);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.1, 4.0);
+    for (const double r : {trunc_exp(x, f), trunc_log(x, f), trunc_sin(x, f), trunc_cos(x, f),
+                           trunc_sqrt(x, f)}) {
+      EXPECT_TRUE(quantize(r, f) == r || (std::isnan(r))) << r;
+    }
+  }
+}
+
+TEST_P(MathFormatSweep, ErrorShrinksWithMantissa) {
+  // For a fixed argument, widening the mantissa from GetParam() to fp64 must
+  // not increase the error vs libm (sanity of the truncation semantics).
+  const Format f = GetParam();
+  const double x = 1.2345678;
+  const double coarse = std::fabs(trunc_exp(x, f) - std::exp(x));
+  const double fine = std::fabs(trunc_exp(x, Format::fp64()) - std::exp(x));
+  EXPECT_LE(fine, coarse + 1e-18);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, MathFormatSweep,
+                         ::testing::Values(Format{5, 4}, Format{5, 10}, Format{8, 14},
+                                           Format{8, 23}, Format{11, 42}),
+                         [](const auto& info) {
+                           return "e" + std::to_string(info.param.exp_bits) + "m" +
+                                  std::to_string(info.param.man_bits);
+                         });
+
+}  // namespace
+}  // namespace raptor::sf

@@ -1,0 +1,124 @@
+// Unit tests for support utilities: U192 arithmetic, RNG determinism, CLI.
+#include <gtest/gtest.h>
+
+#include "support/cli.hpp"
+#include "support/int128.hpp"
+#include "support/rng.hpp"
+
+namespace raptor {
+namespace {
+
+TEST(U192, FromU128RoundTrip) {
+  const u128 v = (u128{0x0123456789abcdefULL} << 64) | 0xfedcba9876543210ULL;
+  const U192 x = U192::from_u128(v);
+  EXPECT_EQ(x.w0, 0xfedcba9876543210ULL);
+  EXPECT_EQ(x.w1, 0x0123456789abcdefULL);
+  EXPECT_EQ(x.w2, 0u);
+}
+
+TEST(U192, ShiftLeftAcrossLimbs) {
+  U192 x{0x8000000000000001ULL, 0, 0};
+  x.shift_left(1);
+  EXPECT_EQ(x.w0, 2u);
+  EXPECT_EQ(x.w1, 1u);
+  x.shift_left(64);
+  EXPECT_EQ(x.w0, 0u);
+  EXPECT_EQ(x.w1, 2u);
+  EXPECT_EQ(x.w2, 1u);
+}
+
+TEST(U192, ShiftRightStickyReportsDroppedBits) {
+  U192 x{0b101, 0, 0};
+  EXPECT_TRUE(x.shift_right_sticky(1));
+  EXPECT_EQ(x.w0, 0b10u);
+  EXPECT_FALSE(x.shift_right_sticky(1));
+  EXPECT_EQ(x.w0, 0b1u);
+}
+
+TEST(U192, ShiftRightStickyLargeShift) {
+  U192 x{1, 0, 0x8000000000000000ULL};
+  EXPECT_TRUE(x.shift_right_sticky(130));
+  EXPECT_EQ(x.w0, 0x8000000000000000ULL >> 2);
+  EXPECT_EQ(x.w1, 0u);
+  EXPECT_EQ(x.w2, 0u);
+}
+
+TEST(U192, AddWithCarryPropagation) {
+  U192 a{~u64{0}, ~u64{0}, 0};
+  U192 b{1, 0, 0};
+  a.add(b);
+  EXPECT_EQ(a.w0, 0u);
+  EXPECT_EQ(a.w1, 0u);
+  EXPECT_EQ(a.w2, 1u);
+}
+
+TEST(U192, SubWithBorrowPropagation) {
+  U192 a{0, 0, 1};
+  U192 b{1, 0, 0};
+  a.sub(b);
+  EXPECT_EQ(a.w0, ~u64{0});
+  EXPECT_EQ(a.w1, ~u64{0});
+  EXPECT_EQ(a.w2, 0u);
+}
+
+TEST(U192, CompareOrdersLexicographically) {
+  U192 a{0, 1, 0};
+  U192 b{~u64{0}, 0, 0};
+  EXPECT_GT(a.compare(b), 0);
+  EXPECT_LT(b.compare(a), 0);
+  EXPECT_EQ(a.compare(a), 0);
+}
+
+TEST(U192, ClzCountsAcrossLimbs) {
+  EXPECT_EQ((U192{0, 0, 0}).clz(), 192);
+  EXPECT_EQ((U192{1, 0, 0}).clz(), 191);
+  EXPECT_EQ((U192{0, 1, 0}).clz(), 127);
+  EXPECT_EQ((U192{0, 0, u64{1} << 63}).clz(), 0);
+}
+
+TEST(Clz128, Basics) {
+  EXPECT_EQ(clz128(1), 127);
+  EXPECT_EQ(clz128(u128{1} << 127), 0);
+  EXPECT_EQ(clz128(u128{1} << 64), 63);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--beta=7", "--flag", "pos1"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.has("flag"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+}
+
+TEST(Cli, FlagValueIsTruthyOne) {
+  const char* argv[] = {"prog", "--verbose"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("verbose", 0), 1);
+}
+
+}  // namespace
+}  // namespace raptor
