@@ -43,7 +43,25 @@ struct Format {
   }
 
   [[nodiscard]] std::string to_string() const {
-    return "(" + std::to_string(exp_bits) + "," + std::to_string(man_bits) + ")";
+    // Appending (rather than chained operator+) sidesteps a GCC 12 -Wrestrict
+    // false positive on `const char* + std::string&&`.
+    std::string s;
+    s += '(';
+    s += std::to_string(exp_bits);
+    s += ',';
+    s += std::to_string(man_bits);
+    s += ')';
+    return s;
+  }
+
+  /// Identifier-safe name, e.g. "e8m23" (parameterized test names, filenames).
+  [[nodiscard]] std::string tag() const {
+    std::string s;
+    s += 'e';
+    s += std::to_string(exp_bits);
+    s += 'm';
+    s += std::to_string(man_bits);
+    return s;
   }
 
   friend constexpr bool operator==(const Format&, const Format&) = default;

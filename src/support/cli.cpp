@@ -19,7 +19,7 @@ Cli::Cli(int argc, char** argv) {
     } else {
       // Bare --flag. (--key value is intentionally unsupported: it is
       // ambiguous with a following positional argument.)
-      options_[std::string(arg)] = "1";
+      options_[std::string(arg)] = std::string("1");
     }
   }
 }

@@ -116,7 +116,7 @@ TEST(SupportExtras, LogLevelGate) {
 TEST(SupportExtras, TimerAdvances) {
   Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
   (void)sink;
   EXPECT_GT(t.seconds(), 0.0);
   t.reset();

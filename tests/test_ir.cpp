@@ -99,7 +99,7 @@ TEST_F(IrTest, PrinterRoundTripsThroughParser) {
 TEST_F(IrTest, ParseErrorsCarryLineNumbers) {
   EXPECT_THROW(parse_module("func @f( {\n"), ParseError);
   try {
-    parse_module("func @f(%a) -> f64 {\nentry:\n  %b = bogus %a\n  ret %b\n}\n");
+    (void)parse_module("func @f(%a) -> f64 {\nentry:\n  %b = bogus %a\n  ret %b\n}\n");
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
     EXPECT_EQ(e.line(), 3);

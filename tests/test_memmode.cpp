@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "runtime/runtime.hpp"
 #include "trunc/capi.hpp"
@@ -264,6 +265,60 @@ TEST(ShadowTableUnit, GenerationBumpsOnClear) {
   const u32 g0 = t.generation();
   t.clear();
   EXPECT_NE(t.generation(), g0);
+}
+
+TEST_F(MemModeTest, StraggleReleaseCannotFreeRecycledSlot) {
+  // The safety property behind the generation stamp (shadow_table.hpp): a
+  // straggling handle released AFTER clear() must not act on whatever fresh
+  // entry was recycled into its slot. Without the generation check, the
+  // stale release would decrement the recycled slot's refcount and free a
+  // live value out from under its owner.
+  const double stale = R.mem_make(1.0 / 3.0);
+  const u32 stale_id = boxing::unbox_id(stale);
+  R.mem_clear();
+  // The fresh allocation recycles the very slot the stale handle points at.
+  const double fresh = R.mem_make(42.0);
+  ASSERT_EQ(boxing::unbox_id(fresh), stale_id);
+  ASSERT_NE(boxing::unbox_generation(fresh), boxing::unbox_generation(stale));
+  // Hammer the stale handle: none of these may touch the recycled slot.
+  for (int i = 0; i < 4; ++i) R.mem_release(stale);
+  EXPECT_EQ(R.mem_live(), 1u);
+  EXPECT_DOUBLE_EQ(R.mem_value(fresh), 42.0);
+  EXPECT_DOUBLE_EQ(R.mem_shadow(fresh), 42.0);
+  // And a stale retain must not leak the slot either: one genuine release
+  // still frees it.
+  R.mem_retain(stale);
+  R.mem_release(fresh);
+  EXPECT_EQ(R.mem_live(), 0u);
+}
+
+TEST_F(MemModeTest, StraggleReleaseViaRealDestructorIsInert) {
+  // Same property through the Real<> front-end: a Real still alive across
+  // mem_clear() releases its handle from its destructor after the table has
+  // been recycled. That destructor must be a no-op for the new generation.
+  {
+    TruncScope scope(8, 10);
+    auto straggler = std::make_unique<Real>(Real(1.0) / Real(3.0));
+    ASSERT_TRUE(Runtime::is_boxed(straggler->raw()));
+    R.mem_clear();
+    const double fresh = R.mem_make(7.0);
+    straggler.reset();  // stale release fires here
+    EXPECT_EQ(R.mem_live(), 1u);
+    EXPECT_DOUBLE_EQ(R.mem_value(fresh), 7.0);
+    R.mem_release(fresh);
+  }
+  EXPECT_EQ(R.mem_live(), 0u);
+}
+
+TEST(ShadowTableUnit, GenerationWrapsAround16Bits) {
+  // The generation is a 16-bit stamp; document the wrap so the ABA window
+  // (a handle surviving exactly 65536 clears) stays a known, tested limit.
+  ShadowTable t;
+  const u32 g0 = t.generation();
+  for (int i = 0; i < 0x10000; ++i) t.clear();
+  EXPECT_EQ(t.generation(), g0);
+  t.clear();
+  EXPECT_EQ(t.generation(), (g0 + 1) & 0xFFFF);
 }
 
 TEST(ShadowTableUnit, AllocReuseAfterRelease) {

@@ -103,10 +103,7 @@ INSTANTIATE_TEST_SUITE_P(Formats, FormatProperty,
                          ::testing::Values(sf::Format{5, 4}, sf::Format{5, 10}, sf::Format{8, 14},
                                            sf::Format{8, 23}, sf::Format{11, 42},
                                            sf::Format{11, 52}),
-                         [](const auto& info) {
-                           return "e" + std::to_string(info.param.exp_bits) + "m" +
-                                  std::to_string(info.param.man_bits);
-                         });
+                         [](const auto& info) { return info.param.tag(); });
 
 // ---------------------------------------------------------------------------
 // Kahan summation through the instrumented scalar

@@ -398,9 +398,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Format{5, 2}, Format{4, 3}, Format{5, 4}, Format{8, 7}, Format{5, 10},
                       Format{5, 14}, Format{8, 23}, Format{11, 33}, Format{11, 42},
                       Format{11, 52}, Format{15, 58}, Format{18, 61}),
-    [](const auto& info) {
-      return "e" + std::to_string(info.param.exp_bits) + "m" + std::to_string(info.param.man_bits);
-    });
+    [](const auto& info) { return info.param.tag(); });
 
 // ---------------------------------------------------------------------------
 // Compare / representability

@@ -257,10 +257,7 @@ TEST_P(MathFormatSweep, ErrorShrinksWithMantissa) {
 INSTANTIATE_TEST_SUITE_P(Formats, MathFormatSweep,
                          ::testing::Values(Format{5, 4}, Format{5, 10}, Format{8, 14},
                                            Format{8, 23}, Format{11, 42}),
-                         [](const auto& info) {
-                           return "e" + std::to_string(info.param.exp_bits) + "m" +
-                                  std::to_string(info.param.man_bits);
-                         });
+                         [](const auto& info) { return info.param.tag(); });
 
 }  // namespace
 }  // namespace raptor::sf
