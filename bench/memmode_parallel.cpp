@@ -1,0 +1,107 @@
+// Parallel mem-mode benchmark: throughput scaling of the sharded,
+// lock-striped shadow table (DESIGN.md §7) plus the per-op locked-section
+// accounting behind the "1 locked read per boxed operand + 1 locked write
+// per result" claim. Before the sharding PR, mem-mode serialized every
+// operation on a single table mutex (up to ~8 acquisitions per op); this
+// harness shows both the reduced per-op cost and how mem-mode now scales
+// under concurrent threads (the substrates drive the same paths via OpenMP).
+//
+// Usage: memmode_parallel [iters-per-thread]   (default 200000)
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "support/timer.hpp"
+#include "trunc/real.hpp"
+#include "trunc/scope.hpp"
+
+namespace {
+
+using raptor::Real;
+using raptor::TruncScope;
+namespace rt = raptor::rt;
+
+/// Per-thread workload: a multiply-accumulate chain through the Real
+/// front-end — every iteration is two mem-mode ops, each doing boxed-operand
+/// reads plus a result allocation, with temporaries retiring entries.
+double run_workers(int nthreads, int iters) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  R.set_mode(rt::Mode::Mem);
+  // Throughput run: park the deviation threshold high so the heatmap lock
+  // does not serialize what the sharded value plane just parallelized.
+  R.set_deviation_threshold(1e30);
+  std::vector<double> sinks(static_cast<std::size_t>(nthreads), 0.0);
+  std::vector<std::thread> ws;
+  raptor::Timer timer;
+  for (int w = 0; w < nthreads; ++w) {
+    ws.emplace_back([iters, w, &sinks] {
+      TruncScope scope(8, 12);
+      Real x = 1.0 + w;
+      const Real scale = 1.0000001;
+      for (int i = 0; i < iters; ++i) x = x * scale + Real(1e-9);
+      sinks[static_cast<std::size_t>(w)] = x.shadow();
+      x.materialize();
+    });
+  }
+  for (std::thread& w : ws) w.join();
+  const double secs = timer.seconds();
+  if (R.mem_live() != 0) std::fprintf(stderr, "warning: leaked shadow entries\n");
+  R.reset_all();
+  return secs;
+}
+
+/// Locked-section audit: count shadow-table locked sections for each arity
+/// with fully boxed operands (the debug-measurable acceptance criterion).
+void report_locked_sections() {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  R.set_mode(rt::Mode::Mem);
+  raptor::TruncScope scope(8, 12);
+  const double a = R.mem_make(0.5);
+  const double b = R.mem_make(0.25);
+  const double c = R.mem_make(2.0);
+  constexpr int kOps = 10000;
+  std::vector<double> results;
+  results.reserve(kOps);
+
+  std::printf("\nlocked sections per mem-mode op (boxed operands only):\n");
+  std::printf("%-22s %-10s %s\n", "op", "sections", "breakdown");
+  const auto audit = [&](const char* name, int arity, auto&& op) {
+    results.clear();
+    R.mem_reset_locked_sections();
+    for (int i = 0; i < kOps; ++i) results.push_back(op());
+    const double per_op = static_cast<double>(R.mem_locked_sections()) / kOps;
+    std::printf("%-22s %-10.2f %d operand read(s) + 1 result alloc\n", name, per_op, arity);
+    for (const double r : results) R.mem_release(r);
+  };
+  audit("op1(sqrt)", 1, [&] { return R.op1(rt::OpKind::Sqrt, a, 64); });
+  audit("op2(add)", 2, [&] { return R.op2(rt::OpKind::Add, a, b, 64); });
+  audit("op3(fma)", 3, [&] { return R.op3(rt::OpKind::Fma, a, b, c, 64); });
+
+  R.mem_release(a);
+  R.mem_release(b);
+  R.mem_release(c);
+  R.reset_all();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 200000;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("mem-mode parallel scaling (%d iters/thread, 2 ops/iter, hw=%u threads)\n",
+              iters, hw);
+  std::printf("%-8s %-10s %-10s %s\n", "threads", "secs", "Mop/s", "speedup");
+  double base = 0.0;
+  for (const int nt : {1, 2, 4, 8}) {
+    const double secs = run_workers(nt, iters);
+    if (nt == 1) base = secs;
+    const double mops = 2.0 * nt * iters / secs / 1e6;
+    std::printf("%-8d %-10.3f %-10.2f %.2fx\n", nt, secs, mops, nt * base / secs);
+  }
+  report_locked_sections();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace raptor::rt {
 
@@ -15,10 +16,25 @@ struct EmuCell {
 };
 
 double deviation_of(double t, double s) {
-  if (std::isnan(t) || std::isnan(s)) return 0.0;
+  const bool t_nan = std::isnan(t);
+  const bool s_nan = std::isnan(s);
+  // Both NaN: the truncated run diverged exactly as the reference did —
+  // nothing new to flag. One-sided NaN is catastrophic divergence (e.g. a
+  // narrow-format overflow turning inf - inf into NaN while the FP64 shadow
+  // stays finite): report infinite deviation so the flag always fires.
+  if (t_nan && s_nan) return 0.0;
+  if (t_nan || s_nan) return std::numeric_limits<double>::infinity();
+  // Infinities would otherwise produce NaN (inf - inf or inf / inf): the
+  // same overflow on both sides is agreement, anything one-sided or
+  // sign-flipped is catastrophic.
+  if (std::isinf(t) || std::isinf(s)) {
+    return t == s ? 0.0 : std::numeric_limits<double>::infinity();
+  }
   const double denom = std::max(std::fabs(s), 1e-300);
   return std::fabs(t - s) / denom;
 }
+
+int width_index(int width) { return width == 64 ? 0 : width == 32 ? 1 : 2; }
 
 }  // namespace
 
@@ -32,11 +48,28 @@ struct Runtime::ThreadState {
     bool excluded = false;
   };
 
+  /// Resolved truncation state for one operand width: what
+  /// effective_format() would compute at the current scope/region/config
+  /// point. Recomputed lazily after any scope/region push/pop (local
+  /// invalidation) or global config change (epoch mismatch), so steady-state
+  /// op dispatch costs one flag test instead of a stack walk.
+  struct TruncCache {
+    bool cached = false;
+    bool active = false;
+    sf::Format fmt;
+  };
+
   std::vector<ScopeFrame> scopes;
   std::vector<RegionFrame> regions;
+  TruncCache trunc_cache[3];  ///< widths 64 / 32 / 16
+  u64 config_epoch = 0;
   CounterSnapshot counters;
   EmuCell scratch[4];
   Runtime* owner;
+
+  void invalidate_trunc_cache() {
+    for (TruncCache& c : trunc_cache) c.cached = false;
+  }
 
   explicit ThreadState(Runtime* o) : owner(o) { o->register_thread(this); }
   ~ThreadState() { owner->retire_thread(this); }
@@ -68,14 +101,20 @@ void Runtime::retire_thread(ThreadState* ts) {
 // ---------------------------------------------------------------------------
 
 void Runtime::set_truncate_all(const TruncationSpec& spec) {
-  std::lock_guard lock(config_mu_);
-  global_spec_ = spec;
-  have_global_ = true;
+  {
+    std::lock_guard lock(config_mu_);
+    global_spec_ = spec;
+    have_global_ = true;
+  }
+  config_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void Runtime::clear_truncate_all() {
-  std::lock_guard lock(config_mu_);
-  have_global_ = false;
+  {
+    std::lock_guard lock(config_mu_);
+    have_global_ = false;
+  }
+  config_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 std::optional<TruncationSpec> Runtime::truncate_all() const {
@@ -85,15 +124,21 @@ std::optional<TruncationSpec> Runtime::truncate_all() const {
 }
 
 void Runtime::exclude_region(const std::string& label) {
-  std::lock_guard lock(config_mu_);
-  if (std::find(exclusions_.begin(), exclusions_.end(), label) == exclusions_.end()) {
-    exclusions_.push_back(label);
+  {
+    std::lock_guard lock(config_mu_);
+    if (std::find(exclusions_.begin(), exclusions_.end(), label) == exclusions_.end()) {
+      exclusions_.push_back(label);
+    }
   }
+  config_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void Runtime::clear_exclusions() {
-  std::lock_guard lock(config_mu_);
-  exclusions_.clear();
+  {
+    std::lock_guard lock(config_mu_);
+    exclusions_.clear();
+  }
+  config_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 bool Runtime::is_excluded(const std::string& label) const {
@@ -106,13 +151,16 @@ bool Runtime::is_excluded(const std::string& label) const {
 // ---------------------------------------------------------------------------
 
 void Runtime::push_scope(const TruncationSpec& spec, bool enabled) {
-  tls().scopes.push_back({spec, enabled});
+  ThreadState& ts = tls();
+  ts.scopes.push_back({spec, enabled});
+  ts.invalidate_trunc_cache();
 }
 
 void Runtime::pop_scope() {
   ThreadState& ts = tls();
   RAPTOR_REQUIRE(!ts.scopes.empty(), "pop_scope without matching push_scope");
   ts.scopes.pop_back();
+  ts.invalidate_trunc_cache();
 }
 
 void Runtime::push_region(const char* label) {
@@ -122,12 +170,14 @@ void Runtime::push_region(const char* label) {
   bool excluded = !ts.regions.empty() && ts.regions.back().excluded;
   if (!excluded) excluded = is_excluded(label);
   ts.regions.push_back({label, excluded});
+  ts.invalidate_trunc_cache();
 }
 
 void Runtime::pop_region() {
   ThreadState& ts = tls();
   RAPTOR_REQUIRE(!ts.regions.empty(), "pop_region without matching push_region");
   ts.regions.pop_back();
+  ts.invalidate_trunc_cache();
 }
 
 const char* Runtime::current_region() {
@@ -136,19 +186,29 @@ const char* Runtime::current_region() {
 }
 
 const sf::Format* Runtime::effective_format(ThreadState& ts, int width) const {
-  const TruncationSpec* spec = nullptr;
-  bool enabled = false;
-  if (!ts.scopes.empty()) {
-    spec = &ts.scopes.back().spec;
-    enabled = ts.scopes.back().enabled;
-  } else if (have_global_) {
-    spec = &global_spec_;
-    enabled = true;
+  const u64 epoch = config_epoch_.load(std::memory_order_acquire);
+  if (ts.config_epoch != epoch) {
+    ts.invalidate_trunc_cache();
+    ts.config_epoch = epoch;
   }
-  if (!enabled || spec == nullptr) return nullptr;
-  if (!ts.regions.empty() && ts.regions.back().excluded) return nullptr;
-  const auto& f = spec->for_width(width);
-  return f ? &*f : nullptr;
+  ThreadState::TruncCache& c = ts.trunc_cache[width_index(width)];
+  if (!c.cached) {
+    std::optional<sf::Format> f;
+    if (ts.regions.empty() || !ts.regions.back().excluded) {
+      if (!ts.scopes.empty()) {
+        if (ts.scopes.back().enabled) f = ts.scopes.back().spec.for_width(width);
+      } else {
+        // Global spec: the only cross-thread input, read under config_mu_
+        // once per invalidation rather than on every operation.
+        std::lock_guard lock(config_mu_);
+        if (have_global_) f = global_spec_.for_width(width);
+      }
+    }
+    c.active = f.has_value();
+    if (f) c.fmt = *f;
+    c.cached = true;
+  }
+  return c.active ? &c.fmt : nullptr;
 }
 
 bool Runtime::truncation_active(int width) { return effective_format(tls(), width) != nullptr; }
@@ -267,6 +327,12 @@ double native3(OpKind k, double a, double b, double c) {
   return std::fma(a, b, c);
 }
 
+double native3_f32(OpKind k, double a, double b, double c) {
+  RAPTOR_REQUIRE(k == OpKind::Fma, "bad ternary op");
+  // Single-rounding fp32 FMA, matching the BigFloat fused semantics.
+  return std::fmaf(static_cast<float>(a), static_cast<float>(b), static_cast<float>(c));
+}
+
 }  // namespace
 
 double Runtime::emulate1(ThreadState& ts, OpKind k, double a, const sf::Format& f) {
@@ -340,10 +406,14 @@ double Runtime::mem_op(ThreadState& ts, OpKind k, const double* args, int n, con
   sf::BigFloat t[3];
   double s[3];
   double dev[3];
+  ShadowEntry e;
   for (int i = 0; i < n; ++i) {
+    // One locked read per boxed operand: the generation check and the entry
+    // copy share a single shard-locked section. A stale handle (surviving
+    // mem_clear) fails the check and is promoted below as a NaN *value*.
     if (boxing::is_boxed(args[i]) &&
-        boxing::unbox_generation(args[i]) == shadow_.generation()) {
-      const ShadowEntry e = shadow_.snapshot(boxing::unbox_id(args[i]));
+        shadow_.snapshot_if_current(boxing::unbox_id(args[i]),
+                                    boxing::unbox_generation(args[i]), e)) {
       t[i] = e.trunc;
       s[i] = e.shadow;
       dev[i] = deviation_of(t[i].to_double(), s[i]);
@@ -382,51 +452,75 @@ double Runtime::mem_op(ThreadState& ts, OpKind k, const double* args, int n, con
     const char* label = ts.regions.empty() ? "<toplevel>" : ts.regions.back().label;
     record_flag(label, k, dev_r, fresh);
   }
-  return boxing::box(shadow_.alloc(tr, sr), shadow_.generation());
+  // One locked write for the result: alloc_boxed stamps the generation under
+  // the same shard lock as the allocation.
+  return shadow_.alloc_boxed(tr, sr);
 }
 
 // Handles carry the table generation; after mem_clear() (which bumps it),
 // straggling handles become stale: reads return NaN, retain/release are
 // ignored. This keeps long-lived instrumented data structures safe across
-// experiment resets.
-bool Runtime::handle_current(double boxed) const {
-  return boxing::unbox_generation(boxed) == shadow_.generation();
-}
+// experiment resets. Every accessor below folds the generation check into
+// its single shard-locked section (the *_if_current ShadowTable calls).
 
 double Runtime::mem_make(double v, int width) {
   ThreadState& ts = tls();
   const sf::Format* f = effective_format(ts, width);
   const sf::BigFloat t =
       f ? sf::BigFloat::from_double_rounded(v, *f) : sf::BigFloat::from_double(v);
-  return boxing::box(shadow_.alloc(t, v), shadow_.generation());
+  return shadow_.alloc_boxed(t, v);
 }
 
 double Runtime::mem_value(double maybe_boxed) const {
   if (!boxing::is_boxed(maybe_boxed)) return maybe_boxed;
-  if (!handle_current(maybe_boxed)) return std::nan("");
-  return shadow_.snapshot(boxing::unbox_id(maybe_boxed)).trunc.to_double();
+  ShadowEntry e;
+  if (!shadow_.snapshot_if_current(boxing::unbox_id(maybe_boxed),
+                                   boxing::unbox_generation(maybe_boxed), e)) {
+    return std::nan("");
+  }
+  return e.trunc.to_double();
 }
 
 double Runtime::mem_shadow(double maybe_boxed) const {
   if (!boxing::is_boxed(maybe_boxed)) return maybe_boxed;
-  if (!handle_current(maybe_boxed)) return std::nan("");
-  return shadow_.snapshot(boxing::unbox_id(maybe_boxed)).shadow;
+  ShadowEntry e;
+  if (!shadow_.snapshot_if_current(boxing::unbox_id(maybe_boxed),
+                                   boxing::unbox_generation(maybe_boxed), e)) {
+    return std::nan("");
+  }
+  return e.shadow;
 }
 
 double Runtime::mem_deviation(double maybe_boxed) const {
   if (!boxing::is_boxed(maybe_boxed)) return 0.0;
-  if (!handle_current(maybe_boxed)) return 0.0;
-  const ShadowEntry e = shadow_.snapshot(boxing::unbox_id(maybe_boxed));
+  ShadowEntry e;
+  if (!shadow_.snapshot_if_current(boxing::unbox_id(maybe_boxed),
+                                   boxing::unbox_generation(maybe_boxed), e)) {
+    return 0.0;
+  }
   return deviation_of(e.trunc.to_double(), e.shadow);
 }
 
+double Runtime::mem_materialize(double maybe_boxed) {
+  if (!boxing::is_boxed(maybe_boxed)) return maybe_boxed;
+  ShadowEntry e;
+  if (!shadow_.take_if_current(boxing::unbox_id(maybe_boxed),
+                               boxing::unbox_generation(maybe_boxed), e)) {
+    return std::nan("");
+  }
+  return e.trunc.to_double();
+}
+
 void Runtime::mem_retain(double boxed) {
-  if (handle_current(boxed)) shadow_.retain(boxing::unbox_id(boxed));
+  if (boxing::is_boxed(boxed)) {
+    shadow_.retain_if_current(boxing::unbox_id(boxed), boxing::unbox_generation(boxed));
+  }
 }
 
 void Runtime::mem_release(double maybe_boxed) {
-  if (boxing::is_boxed(maybe_boxed) && handle_current(maybe_boxed)) {
-    shadow_.release(boxing::unbox_id(maybe_boxed));
+  if (boxing::is_boxed(maybe_boxed)) {
+    shadow_.release_if_current(boxing::unbox_id(maybe_boxed),
+                               boxing::unbox_generation(maybe_boxed));
   }
 }
 
@@ -508,7 +602,10 @@ double Runtime::op3(OpKind k, double a, double b, double c, int width) {
     const double args[3] = {a, b, c};
     return mem_op(ts, k, args, 3, *f, true);
   }
-  if (hw_fastpath_ && *f == sf::Format::fp64()) return native3(k, a, b, c);
+  if (hw_fastpath_) {
+    if (*f == sf::Format::fp64()) return native3(k, a, b, c);
+    if (*f == sf::Format::fp32()) return native3_f32(k, a, b, c);
+  }
   return emulate3(ts, k, a, b, c, *f);
 }
 

@@ -20,11 +20,19 @@
 //    cost profile of mpfr_init2/mpfr_clear); scratch mode reuses a
 //    thread-local pad.
 //
-// Thread model: every mutating per-op structure is thread-local; aggregate
-// views lock a registry. op-mode is safe under OpenMP; mem-mode is intended
-// for single-threaded analysis sections (as in the paper, §3.6).
+// Thread model (DESIGN.md §7): every mutating per-op structure is
+// thread-local; aggregate views lock a registry. op-mode is safe under
+// OpenMP. mem-mode is also OpenMP-safe: the shadow table is sharded into
+// lock-striped segments (shadow_table.hpp), the table generation is an
+// atomic read, and each mem-mode operation takes exactly one locked section
+// per boxed operand plus one for the result. Each thread additionally
+// caches its resolved truncation state (effective format per width), so op
+// dispatch does not re-walk the scope/region stacks per operation; the
+// cache is invalidated on scope/region push/pop and on global config
+// changes via an epoch counter.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -110,8 +118,17 @@ class Runtime {
   [[nodiscard]] double mem_deviation(double maybe_boxed) const;
   void mem_retain(double boxed);
   void mem_release(double maybe_boxed);
+  /// Read the truncated value and release the entry in a single locked
+  /// section (Real::materialize / the `_raptor_post_c` primitive). Plain
+  /// doubles pass through; stale handles collapse to NaN.
+  double mem_materialize(double maybe_boxed);
   [[nodiscard]] static bool is_boxed(double d) { return boxing::is_boxed(d); }
   [[nodiscard]] std::size_t mem_live() const { return shadow_.live(); }
+  /// Shadow-table locked-section accounting (see ShadowTable): mem-mode
+  /// per-op cost is 1 locked read per boxed operand + 1 locked write for
+  /// the result; test_memmode pins this and bench/memmode_parallel reports it.
+  [[nodiscard]] u64 mem_locked_sections() const { return shadow_.locked_sections(); }
+  void mem_reset_locked_sections() { shadow_.reset_locked_sections(); }
   /// Drop all mem-mode entries (between experiments; callers ensure no
   /// boxed doubles survive).
   void mem_clear() { shadow_.clear(); }
@@ -136,7 +153,10 @@ class Runtime {
   struct ThreadState;
   ThreadState& tls();
 
-  /// nullptr when no truncation applies at the current point.
+  /// nullptr when no truncation applies at the current point. The resolved
+  /// state is cached in `ts` (per width) so repeated ops between scope or
+  /// region changes skip the stack walk; the returned pointer aims into the
+  /// thread-local cache and stays valid until the next scope/region change.
   const sf::Format* effective_format(ThreadState& ts, int width) const;
 
   double native1(OpKind k, double a) const;
@@ -150,8 +170,6 @@ class Runtime {
 
   double mem_op(ThreadState& ts, OpKind k, const double* args, int n, const sf::Format& f,
                 bool truncated);
-  /// True if a boxed handle belongs to the current shadow-table generation.
-  [[nodiscard]] bool handle_current(double boxed) const;
 
   void record_flag(const char* location, OpKind k, double deviation, bool fresh);
 
@@ -169,6 +187,10 @@ class Runtime {
   bool have_global_ = false;
   TruncationSpec global_spec_;
   std::vector<std::string> exclusions_;
+  /// Bumped on every global truncation/exclusion change; thread-local
+  /// truncation caches revalidate against it (starts at 1 so a fresh
+  /// ThreadState with epoch 0 always recomputes).
+  std::atomic<u64> config_epoch_{1};
 
   mutable std::mutex threads_mu_;
   std::vector<ThreadState*> threads_;

@@ -2,56 +2,192 @@
 
 namespace raptor::rt {
 
-u32 ShadowTable::alloc(const sf::BigFloat& trunc, double shadow) {
-  std::lock_guard lock(mu_);
-  u32 id;
-  if (!free_.empty()) {
-    id = free_.back();
-    free_.pop_back();
+namespace {
+
+/// Home shard for the calling thread, assigned round-robin at first use.
+/// Threads allocate from their home shard only, so parallel alloc/release
+/// streams contend on distinct locks as long as thread count <= kShards;
+/// reads and releases of *shared* handles go to the owning shard and stripe
+/// naturally across the id space.
+u32 home_shard_index() {
+  static std::atomic<u32> next{0};
+  thread_local const u32 idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (ShadowTable::kShards - 1);
+  return idx;
+}
+
+}  // namespace
+
+u32 ShadowTable::alloc_slot_locked(Shard& sh, u32 shard_index, const sf::BigFloat& trunc,
+                                   double shadow) {
+  u32 slot;
+  if (!sh.free_slots.empty()) {
+    slot = sh.free_slots.back();
+    sh.free_slots.pop_back();
   } else {
-    id = static_cast<u32>(entries_.size());
-    RAPTOR_REQUIRE(id < 0xFFFFFFFFu, "shadow table exhausted (2^32 live values)");
-    entries_.emplace_back();
+    slot = static_cast<u32>(sh.entries.size());
+    RAPTOR_REQUIRE(slot < (1u << (32 - kShardBits)),
+                   "shadow table shard exhausted (2^28 live values per shard)");
+    sh.entries.emplace_back();
   }
-  ShadowEntry& e = entries_[id];
+  ShadowEntry& e = sh.entries[slot];
   e.trunc = trunc;
   e.shadow = shadow;
   e.refcount = 1;
-  ++live_;
-  return id;
+  ++sh.live;
+  return make_id(shard_index, slot);
 }
 
-void ShadowTable::retain(u32 id) {
-  std::lock_guard lock(mu_);
-  RAPTOR_ASSERT(id < entries_.size() && entries_[id].refcount > 0);
-  ++entries_[id].refcount;
+namespace {
+
+/// Shared refcount mutations; caller holds the shard's mutex. These are the
+/// single definition of the free protocol so the checked and unchecked
+/// retain/release/take variants cannot diverge.
+void retain_slot_locked(auto& sh, u32 slot) {
+  RAPTOR_ASSERT(slot < sh.entries.size() && sh.entries[slot].refcount > 0);
+  ++sh.entries[slot].refcount;
 }
 
-void ShadowTable::release(u32 id) {
-  std::lock_guard lock(mu_);
-  RAPTOR_ASSERT(id < entries_.size() && entries_[id].refcount > 0);
-  if (--entries_[id].refcount == 0) {
-    free_.push_back(id);
-    --live_;
+void release_slot_locked(auto& sh, u32 slot) {
+  RAPTOR_ASSERT(slot < sh.entries.size() && sh.entries[slot].refcount > 0);
+  if (--sh.entries[slot].refcount == 0) {
+    sh.free_slots.push_back(slot);
+    --sh.live;
   }
 }
 
+}  // namespace
+
+u32 ShadowTable::alloc(const sf::BigFloat& trunc, double shadow) {
+  const u32 s = home_shard_index();
+  Shard& sh = shards_[s];
+  std::lock_guard lock(sh.mu);
+  ++sh.locked_sections;
+  return alloc_slot_locked(sh, s, trunc, shadow);
+}
+
+double ShadowTable::alloc_boxed(const sf::BigFloat& trunc, double shadow) {
+  const u32 s = home_shard_index();
+  Shard& sh = shards_[s];
+  std::lock_guard lock(sh.mu);
+  ++sh.locked_sections;
+  const u32 id = alloc_slot_locked(sh, s, trunc, shadow);
+  // clear() holds every shard lock while bumping the generation, so this
+  // relaxed read is exact while we hold sh.mu: id and stamp always agree.
+  return boxing::box(id, generation_.load(std::memory_order_relaxed));
+}
+
+ShadowEntry ShadowTable::snapshot(u32 id) const {
+  const Shard& sh = shards_[shard_of(id)];
+  std::lock_guard lock(sh.mu);
+  ++sh.locked_sections;
+  const u32 slot = slot_of(id);
+  RAPTOR_ASSERT(slot < sh.entries.size());
+  return sh.entries[slot];
+}
+
+bool ShadowTable::snapshot_if_current(u32 id, u32 generation, ShadowEntry& out) const {
+  const Shard& sh = shards_[shard_of(id)];
+  std::lock_guard lock(sh.mu);
+  ++sh.locked_sections;
+  if (generation != generation_.load(std::memory_order_relaxed)) return false;
+  const u32 slot = slot_of(id);
+  RAPTOR_ASSERT(slot < sh.entries.size());
+  out = sh.entries[slot];
+  return true;
+}
+
+bool ShadowTable::take_if_current(u32 id, u32 generation, ShadowEntry& out) {
+  Shard& sh = shards_[shard_of(id)];
+  std::lock_guard lock(sh.mu);
+  ++sh.locked_sections;
+  if (generation != generation_.load(std::memory_order_relaxed)) return false;
+  const u32 slot = slot_of(id);
+  RAPTOR_ASSERT(slot < sh.entries.size() && sh.entries[slot].refcount > 0);
+  out = sh.entries[slot];
+  release_slot_locked(sh, slot);
+  return true;
+}
+
+void ShadowTable::retain(u32 id) {
+  Shard& sh = shards_[shard_of(id)];
+  std::lock_guard lock(sh.mu);
+  ++sh.locked_sections;
+  retain_slot_locked(sh, slot_of(id));
+}
+
+void ShadowTable::release(u32 id) {
+  Shard& sh = shards_[shard_of(id)];
+  std::lock_guard lock(sh.mu);
+  ++sh.locked_sections;
+  release_slot_locked(sh, slot_of(id));
+}
+
+void ShadowTable::retain_if_current(u32 id, u32 generation) {
+  Shard& sh = shards_[shard_of(id)];
+  std::lock_guard lock(sh.mu);
+  ++sh.locked_sections;
+  if (generation != generation_.load(std::memory_order_relaxed)) return;
+  retain_slot_locked(sh, slot_of(id));
+}
+
+void ShadowTable::release_if_current(u32 id, u32 generation) {
+  Shard& sh = shards_[shard_of(id)];
+  std::lock_guard lock(sh.mu);
+  ++sh.locked_sections;
+  if (generation != generation_.load(std::memory_order_relaxed)) return;
+  release_slot_locked(sh, slot_of(id));
+}
+
 std::size_t ShadowTable::live() const {
-  std::lock_guard lock(mu_);
-  return live_;
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    n += sh.live;
+  }
+  return n;
 }
 
 std::size_t ShadowTable::capacity() const {
-  std::lock_guard lock(mu_);
-  return entries_.size();
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    n += sh.entries.size();
+  }
+  return n;
 }
 
 void ShadowTable::clear() {
-  std::lock_guard lock(mu_);
-  entries_.clear();
-  free_.clear();
-  live_ = 0;
-  generation_ = (generation_ + 1) & 0xFFFF;
+  // Lock every shard (fixed order: clear is the only multi-lock path, so the
+  // order cannot deadlock against single-shard users), bump the generation
+  // while the whole table is quiescent, then drop the entries. Holding all
+  // locks across the bump is what lets the *_if_current operations treat a
+  // matching generation as proof the entry state they see is current.
+  std::unique_lock<std::mutex> locks[kShards];
+  for (u32 s = 0; s < kShards; ++s) locks[s] = std::unique_lock(shards_[s].mu);
+  generation_.store((generation_.load(std::memory_order_relaxed) + 1) & 0xFFFF,
+                    std::memory_order_release);
+  for (Shard& sh : shards_) {
+    sh.entries.clear();
+    sh.free_slots.clear();
+    sh.live = 0;
+  }
+}
+
+u64 ShadowTable::locked_sections() const {
+  u64 n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    n += sh.locked_sections;
+  }
+  return n;
+}
+
+void ShadowTable::reset_locked_sections() {
+  for (Shard& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    sh.locked_sections = 0;
+  }
 }
 
 }  // namespace raptor::rt

@@ -115,10 +115,8 @@ double _raptor_pre_c(double v, int to_e, int to_m) {
 }
 
 double _raptor_post_c(double v, int /*to_e*/, int /*to_m*/) {
-  auto& R = rt::Runtime::instance();
-  const double out = R.mem_value(v);
-  R.mem_release(v);
-  return out;
+  // Read-back and release share one shadow-table locked section.
+  return rt::Runtime::instance().mem_materialize(v);
 }
 
 void* _raptor_alloc_scratch(int /*to_e*/, int /*to_m*/) {

@@ -54,13 +54,9 @@ class Real {
     return rt::Runtime::is_boxed(v_) ? rt::Runtime::instance().mem_shadow(v_) : v_;
   }
   /// Collapse a mem-mode value back to a plain double (the `_raptor_post_c`
-  /// step); no-op in op-mode.
+  /// step); no-op in op-mode. Read + release happen in one locked section.
   void materialize() {
-    if (rt::Runtime::is_boxed(v_)) {
-      const double t = rt::Runtime::instance().mem_value(v_);
-      rt::Runtime::instance().mem_release(v_);
-      v_ = t;
-    }
+    if (rt::Runtime::is_boxed(v_)) v_ = rt::Runtime::instance().mem_materialize(v_);
   }
   /// Raw payload (tests / C API interop).
   [[nodiscard]] double raw() const { return v_; }

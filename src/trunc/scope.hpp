@@ -41,6 +41,24 @@ class Region {
   Region& operator=(const Region&) = delete;
 };
 
+/// RAII runtime-mode switch: sets the mode on construction and restores the
+/// previous one on destruction — including when the guarded code throws, so
+/// a trunc_func_mem wrapper cannot leave the runtime stuck in mem-mode on an
+/// exception path.
+class ModeScope {
+ public:
+  explicit ModeScope(rt::Mode m) : saved_(rt::Runtime::instance().mode()) {
+    rt::Runtime::instance().set_mode(m);
+  }
+  ~ModeScope() { rt::Runtime::instance().set_mode(saved_); }
+
+  ModeScope(const ModeScope&) = delete;
+  ModeScope& operator=(const ModeScope&) = delete;
+
+ private:
+  rt::Mode saved_;
+};
+
 /// Function-scope op-mode truncation (paper Fig. 3b): returns a callable
 /// executing `fn` with 64-bit FP ops truncated to (to_exp, to_man).
 template <typename Fn>
@@ -66,9 +84,7 @@ auto trunc_func_op(Fn fn, int from_width, int to_exp, int to_man) {
 template <typename Fn>
 auto trunc_func_mem(Fn fn, int from_width, int to_exp, int to_man) {
   return [fn = std::move(fn), from_width, to_exp, to_man](auto&&... args) {
-    auto& R = rt::Runtime::instance();
-    const rt::Mode saved = R.mode();
-    R.set_mode(rt::Mode::Mem);
+    ModeScope mode(rt::Mode::Mem);
     rt::TruncationSpec spec;
     const sf::Format fmt{to_exp, to_man};
     switch (from_width) {
@@ -76,18 +92,8 @@ auto trunc_func_mem(Fn fn, int from_width, int to_exp, int to_man) {
       case 32: spec.for32 = fmt; break;
       default: spec.for16 = fmt; break;
     }
-    if constexpr (std::is_void_v<decltype(fn(std::forward<decltype(args)>(args)...))>) {
-      {
-        TruncScope scope(spec);
-        fn(std::forward<decltype(args)>(args)...);
-      }
-      R.set_mode(saved);
-    } else {
-      TruncScope scope(spec);
-      auto result = fn(std::forward<decltype(args)>(args)...);
-      R.set_mode(saved);
-      return result;
-    }
+    TruncScope scope(spec);
+    return fn(std::forward<decltype(args)>(args)...);
   };
 }
 

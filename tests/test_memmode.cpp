@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 
 #include "runtime/runtime.hpp"
 #include "trunc/capi.hpp"
@@ -319,6 +321,151 @@ TEST(ShadowTableUnit, GenerationWrapsAround16Bits) {
   EXPECT_EQ(t.generation(), g0);
   t.clear();
   EXPECT_EQ(t.generation(), (g0 + 1) & 0xFFFF);
+}
+
+TEST_F(MemModeTest, OneSidedNaNDeviationIsInfiniteAndFlags) {
+  // Regression: deviation_of used to return 0.0 whenever either side was
+  // NaN, so catastrophic divergence — a narrow-format overflow turning
+  // inf - inf into NaN while the FP64 shadow stays finite — was never
+  // flagged. One-sided NaN must report infinite deviation.
+  TruncScope scope(2, 4);  // emax = 1: anything big overflows to inf
+  Region region("overflow/site");
+  const double a = R.mem_make(1e300);  // trunc = +inf, shadow = 1e300
+  const double b = R.mem_make(2e300);  // trunc = +inf, shadow = 2e300
+  const double r = R.op2(OpKind::Sub, a, b, 64);
+  ASSERT_TRUE(Runtime::is_boxed(r));
+  EXPECT_TRUE(std::isnan(R.mem_value(r)));            // inf - inf
+  EXPECT_DOUBLE_EQ(R.mem_shadow(r), 1e300 - 2e300);   // finite reference
+  EXPECT_EQ(R.mem_deviation(r), std::numeric_limits<double>::infinity());
+  const auto report = R.flag_report();
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report[0].location, "overflow/site");
+  EXPECT_EQ(report[0].max_deviation, std::numeric_limits<double>::infinity());
+  R.mem_release(r);
+  R.mem_release(b);
+  R.mem_release(a);
+}
+
+TEST_F(MemModeTest, ShadowSideNaNAlsoFlags) {
+  // The mirror case via precision increase: values beyond FP64 range are
+  // finite in a wide target format while the FP64 shadow overflows, so the
+  // shadow (not the truncated value) goes inf - inf = NaN.
+  TruncScope scope(15, 52);
+  Region region("wide/site");
+  const double a = R.mem_make(1e308);
+  const double b = R.op2(OpKind::Mul, a, a, 64);  // trunc ~1e616, shadow = inf
+  // Both sides read back as +inf (the wide trunc saturates double on
+  // readback): identical divergence is agreement, not NaN, not a flag.
+  EXPECT_EQ(R.mem_deviation(b), 0.0);
+  const double r = R.op2(OpKind::Div, b, b, 64);  // trunc = 1, shadow = NaN
+  EXPECT_DOUBLE_EQ(R.mem_value(r), 1.0);
+  EXPECT_TRUE(std::isnan(R.mem_shadow(r)));
+  EXPECT_EQ(R.mem_deviation(r), std::numeric_limits<double>::infinity());
+  const auto report = R.flag_report();
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report[0].max_deviation, std::numeric_limits<double>::infinity());
+  R.mem_release(r);
+  R.mem_release(b);
+  R.mem_release(a);
+}
+
+TEST_F(MemModeTest, BothNaNDeviationStaysZero) {
+  // When the truncated run and the reference diverge *identically* into NaN
+  // (e.g. sqrt of a negative), nothing new happened: deviation stays 0 and
+  // no flag fires.
+  TruncScope scope(8, 10);
+  const double a = R.mem_make(-1.0);
+  const double r = R.op1(OpKind::Sqrt, a, 64);
+  EXPECT_TRUE(std::isnan(R.mem_value(r)));
+  EXPECT_TRUE(std::isnan(R.mem_shadow(r)));
+  EXPECT_EQ(R.mem_deviation(r), 0.0);
+  EXPECT_TRUE(R.flag_report().empty());
+  R.mem_release(r);
+  R.mem_release(a);
+}
+
+TEST_F(MemModeTest, TruncFuncMemRestoresModeWhenCallableThrows) {
+  // Regression: the wrapper used to skip set_mode(saved) when fn threw,
+  // leaving the runtime stuck in mem-mode. The RAII ModeScope restores it.
+  R.set_mode(Mode::Op);
+  auto fn = trunc_func_mem(
+      [](double) -> double { throw std::runtime_error("kernel blew up"); }, 64, 8, 12);
+  EXPECT_THROW(fn(1.0), std::runtime_error);
+  EXPECT_EQ(R.mode(), Mode::Op);
+  // Void-returning callables route through the same unified wrapper body.
+  auto vfn = trunc_func_mem([](double) { throw std::runtime_error("boom"); }, 64, 8, 12);
+  EXPECT_THROW(vfn(1.0), std::runtime_error);
+  EXPECT_EQ(R.mode(), Mode::Op);
+}
+
+TEST_F(MemModeTest, StaleOperandPromotesAsNaNValue) {
+  // Documented stale-handle semantics in mem_op: a boxed handle surviving
+  // mem_clear() used as an *operand* is promoted as a NaN value (the boxed
+  // double is itself a NaN), so the result is NaN/NaN — both-NaN, no flag.
+  TruncScope scope(8, 10);
+  const double stale = R.mem_make(2.0);
+  R.mem_clear();
+  const double r = R.op2(OpKind::Add, stale, 1.0, 64);
+  ASSERT_TRUE(Runtime::is_boxed(r));
+  EXPECT_TRUE(std::isnan(R.mem_value(r)));
+  EXPECT_TRUE(std::isnan(R.mem_shadow(r)));
+  EXPECT_EQ(R.mem_deviation(r), 0.0);
+  EXPECT_TRUE(R.flag_report().empty());
+  R.mem_release(r);
+  EXPECT_EQ(R.mem_live(), 0u);
+}
+
+TEST_F(MemModeTest, GenerationWrapAliasesStaleOperandAfter65536Clears) {
+  // The ABA window documented in shadow_table.hpp, seen from mem_op: after
+  // exactly 2^16 clears the 16-bit stamp matches again and a stale handle
+  // aliases whatever was recycled into its slot — it reads the *fresh*
+  // entry's value instead of NaN. This pins the known limit.
+  TruncScope scope(8, 10);
+  const double stale = R.mem_make(1.0);
+  const u32 id = boxing::unbox_id(stale);
+  for (int i = 0; i < 0x10000; ++i) R.mem_clear();
+  const double fresh = R.mem_make(42.0);
+  ASSERT_EQ(boxing::unbox_id(fresh), id);  // same thread -> same shard slot
+  ASSERT_EQ(boxing::unbox_generation(fresh), boxing::unbox_generation(stale));
+  EXPECT_DOUBLE_EQ(R.mem_value(stale), 42.0);  // aliased, not NaN
+  const double r = R.op2(OpKind::Add, stale, 1.0, 64);
+  EXPECT_DOUBLE_EQ(R.mem_shadow(r), 43.0);  // operand read the recycled slot
+  R.mem_release(r);
+  R.mem_release(fresh);
+  EXPECT_EQ(R.mem_live(), 0u);
+}
+
+TEST_F(MemModeTest, LockedSectionCountIsOnePerBoxedOperandPlusResult) {
+  // The tentpole acceptance criterion: mem-mode per-op shadow-table cost is
+  // exactly one locked read per boxed operand plus one locked write for the
+  // result (generation reads are lock-free).
+  TruncScope scope(8, 10);
+  const double a = R.mem_make(0.5);
+  const double b = R.mem_make(0.25);
+  const double c = R.mem_make(2.0);
+
+  R.mem_reset_locked_sections();
+  const double r2 = R.op2(OpKind::Add, a, b, 64);
+  EXPECT_EQ(R.mem_locked_sections(), 3u);  // 2 operand reads + 1 result alloc
+
+  R.mem_reset_locked_sections();
+  const double r1 = R.op1(OpKind::Sqrt, a, 64);
+  EXPECT_EQ(R.mem_locked_sections(), 2u);  // 1 operand read + 1 result alloc
+
+  R.mem_reset_locked_sections();
+  const double r3 = R.op3(OpKind::Fma, a, b, c, 64);
+  EXPECT_EQ(R.mem_locked_sections(), 4u);  // 3 operand reads + 1 result alloc
+
+  R.mem_reset_locked_sections();
+  const double rm = R.op2(OpKind::Mul, a, 3.0, 64);
+  EXPECT_EQ(R.mem_locked_sections(), 2u);  // plain operands cost no lock
+
+  R.mem_reset_locked_sections();
+  const double mk = R.mem_make(1.0);
+  EXPECT_EQ(R.mem_locked_sections(), 1u);  // mem_make: 1 result alloc
+
+  for (double h : {r2, r1, r3, rm, mk, c, b, a}) R.mem_release(h);
+  EXPECT_EQ(R.mem_live(), 0u);
 }
 
 TEST(ShadowTableUnit, AllocReuseAfterRelease) {

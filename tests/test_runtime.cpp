@@ -256,6 +256,47 @@ TEST_F(RuntimeTest, HwFastpathMatchesEmulationForFp32) {
   EXPECT_DOUBLE_EQ(emu, hw);
 }
 
+TEST_F(RuntimeTest, HwFastpathParityAcrossArities) {
+  // Regression: op3 had no fp32 hardware fast path — hw_fastpath_ only
+  // short-circuited fp64 FMA, so fp32-target FMAs silently fell into
+  // BigFloat emulation while op1/op2 ran native. All three arities must
+  // agree with emulation (both are correctly rounded) and the fp32 FMA must
+  // match the single-rounding native std::fmaf.
+  TruncScope scope(8, 23);  // fp32 target
+  const double a = 1.0 / 3.0, b = 3.14159, c = -2.5;
+
+  R.set_hw_fastpath(false);
+  const double emu1 = R.op1(OpKind::Sqrt, b, 64);
+  const double emu2 = R.op2(OpKind::Mul, a, b, 64);
+  const double emu3 = R.op3(OpKind::Fma, a, b, c, 64);
+
+  R.set_hw_fastpath(true);
+  EXPECT_DOUBLE_EQ(R.op1(OpKind::Sqrt, b, 64), emu1);
+  EXPECT_DOUBLE_EQ(R.op2(OpKind::Mul, a, b, 64), emu2);
+  EXPECT_DOUBLE_EQ(R.op3(OpKind::Fma, a, b, c, 64), emu3);
+  EXPECT_DOUBLE_EQ(
+      R.op3(OpKind::Fma, a, b, c, 64),
+      static_cast<double>(std::fmaf(static_cast<float>(a), static_cast<float>(b),
+                                    static_cast<float>(c))));
+  // Fused semantics: a single rounding, not mul-then-add in fp32. Pick
+  // operands where the two differ: x*x - y*y with x = 1 + 2^-12 and y = 1.
+  const double x = 1.0 + 0x1p-12;
+  const double xx = static_cast<double>(static_cast<float>(x) * static_cast<float>(x));
+  const double fused = R.op3(OpKind::Fma, x, x, -xx, 64);
+  EXPECT_NE(fused, 0.0);  // the round-off a*b - round(a*b), exact under FMA
+  EXPECT_DOUBLE_EQ(fused, std::fma(static_cast<float>(x), static_cast<float>(x), -xx));
+}
+
+TEST_F(RuntimeTest, Fp64FastpathFmaMatchesEmulation) {
+  TruncScope scope(11, 52);  // fp64 target
+  const double a = 1.0 / 3.0, b = 1.0 / 7.0, c = 1e-20;
+  R.set_hw_fastpath(false);
+  const double emu = R.op3(OpKind::Fma, a, b, c, 64);
+  R.set_hw_fastpath(true);
+  EXPECT_DOUBLE_EQ(R.op3(OpKind::Fma, a, b, c, 64), emu);
+  EXPECT_DOUBLE_EQ(R.op3(OpKind::Fma, a, b, c, 64), std::fma(a, b, c));
+}
+
 // ---------------------------------------------------------------------------
 // OpenMP thread safety (op-mode)
 // ---------------------------------------------------------------------------

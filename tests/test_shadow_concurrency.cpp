@@ -1,0 +1,234 @@
+// Concurrency tests for the sharded, lock-striped ShadowTable and the
+// mem-mode runtime paths (DESIGN.md §7). Everything here also runs under
+// ThreadSanitizer in CI (the tsan job builds with -fsanitize=thread), so
+// these tests double as the race detectors for the mem-mode value plane.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "trunc/real.hpp"
+#include "trunc/scope.hpp"
+
+namespace raptor::rt {
+namespace {
+
+constexpr int kThreads = 8;  // acceptance criterion: >= 4
+
+void join_all(std::vector<std::thread>& ws) {
+  for (std::thread& w : ws) w.join();
+}
+
+TEST(ShadowConcurrency, ParallelAllocSnapshotRetainReleaseTake) {
+  ShadowTable t;
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> ws;
+  for (int w = 0; w < kThreads; ++w) {
+    ws.emplace_back([&t, &ok, w] {
+      const u32 gen = t.generation();
+      for (int i = 0; i < 2000; ++i) {
+        const double want = w * 1e4 + i;
+        const u32 id = t.alloc(sf::BigFloat::from_double(want), want);
+        ShadowEntry e;
+        if (!t.snapshot_if_current(id, gen, e) || e.shadow != want) ok = false;
+        t.retain(id);   // rc 2
+        t.release(id);  // rc 1
+        ShadowEntry taken;
+        if (!t.take_if_current(id, gen, taken) || taken.shadow != want) ok = false;  // rc 0
+      }
+    });
+  }
+  join_all(ws);
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(t.live(), 0u);
+}
+
+TEST(ShadowConcurrency, SharedHandlesRetainReleaseRace) {
+  // All threads hammer retain/release/snapshot on the *same* ids: refcounts
+  // must balance exactly and entry payloads must never tear.
+  ShadowTable t;
+  const u32 gen = t.generation();
+  constexpr int kEntries = 64;
+  std::vector<u32> ids;
+  ids.reserve(kEntries);
+  for (int i = 0; i < kEntries; ++i) {
+    ids.push_back(t.alloc(sf::BigFloat::from_int(i), static_cast<double>(i)));
+  }
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> ws;
+  for (int w = 0; w < kThreads; ++w) {
+    ws.emplace_back([&t, &ids, &ok, gen] {
+      for (int iter = 0; iter < 500; ++iter) {
+        for (int i = 0; i < kEntries; ++i) {
+          t.retain_if_current(ids[i], gen);
+          ShadowEntry e;
+          if (!t.snapshot_if_current(ids[i], gen, e) ||
+              e.shadow != static_cast<double>(i)) {
+            ok = false;
+          }
+          t.release_if_current(ids[i], gen);
+        }
+      }
+    });
+  }
+  join_all(ws);
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(t.live(), static_cast<std::size_t>(kEntries));
+  for (const u32 id : ids) t.release(id);
+  EXPECT_EQ(t.live(), 0u);
+}
+
+TEST(ShadowConcurrency, ClearWithStragglersGenerationTest) {
+  // The generation-invalidation property under threads: handles minted
+  // before clear() are hammered by straggler threads after it — every call
+  // must be inert while fresh entries stay untouched.
+  ShadowTable t;
+  const u32 stale_gen = t.generation();
+  std::vector<u32> stale_ids;
+  for (int i = 0; i < 64; ++i) {
+    stale_ids.push_back(t.alloc(sf::BigFloat::from_int(i), static_cast<double>(i)));
+  }
+  t.clear();
+  const u32 fresh_gen = t.generation();
+  ASSERT_NE(fresh_gen, stale_gen);
+  std::vector<u32> fresh_ids;
+  for (int i = 0; i < 64; ++i) {
+    fresh_ids.push_back(t.alloc(sf::BigFloat::from_int(1000 + i), 1000.0 + i));
+  }
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> ws;
+  for (int w = 0; w < kThreads; ++w) {
+    ws.emplace_back([&t, &stale_ids, &ok, stale_gen] {
+      for (int iter = 0; iter < 500; ++iter) {
+        for (const u32 id : stale_ids) {
+          t.retain_if_current(id, stale_gen);   // must no-op
+          t.release_if_current(id, stale_gen);  // must no-op
+          ShadowEntry e;
+          if (t.snapshot_if_current(id, stale_gen, e)) ok = false;
+          if (t.take_if_current(id, stale_gen, e)) ok = false;
+        }
+      }
+    });
+  }
+  join_all(ws);
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(t.live(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    ShadowEntry e;
+    ASSERT_TRUE(t.snapshot_if_current(fresh_ids[i], fresh_gen, e));
+    EXPECT_DOUBLE_EQ(e.shadow, 1000.0 + i);
+    t.release(fresh_ids[i]);
+  }
+  EXPECT_EQ(t.live(), 0u);
+}
+
+TEST(ShadowConcurrency, ConcurrentClearNeverYieldsWrongValues) {
+  // clear() races live alloc/read/release traffic. A reader may observe its
+  // handle as stale (clear won) or current (clear lost) — but never another
+  // entry's payload, because alloc_boxed stamps the generation under the
+  // same shard lock as the allocation.
+  ShadowTable t;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> ws;
+  for (int w = 0; w < kThreads; ++w) {
+    ws.emplace_back([&t, &stop, &ok, w] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const double want = w * 1e6 + i++;
+        const double h = t.alloc_boxed(sf::BigFloat::from_double(want), want);
+        const u32 id = boxing::unbox_id(h);
+        const u32 gen = boxing::unbox_generation(h);
+        ShadowEntry e;
+        if (t.snapshot_if_current(id, gen, e) && e.shadow != want) ok = false;
+        t.release_if_current(id, gen);
+      }
+    });
+  }
+  for (int c = 0; c < 200; ++c) {
+    std::this_thread::yield();
+    t.clear();
+  }
+  stop = true;
+  join_all(ws);
+  EXPECT_TRUE(ok.load());
+  t.clear();
+  EXPECT_EQ(t.live(), 0u);
+}
+
+TEST(ShadowConcurrency, MemModeRealOpsAcrossThreads) {
+  // End-to-end: parallel mem-mode arithmetic through the Real front-end —
+  // per-thread scopes/regions, shared sharded table, concurrent deviation
+  // flagging — balances the table back to zero live entries.
+  auto& R = Runtime::instance();
+  R.reset_all();
+  R.set_mode(Mode::Mem);
+  R.set_deviation_threshold(1e-9);  // low: hammer record_flag concurrently
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> ws;
+  constexpr int kIters = 2000;
+  for (int w = 0; w < kThreads; ++w) {
+    ws.emplace_back([&ok, w] {
+      TruncScope scope(8, 12);
+      Region region("conc/worker");
+      Real x = 1.0 + w;
+      const Real scale = 1.0000001;
+      for (int i = 0; i < kIters; ++i) x = x * scale + Real(1e-9);
+      if (!(x.shadow() > 0.0)) ok = false;
+      x.materialize();
+      if (Runtime::is_boxed(x.raw())) ok = false;
+    });
+  }
+  join_all(ws);
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(R.mem_live(), 0u);
+  // Two instrumented ops per iteration, all under an active trunc scope.
+  EXPECT_EQ(R.counters().trunc_flops, static_cast<u64>(kThreads) * kIters * 2);
+  const auto report = R.flag_report();
+  for (const auto& rec : report) EXPECT_EQ(rec.location, "conc/worker");
+  R.reset_all();
+}
+
+TEST(ShadowConcurrency, MemClearWithRealStragglersAcrossThreads) {
+  // Runtime-level clear()-with-stragglers: Reals created before mem_clear
+  // release from other threads afterwards; all are inert, fresh values
+  // survive untouched.
+  auto& R = Runtime::instance();
+  R.reset_all();
+  R.set_mode(Mode::Mem);
+  std::vector<double> stale;
+  {
+    TruncScope scope(8, 12);
+    for (int i = 0; i < 64; ++i) stale.push_back(R.mem_make(static_cast<double>(i)));
+  }
+  R.mem_clear();
+  const double fresh = R.mem_make(7.0);
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> ws;
+  for (int w = 0; w < kThreads; ++w) {
+    ws.emplace_back([&ok, &stale] {
+      auto& rt = Runtime::instance();
+      for (int iter = 0; iter < 200; ++iter) {
+        for (const double h : stale) {
+          rt.mem_retain(h);
+          rt.mem_release(h);
+          if (!std::isnan(rt.mem_value(h))) ok = false;
+          if (rt.mem_deviation(h) != 0.0) ok = false;
+        }
+      }
+    });
+  }
+  join_all(ws);
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(R.mem_live(), 1u);
+  EXPECT_DOUBLE_EQ(R.mem_value(fresh), 7.0);
+  R.mem_release(fresh);
+  EXPECT_EQ(R.mem_live(), 0u);
+  R.reset_all();
+}
+
+}  // namespace
+}  // namespace raptor::rt
