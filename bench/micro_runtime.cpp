@@ -1,10 +1,14 @@
 // Micro-benchmarks (google-benchmark) of the RAPTOR runtime dispatch paths:
 // the per-operation cost ablation underlying Table 3 —
 //   native vs instrumented-untruncated vs hardware-fastpath vs BigFloat
-//   emulation (naive/scratch) vs mem-mode, plus the quantize primitive.
+//   emulation (naive/scratch) vs mem-mode, plus the quantize primitive and
+//   the batched dispatch (op2_batch / trunc_array / fast_round, DESIGN.md §8).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "runtime/runtime.hpp"
+#include "softfloat/fast_round.hpp"
 #include "trunc/real.hpp"
 #include "trunc/scope.hpp"
 
@@ -148,6 +152,79 @@ void BM_Quantize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Quantize)->Arg(4)->Arg(23)->Arg(52);
+
+// -- Batched dispatch (per-element figures; state.range(0) = mantissa) ------
+
+void BM_ScalarLoopAdd(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  TruncScope scope(8, static_cast<int>(state.range(0)));
+  constexpr std::size_t kN = 4096;
+  std::vector<double> a(kN, 1.234), b(kN, 5.678e-3), out(kN);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kN; ++i) out[i] = R.op2(rt::OpKind::Add, a[i], b[i], 64);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kN);
+  R.reset_all();
+}
+BENCHMARK(BM_ScalarLoopAdd)->Arg(12)->Arg(30);
+
+void BM_BatchAdd(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  TruncScope scope(8, static_cast<int>(state.range(0)));
+  constexpr std::size_t kN = 4096;
+  std::vector<double> a(kN, 1.234), b(kN, 5.678e-3), out(kN);
+  for (auto _ : state) {
+    R.op2_batch(rt::OpKind::Add, a.data(), b.data(), out.data(), kN, 64);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kN);
+  R.reset_all();
+}
+// mantissa 12/23: fast_round kernel; 30: per-element BigFloat fallback.
+BENCHMARK(BM_BatchAdd)->Arg(12)->Arg(23)->Arg(30);
+
+void BM_BatchFma(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  TruncScope scope(8, 12);
+  constexpr std::size_t kN = 4096;
+  std::vector<double> a(kN, 1.234), b(kN, 0.99), c(kN, -0.5), out(kN);
+  for (auto _ : state) {
+    R.op3_batch(rt::OpKind::Fma, a.data(), b.data(), c.data(), out.data(), kN, 64);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kN);
+  R.reset_all();
+}
+BENCHMARK(BM_BatchFma);
+
+void BM_TruncArray(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  TruncScope scope(8, static_cast<int>(state.range(0)));
+  constexpr std::size_t kN = 4096;
+  std::vector<double> a(kN, 1.2345678901234), out(kN);
+  for (auto _ : state) {
+    R.trunc_array(a.data(), out.data(), kN, 64);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kN);
+  R.reset_all();
+}
+BENCHMARK(BM_TruncArray)->Arg(12)->Arg(52);
+
+void BM_FastRoundKernel(benchmark::State& state) {
+  const sf::Format f{8, static_cast<int>(state.range(0))};
+  const sf::RoundSpec spec(f);
+  double a = 1.2345678901234;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = sf::fast_round(a, spec) + 1e-9);
+  }
+}
+BENCHMARK(BM_FastRoundKernel)->Arg(4)->Arg(12)->Arg(23)->Arg(52);
 
 void BM_RealFrontEnd(benchmark::State& state) {
   auto& R = rt::Runtime::instance();

@@ -11,15 +11,30 @@
 //   * mem-mode (baseline truncate-hydro and with Recon excluded; both cost
 //     alike since exclusion is handled dynamically, paper fn. 20).
 //
+// The sedov rows pin hc.batch = false so they keep measuring the paper's
+// per-op scalar dispatch. The batched op-mode dispatch (DESIGN.md §8) is
+// measured separately on the two wired inner loops — the WENO5 row kernel
+// and the PLM reconstruction pencil — as
+//     overhead_ratio = (t_scalar - t_native) / (t_batch - t_native)
+// for the non-hardware format e8m12, plus an end-to-end Sedov comparison
+// with hc.batch on/off. Everything is written to table3_overhead.csv and,
+// for the recorded perf trajectory, BENCH_table3.json.
+//
 // Expected shape: overhead tracks the truncated-op share; scratch beats
 // naive by 2-3x; counting adds measurable cost; mem-mode is the most
-// expensive. Absolute factors are machine-specific.
+// expensive; the batched loops beat scalar dispatch by >= 3x overhead.
 //
-// Options: --level=N, --steps=N.
+// Options: --level=N, --steps=N, --csv=..., --json=....
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include "bench/common.hpp"
+#include "incomp/weno.hpp"
 #include "io/csv.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
+#include "trunc/span_ops.hpp"
 
 using namespace raptor;
 
@@ -29,6 +44,147 @@ struct Measurement {
   double seconds = 0.0;
   double trunc_frac = 0.0;
 };
+
+struct Row {
+  std::string mode;
+  int cutoff = 0;
+  double naive_s = 0.0, opt_s = 0.0, naive_x = 0.0, opt_x = 0.0, trunc_frac = -1.0;
+};
+
+struct LoopBench {
+  double native_s = 0.0, scalar_s = 0.0, batch_s = 0.0;
+  [[nodiscard]] double overhead_ratio() const {
+    const double denom = batch_s - native_s;
+    return denom > 0.0 ? (scalar_s - native_s) / denom : 0.0;
+  }
+};
+
+/// WENO5 advection row at format e8m12: native doubles, per-cell scalar Real
+/// dispatch (per-cell TruncScope, as the solver's scalar path), and the
+/// batched Vec path (one scope per row).
+LoopBench bench_weno_row(int n, int reps) {
+  auto& R = rt::Runtime::instance();
+  std::vector<double> phi_d(n + 6);
+  for (int i = 0; i < n + 6; ++i) phi_d[i] = std::sin(0.05 * i) + 1.5;
+  const double h = 1.0 / n;
+  const auto spec = rt::TruncationSpec::trunc64(8, 12);
+  LoopBench out;
+
+  {
+    volatile double sink = 0.0;
+    Timer t;
+    for (int r = 0; r < reps; ++r) {
+      for (int i = 0; i < n; ++i) {
+        sink = sink + incomp::weno5_derivative<double>(
+                          [&](int k) -> double { return phi_d[i + 3 + k]; }, 1.0, h);
+      }
+    }
+    out.native_s = t.seconds();
+  }
+
+  R.reset_all();
+  {
+    std::vector<Real> phi(phi_d.begin(), phi_d.end());
+    volatile double sink = 0.0;
+    Timer t;
+    for (int r = 0; r < reps; ++r) {
+      for (int i = 0; i < n; ++i) {
+        TruncScope sc(spec);
+        sink = sink + to_double(incomp::weno5_derivative<Real>(
+                          [&](int k) -> Real { return phi[i + 3 + k]; }, 1.0, h));
+      }
+    }
+    out.scalar_s = t.seconds();
+  }
+
+  R.reset_all();
+  {
+    volatile double sink = 0.0;
+    Timer t;
+    for (int r = 0; r < reps; ++r) {
+      TruncScope sc(spec);
+      const auto d = [&](int off) {
+        return batch::Vec::gather(static_cast<std::size_t>(n), [&](std::size_t k) {
+          return phi_d[k + 3 + static_cast<std::size_t>(off)];
+        });
+      };
+      const batch::Vec ih(1.0 / h);
+      const batch::Vec v1 = (d(-2) - d(-3)) * ih;
+      const batch::Vec v2 = (d(-1) - d(-2)) * ih;
+      const batch::Vec v3 = (d(0) - d(-1)) * ih;
+      const batch::Vec v4 = (d(1) - d(0)) * ih;
+      const batch::Vec v5 = (d(2) - d(1)) * ih;
+      const batch::Vec dv = incomp::weno5<batch::Vec>(v1, v2, v3, v4, v5);
+      sink = sink + dv[0];
+    }
+    out.batch_s = t.seconds();
+  }
+  R.reset_all();
+  return out;
+}
+
+/// PLM reconstruction pencil at format e8m12: plm_pencil<double> /
+/// plm_pencil<Real> / plm_pencil_batch over the same pencil.
+LoopBench bench_plm_pencil(int n, int reps) {
+  auto& R = rt::Runtime::instance();
+  constexpr int ng = 2;
+  const auto spec = rt::TruncationSpec::trunc64(8, 12);
+  LoopBench out;
+
+  const auto fill = [&](auto& w) {
+    for (int c = 0; c < n + 2 * ng; ++c) {
+      w[c].rho = 1.0 + 0.3 * std::sin(0.11 * c);
+      w[c].un = 0.5 * std::cos(0.07 * c);
+      w[c].ut = 0.1 * std::sin(0.05 * c);
+      w[c].p = 2.0 + std::cos(0.13 * c);
+    }
+  };
+
+  {
+    std::vector<hydro::PrimState<double>> w(n + 2 * ng), wl(n + 1), wr(n + 1);
+    fill(w);
+    Timer t;
+    for (int r = 0; r < reps; ++r) {
+      hydro::plm_pencil(w, wl, wr, n, ng, hydro::ReconKind::PLM, 1e-10, 1e-14);
+    }
+    out.native_s = t.seconds();
+  }
+
+  R.reset_all();
+  {
+    std::vector<hydro::PrimState<Real>> w(n + 2 * ng), wl(n + 1), wr(n + 1);
+    fill(w);
+    TruncScope sc(spec);
+    Timer t;
+    for (int r = 0; r < reps; ++r) {
+      hydro::plm_pencil(w, wl, wr, n, ng, hydro::ReconKind::PLM, 1e-10, 1e-14);
+    }
+    out.scalar_s = t.seconds();
+  }
+
+  R.reset_all();
+  {
+    std::vector<hydro::PrimState<Real>> w(n + 2 * ng), wl(n + 1), wr(n + 1);
+    fill(w);
+    hydro::PlmBatchScratch scratch;
+    TruncScope sc(spec);
+    Timer t;
+    for (int r = 0; r < reps; ++r) {
+      hydro::plm_pencil_batch(w, wl, wr, n, ng, 1e-10, 1e-14, scratch);
+    }
+    out.batch_s = t.seconds();
+  }
+  R.reset_all();
+  return out;
+}
+
+void json_loop(std::FILE* f, const char* name, const LoopBench& lb, bool trailing_comma) {
+  std::fprintf(f,
+               "    \"%s\": {\"native_s\": %.6g, \"scalar_s\": %.6g, \"batch_s\": %.6g, "
+               "\"overhead_ratio\": %.3f}%s\n",
+               name, lb.native_s, lb.scalar_s, lb.batch_s, lb.overhead_ratio(),
+               trailing_comma ? "," : "");
+}
 
 }  // namespace
 
@@ -65,7 +221,7 @@ int main(int argc, char** argv) {
   };
 
   const auto run_instrumented = [&](int cutoff, rt::Mode mode, rt::AllocStrategy alloc,
-                                    bool counting, bool hw, int man) {
+                                    bool counting, bool hw, int man, bool batch) {
     R.reset_all();
     R.set_mode(mode);
     R.set_alloc_strategy(alloc);
@@ -76,6 +232,9 @@ int main(int argc, char** argv) {
         [&sp](double x, double y, std::span<Real> v) { hydro::sedov_init(sp, x, y, v); });
     hydro::HydroConfig hc;
     hc.trunc = rt::TruncationSpec::trunc64(hw ? 8 : 11, hw ? 23 : man);
+    // The paper's Table 3 measures per-op scalar dispatch; batch is the §8
+    // comparison knob.
+    hc.batch = batch;
     const int M = max_level;
     hc.trunc_enabled = [M, cutoff](int level) { return level <= M - cutoff; };
     hydro::HydroSolver<Real> solver(hc);
@@ -103,28 +262,52 @@ int main(int argc, char** argv) {
 
   io::CsvWriter csv(cli.get("csv", "table3_overhead.csv"),
                     {"mode", "cutoff_l", "naive_s", "opt_s", "naive_x", "opt_x", "trunc_frac"});
+  std::vector<Row> rows;
 
   const auto block = [&](const char* name, bool counting) {
     for (const int cutoff : {0, 1, 2, 3}) {
       const auto naive = run_instrumented(cutoff, rt::Mode::Op, rt::AllocStrategy::Naive,
-                                          counting, false, mantissa);
+                                          counting, false, mantissa, false);
       const auto opt = run_instrumented(cutoff, rt::Mode::Op, rt::AllocStrategy::Scratch,
-                                        counting, false, mantissa);
+                                        counting, false, mantissa, false);
       std::printf("%-34s M-%-6d %-12.3f %-12.3f %-10.1f %-10.1f\n", name, cutoff, naive.seconds,
                   opt.seconds, naive.seconds / base, opt.seconds / base);
       csv.row_strings({name, std::to_string(cutoff), std::to_string(naive.seconds),
                        std::to_string(opt.seconds), std::to_string(naive.seconds / base),
                        std::to_string(opt.seconds / base),
                        std::to_string(counting ? opt.trunc_frac : -1.0)});
+      rows.push_back({name, cutoff, naive.seconds, opt.seconds, naive.seconds / base,
+                      opt.seconds / base, counting ? opt.trunc_frac : -1.0});
     }
   };
   block("op-mode", false);
   block("op-mode with op counting", true);
 
   {
-    const auto hw = run_instrumented(0, rt::Mode::Op, rt::AllocStrategy::Scratch, false, true, 23);
+    const auto hw =
+        run_instrumented(0, rt::Mode::Op, rt::AllocStrategy::Scratch, false, true, 23, false);
     std::printf("%-34s M-%-6d %-12s %-12.3f %-10s %-10.1f\n",
                 "op-mode hw fast path (fp32)", 0, "-", hw.seconds, "-", hw.seconds / base);
+    rows.push_back({"op-mode hw fast path (fp32)", 0, 0.0, hw.seconds, 0.0, hw.seconds / base,
+                    -1.0});
+  }
+
+  // Batched vs scalar end-to-end (recon + update pencils batched; the
+  // Riemann stage stays scalar either way, so this understates the per-loop
+  // gain measured below).
+  Measurement sedov_scalar, sedov_batch;
+  {
+    sedov_scalar =
+        run_instrumented(0, rt::Mode::Op, rt::AllocStrategy::Scratch, false, false, mantissa,
+                         false);
+    sedov_batch = run_instrumented(0, rt::Mode::Op, rt::AllocStrategy::Scratch, false, false,
+                                   mantissa, true);
+    std::printf("%-34s M-%-6d %-12.3f %-12.3f %-10.1f %-10.1f\n", "op-mode batched (recon+update)",
+                0, sedov_scalar.seconds, sedov_batch.seconds, sedov_scalar.seconds / base,
+                sedov_batch.seconds / base);
+    rows.push_back({"op-mode batched (recon+update)", 0, sedov_scalar.seconds,
+                    sedov_batch.seconds, sedov_scalar.seconds / base,
+                    sedov_batch.seconds / base, -1.0});
   }
 
   // Mem-mode rows (paper: "Truncate Hydro" vs "Exclude Recon" — comparable
@@ -153,7 +336,47 @@ int main(int argc, char** argv) {
     std::printf("%-34s M-%-6d %-12s %-12.3f %-10s %-10.1f  (trunc %.1f%%)\n",
                 exclude_recon ? "mem-mode, exclude Recon" : "mem-mode, truncate hydro", 0, "-",
                 secs, "-", secs / base, 100.0 * frac);
+    rows.push_back({exclude_recon ? "mem-mode, exclude Recon" : "mem-mode, truncate hydro", 0,
+                    0.0, secs, 0.0, secs / base, frac});
     R.reset_all();
+  }
+
+  // -- Batched op-mode dispatch on the wired inner loops (DESIGN.md §8) ----
+  const LoopBench weno = bench_weno_row(4096, 200);
+  const LoopBench plm = bench_plm_pencil(4096, 200);
+  std::printf("\n# batched dispatch, format e8m12 (overhead vs native, scalar/batched):\n");
+  std::printf("%-16s native %.4fs  scalar %.4fs  batch %.4fs  overhead ratio %.1fx\n",
+              "weno row", weno.native_s, weno.scalar_s, weno.batch_s, weno.overhead_ratio());
+  std::printf("%-16s native %.4fs  scalar %.4fs  batch %.4fs  overhead ratio %.1fx\n",
+              "plm pencil", plm.native_s, plm.scalar_s, plm.batch_s, plm.overhead_ratio());
+
+  // -- BENCH_table3.json: the recorded perf trajectory ---------------------
+  const std::string json_path = cli.get("json", "BENCH_table3.json");
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"table3_overhead\",\n");
+    std::fprintf(f, "  \"level\": %d, \"steps\": %d, \"mantissa\": %d,\n", max_level, steps,
+                 mantissa);
+    std::fprintf(f, "  \"native_baseline_s\": %.6g,\n", base);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"mode\": \"%s\", \"cutoff_l\": %d, \"naive_s\": %.6g, \"opt_s\": %.6g, "
+                   "\"naive_x\": %.3f, \"opt_x\": %.3f, \"trunc_frac\": %.4f}%s\n",
+                   r.mode.c_str(), r.cutoff, r.naive_s, r.opt_s, r.naive_x, r.opt_x,
+                   r.trunc_frac, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"batch_dispatch\": {\n    \"format\": \"e8m12\",\n");
+    json_loop(f, "weno_row", weno, true);
+    json_loop(f, "plm_pencil", plm, true);
+    std::fprintf(f,
+                 "    \"sedov_end_to_end\": {\"scalar_s\": %.6g, \"batch_s\": %.6g, "
+                 "\"speedup\": %.3f}\n  }\n}\n",
+                 sedov_scalar.seconds, sedov_batch.seconds,
+                 sedov_batch.seconds > 0.0 ? sedov_scalar.seconds / sedov_batch.seconds : 0.0);
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -17,11 +17,13 @@
 
 #include <functional>
 #include <optional>
+#include <type_traits>
 
 #include "amr/grid.hpp"
 #include "hydro/riemann.hpp"
 #include "runtime/config.hpp"
 #include "trunc/scope.hpp"
+#include "trunc/span_ops.hpp"
 
 namespace raptor::hydro {
 
@@ -42,7 +44,126 @@ struct HydroConfig {
   std::optional<rt::TruncationSpec> trunc;
   /// Per-level gate for the spec (the M-l cutoff); default: all levels.
   std::function<bool(int level)> trunc_enabled;
+  /// Route the instrumented reconstruction and flux-update pencils through
+  /// the array batch dispatch (DESIGN.md §8) when running op-mode with
+  /// T = Real. Bit-identical results and counters; only the dispatch
+  /// overhead changes. The double baseline and mem-mode always take the
+  /// scalar path.
+  bool batch = true;
 };
+
+// ---------------------------------------------------------------------------
+// Pencil reconstruction (free functions shared by the solver and bench/)
+// ---------------------------------------------------------------------------
+
+template <class T>
+T plm_minmod(const T& a, const T& b) {
+  if (to_double(a) * to_double(b) <= 0.0) return T(0.0);
+  return std::fabs(to_double(a)) < std::fabs(to_double(b)) ? a : b;
+}
+
+/// Scalar pencil reconstruction: interface f sits between cells (f-1) and f
+/// (cell index c maps to w[c+ng]). First-order: piecewise constant; PLM:
+/// minmod-limited linear.
+template <class T>
+void plm_pencil(const std::vector<PrimState<T>>& w, std::vector<PrimState<T>>& wl,
+                std::vector<PrimState<T>>& wr, int n_interior, int ng, ReconKind recon,
+                double dens_floor, double pres_floor) {
+  for (int f = 0; f <= n_interior; ++f) {
+    const PrimState<T>& cl = w[f - 1 + ng];
+    const PrimState<T>& cr = w[f + ng];
+    if (recon == ReconKind::FirstOrder) {
+      wl[f] = cl;
+      wr[f] = cr;
+      continue;
+    }
+    const auto limited = [&](auto member) {
+      const T dl_m = cl.*member - w[f - 2 + ng].*member;
+      const T dl_p = cr.*member - cl.*member;
+      const T dr_m = dl_p;
+      const T dr_p = w[f + 1 + ng].*member - cr.*member;
+      return std::pair<T, T>{plm_minmod(dl_m, dl_p), plm_minmod(dr_m, dr_p)};
+    };
+    const auto [srho_l, srho_r] = limited(&PrimState<T>::rho);
+    const auto [sun_l, sun_r] = limited(&PrimState<T>::un);
+    const auto [sut_l, sut_r] = limited(&PrimState<T>::ut);
+    const auto [sp_l, sp_r] = limited(&PrimState<T>::p);
+    wl[f].rho = cl.rho + T(0.5) * srho_l;
+    wl[f].un = cl.un + T(0.5) * sun_l;
+    wl[f].ut = cl.ut + T(0.5) * sut_l;
+    wl[f].p = cl.p + T(0.5) * sp_l;
+    wr[f].rho = cr.rho - T(0.5) * srho_r;
+    wr[f].un = cr.un - T(0.5) * sun_r;
+    wr[f].ut = cr.ut - T(0.5) * sut_r;
+    wr[f].p = cr.p - T(0.5) * sp_r;
+    using std::fmax;
+    wl[f].rho = fmax(wl[f].rho, T(dens_floor));
+    wr[f].rho = fmax(wr[f].rho, T(dens_floor));
+    wl[f].p = fmax(wl[f].p, T(pres_floor));
+    wr[f].p = fmax(wr[f].p, T(pres_floor));
+  }
+}
+
+/// Reusable scratch for plm_pencil_batch (one per thread; resized lazily).
+struct PlmBatchScratch {
+  std::vector<double> m, dlm, dlp, drp, sl, sr, t, rl, rr, half;
+};
+
+/// Batched PLM pencil over raw payloads: the same operations in the same
+/// per-element order as plm_pencil<Real>, so results and counter totals are
+/// bitwise identical — but each Sub/Mul/Add streams the whole pencil through
+/// one Runtime batch call. Op-mode only (callers gate on Runtime::mode()).
+inline void plm_pencil_batch(const std::vector<PrimState<Real>>& w,
+                             std::vector<PrimState<Real>>& wl, std::vector<PrimState<Real>>& wr,
+                             int n_interior, int ng, double dens_floor, double pres_floor,
+                             PlmBatchScratch& s) {
+  auto& R = rt::Runtime::instance();
+  const std::size_t len = static_cast<std::size_t>(n_interior) + 1;
+  const std::size_t wlen = static_cast<std::size_t>(n_interior) + 2 * ng;
+  s.m.resize(wlen);
+  for (auto* v : {&s.dlm, &s.dlp, &s.drp, &s.sl, &s.sr, &s.t, &s.rl, &s.rr}) v->resize(len);
+  s.half.assign(len, 0.5);
+
+  constexpr Real PrimState<Real>::* kMembers[4] = {&PrimState<Real>::rho, &PrimState<Real>::un,
+                                                   &PrimState<Real>::ut, &PrimState<Real>::p};
+  const auto minmod_raw = [](double a, double b) {
+    if (a * b <= 0.0) return 0.0;
+    return std::fabs(a) < std::fabs(b) ? a : b;
+  };
+  for (int mi = 0; mi < 4; ++mi) {
+    const auto mem = kMembers[mi];
+    for (std::size_t c = 0; c < wlen; ++c) s.m[c] = (w[c].*mem).raw();
+    // Interface slices into the gathered pencil: cl[f] = cell f-1, etc.
+    const double* cll = s.m.data() + ng - 2;
+    const double* cl = s.m.data() + ng - 1;
+    const double* cr = s.m.data() + ng;
+    const double* crr = s.m.data() + ng + 1;
+    R.op2_batch(rt::OpKind::Sub, cl, cll, s.dlm.data(), len);
+    R.op2_batch(rt::OpKind::Sub, cr, cl, s.dlp.data(), len);
+    R.op2_batch(rt::OpKind::Sub, crr, cr, s.drp.data(), len);
+    for (std::size_t f = 0; f < len; ++f) {
+      s.sl[f] = minmod_raw(s.dlm[f], s.dlp[f]);
+      s.sr[f] = minmod_raw(s.dlp[f], s.drp[f]);
+    }
+    R.op2_batch(rt::OpKind::Mul, s.half.data(), s.sl.data(), s.t.data(), len);
+    R.op2_batch(rt::OpKind::Add, cl, s.t.data(), s.rl.data(), len);
+    R.op2_batch(rt::OpKind::Mul, s.half.data(), s.sr.data(), s.t.data(), len);
+    R.op2_batch(rt::OpKind::Sub, cr, s.t.data(), s.rr.data(), len);
+    // Floors are selections (no runtime ops), applied exactly as the scalar
+    // fmax(x, floor): NaN compares false and yields the floor.
+    const bool floored = mi == 0 || mi == 3;
+    const double floor = mi == 0 ? dens_floor : pres_floor;
+    for (std::size_t f = 0; f < len; ++f) {
+      double l = s.rl[f], r = s.rr[f];
+      if (floored) {
+        l = l >= floor ? l : floor;
+        r = r >= floor ? r : floor;
+      }
+      wl[f].*mem = Real::adopt_raw(l);
+      wr[f].*mem = Real::adopt_raw(r);
+    }
+  }
+}
 
 template <class T>
 class HydroSolver {
@@ -92,12 +213,21 @@ class HydroSolver {
     const int n_rows = xdir ? g.config().nyb : g.config().nxb;
     const int ng = g.config().ng;
 
+    // Batched dispatch applies to the instrumented op-mode run only; the
+    // double baseline and mem-mode take the scalar path (DESIGN.md §8).
+    bool use_batch = false;
+    if constexpr (std::is_same_v<T, Real>) {
+      use_batch = cfg_.batch && rt::Runtime::instance().mode() == rt::Mode::Op;
+    }
+
 #pragma omp parallel
     {
       // Row-sized work buffers, one set per thread.
       std::vector<PrimState<T>> w(n_interior + 2 * ng);
       std::vector<PrimState<T>> wl(n_interior + 1), wr(n_interior + 1);
       std::vector<Flux<T>> fx(n_interior + 1);
+      PlmBatchScratch plm_scratch;
+      UpdateBatchScratch upd_scratch;
 
 #pragma omp for schedule(dynamic)
       for (int n = 0; n < g.num_leaves(); ++n) {
@@ -120,7 +250,17 @@ class HydroSolver {
           }
           {
             Region r("hydro/recon");
-            reconstruct(w, wl, wr, n_interior, ng);
+            if constexpr (std::is_same_v<T, Real>) {
+              if (use_batch && cfg_.recon == ReconKind::PLM) {
+                plm_pencil_batch(w, wl, wr, n_interior, ng, cfg_.dens_floor, cfg_.pres_floor,
+                                 plm_scratch);
+              } else {
+                plm_pencil(w, wl, wr, n_interior, ng, cfg_.recon, cfg_.dens_floor,
+                           cfg_.pres_floor);
+              }
+            } else {
+              plm_pencil(w, wl, wr, n_interior, ng, cfg_.recon, cfg_.dens_floor, cfg_.pres_floor);
+            }
           }
           {
             Region r("hydro/riemann");
@@ -130,10 +270,19 @@ class HydroSolver {
           }
           {
             Region r("hydro/update");
-            for (int k = 0; k < n_interior; ++k) {
-              const int i = xdir ? k : row;
-              const int j = xdir ? row : k;
-              apply_update(g, b, i, j, xdir, dtdx, fx[k], fx[k + 1]);
+            bool updated = false;
+            if constexpr (std::is_same_v<T, Real>) {
+              if (use_batch) {
+                update_row_batch(g, b, row, xdir, dtdx, fx, n_interior, upd_scratch);
+                updated = true;
+              }
+            }
+            if (!updated) {
+              for (int k = 0; k < n_interior; ++k) {
+                const int i = xdir ? k : row;
+                const int j = xdir ? row : k;
+                apply_update(g, b, i, j, xdir, dtdx, fx[k], fx[k + 1]);
+              }
             }
           }
           rt::Runtime::instance().count_mem(static_cast<u64>(n_interior) * kNumVars * 2 *
@@ -162,47 +311,42 @@ class HydroSolver {
     return out;
   }
 
-  static T minmod(const T& a, const T& b) {
-    if (to_double(a) * to_double(b) <= 0.0) return T(0.0);
-    return std::fabs(to_double(a)) < std::fabs(to_double(b)) ? a : b;
-  }
+  /// Batched flux-difference update of one row: the same Sub/Mul/Add per
+  /// cell and variable as apply_update, streamed per-variable through the
+  /// batch dispatch. Only instantiated for T = Real (guarded by if constexpr
+  /// at the call site).
+  struct UpdateBatchScratch {
+    std::vector<double> fv, u, d, t, dtdx_v;
+  };
 
-  void reconstruct(const std::vector<PrimState<T>>& w, std::vector<PrimState<T>>& wl,
-                   std::vector<PrimState<T>>& wr, int n_interior, int ng) const {
-    // Interface f sits between cells (f-1) and f (cell index c maps to
-    // w[c+ng]). First-order: piecewise constant; PLM: minmod-limited linear.
-    for (int f = 0; f <= n_interior; ++f) {
-      const PrimState<T>& cl = w[f - 1 + ng];
-      const PrimState<T>& cr = w[f + ng];
-      if (cfg_.recon == ReconKind::FirstOrder) {
-        wl[f] = cl;
-        wr[f] = cr;
-        continue;
+  void update_row_batch(amr::AmrGrid<T>& g, typename amr::AmrGrid<T>::Block& b, int row,
+                        bool xdir, const T& dtdx, const std::vector<Flux<T>>& fx, int n_interior,
+                        UpdateBatchScratch& s) const {
+    auto& R = rt::Runtime::instance();
+    const std::size_t n = static_cast<std::size_t>(n_interior);
+    const int mom_n = xdir ? MOMX : MOMY;
+    const int mom_t = xdir ? MOMY : MOMX;
+    const int vars[4] = {DENS, mom_n, mom_t, ENER};
+    s.fv.resize(n + 1);
+    s.u.resize(n);
+    s.d.resize(n);
+    s.t.resize(n);
+    s.dtdx_v.assign(n, dtdx.raw());
+    for (int v = 0; v < 4; ++v) {
+      for (std::size_t k = 0; k <= n; ++k) s.fv[k] = fx[k].f[v].raw();
+      for (std::size_t k = 0; k < n; ++k) {
+        const int i = xdir ? static_cast<int>(k) : row;
+        const int j = xdir ? row : static_cast<int>(k);
+        s.u[k] = g.at(b, vars[v], i, j).raw();
       }
-      const auto limited = [&](auto member) {
-        const T dl_m = cl.*member - w[f - 2 + ng].*member;
-        const T dl_p = cr.*member - cl.*member;
-        const T dr_m = dl_p;
-        const T dr_p = w[f + 1 + ng].*member - cr.*member;
-        return std::pair<T, T>{minmod(dl_m, dl_p), minmod(dr_m, dr_p)};
-      };
-      const auto [srho_l, srho_r] = limited(&PrimState<T>::rho);
-      const auto [sun_l, sun_r] = limited(&PrimState<T>::un);
-      const auto [sut_l, sut_r] = limited(&PrimState<T>::ut);
-      const auto [sp_l, sp_r] = limited(&PrimState<T>::p);
-      wl[f].rho = cl.rho + T(0.5) * srho_l;
-      wl[f].un = cl.un + T(0.5) * sun_l;
-      wl[f].ut = cl.ut + T(0.5) * sut_l;
-      wl[f].p = cl.p + T(0.5) * sp_l;
-      wr[f].rho = cr.rho - T(0.5) * srho_r;
-      wr[f].un = cr.un - T(0.5) * sun_r;
-      wr[f].ut = cr.ut - T(0.5) * sut_r;
-      wr[f].p = cr.p - T(0.5) * sp_r;
-      using std::fmax;
-      wl[f].rho = fmax(wl[f].rho, T(cfg_.dens_floor));
-      wr[f].rho = fmax(wr[f].rho, T(cfg_.dens_floor));
-      wl[f].p = fmax(wl[f].p, T(cfg_.pres_floor));
-      wr[f].p = fmax(wr[f].p, T(cfg_.pres_floor));
+      R.op2_batch(rt::OpKind::Sub, s.fv.data(), s.fv.data() + 1, s.d.data(), n);
+      R.op2_batch(rt::OpKind::Mul, s.dtdx_v.data(), s.d.data(), s.t.data(), n);
+      R.op2_batch(rt::OpKind::Add, s.u.data(), s.t.data(), s.u.data(), n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const int i = xdir ? static_cast<int>(k) : row;
+        const int j = xdir ? row : static_cast<int>(k);
+        g.at(b, vars[v], i, j) = Real::adopt_raw(s.u[k]);
+      }
     }
   }
 

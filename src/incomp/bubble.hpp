@@ -21,6 +21,7 @@
 #pragma once
 
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "incomp/levelset.hpp"
@@ -28,6 +29,7 @@
 #include "incomp/weno.hpp"
 #include "runtime/config.hpp"
 #include "trunc/scope.hpp"
+#include "trunc/span_ops.hpp"
 
 namespace raptor::incomp {
 
@@ -52,6 +54,12 @@ struct BubbleConfig {
   /// Truncation of the advect/diffuse modules; cutoff_l = l of "M-l".
   std::optional<rt::TruncationSpec> trunc;
   int cutoff_l = 0;
+  /// Route the WENO5 level-set advection through the array batch dispatch
+  /// (DESIGN.md §8) when running op-mode with S = Real: rows are split into
+  /// runs of equal truncation gate, the scope is pushed once per run, and
+  /// weno5<batch::Vec> executes the same expression tree as weno5<Real> —
+  /// bit-identical results and counters, batched dispatch.
+  bool batch = true;
 };
 
 template <class S>
@@ -202,23 +210,104 @@ class BubbleSim {
   void advect_phi(double dt) {
     Region region("incomp/advect");
     std::vector<S> next(phi_.size());
+    if constexpr (std::is_same_v<S, Real>) {
+      if (cfg_.batch && rt::Runtime::instance().mode() == rt::Mode::Op) {
 #pragma omp parallel for schedule(dynamic)
-    for (int j = 0; j < cfg_.ny; ++j) {
-      for (int i = 0; i < cfg_.nx; ++i) {
-        std::optional<TruncScope> sc;
-        if (cfg_.trunc) sc.emplace(*cfg_.trunc, gate(i, j));
-        const S uc = (u_c(i, j) + u_c(i + 1, j)) * S(0.5);
-        const S vc = (v_c(i, j) + v_c(i, j + 1)) * S(0.5);
-        const double ud = to_double(uc), vd = to_double(vc);
-        const S dphidx = weno5_derivative<S>(
-            [&](int k) -> S { return phi_c(i + k, j); }, ud, hx_);
-        const S dphidy = weno5_derivative<S>(
-            [&](int k) -> S { return phi_c(i, j + k); }, vd, hy_);
-        next[pidx(i, j)] = phi_[pidx(i, j)] - S(dt) * (uc * dphidx + vc * dphidy);
+        for (int j = 0; j < cfg_.ny; ++j) {
+          advect_row_batch(j, dt, next);
+          rt::Runtime::instance().count_mem(static_cast<u64>(cfg_.nx) * 16 * sizeof(double));
+        }
+        phi_ = std::move(next);
+        return;
       }
-      rt::Runtime::instance().count_mem(static_cast<u64>(cfg_.nx) * 16 * sizeof(double));
+    }
+    {
+#pragma omp parallel for schedule(dynamic)
+      for (int j = 0; j < cfg_.ny; ++j) {
+        for (int i = 0; i < cfg_.nx; ++i) {
+          std::optional<TruncScope> sc;
+          if (cfg_.trunc) sc.emplace(*cfg_.trunc, gate(i, j));
+          const S uc = (u_c(i, j) + u_c(i + 1, j)) * S(0.5);
+          const S vc = (v_c(i, j) + v_c(i, j + 1)) * S(0.5);
+          const double ud = to_double(uc), vd = to_double(vc);
+          const S dphidx = weno5_derivative<S>(
+              [&](int k) -> S { return phi_c(i + k, j); }, ud, hx_);
+          const S dphidy = weno5_derivative<S>(
+              [&](int k) -> S { return phi_c(i, j + k); }, vd, hy_);
+          next[pidx(i, j)] = phi_[pidx(i, j)] - S(dt) * (uc * dphidx + vc * dphidy);
+        }
+        rt::Runtime::instance().count_mem(static_cast<u64>(cfg_.nx) * 16 * sizeof(double));
+      }
     }
     phi_ = std::move(next);
+  }
+
+  /// Batched WENO5 advection of one row (S = Real, op-mode): the row is cut
+  /// into maximal runs of equal truncation gate; each run pushes its scope
+  /// once, gathers the upwind stencils natively, and evaluates the same
+  /// expression tree as the scalar loop via batch::Vec — per-element results
+  /// and counter totals are bitwise identical to the scalar path.
+  void advect_row_batch(int j, double dt, std::vector<S>& next) {
+    using batch::Vec;
+    int i0 = 0;
+    while (i0 < cfg_.nx) {
+      int i1 = i0 + 1;
+      if (cfg_.trunc) {
+        while (i1 < cfg_.nx && gate(i1, j) == gate(i0, j)) ++i1;
+      } else {
+        i1 = cfg_.nx;
+      }
+      const std::size_t len = static_cast<std::size_t>(i1 - i0);
+      std::optional<TruncScope> sc;
+      if (cfg_.trunc) sc.emplace(*cfg_.trunc, gate(i0, j));
+
+      const Vec ua = Vec::gather(len, [&](std::size_t k) {
+        return u_c(i0 + static_cast<int>(k), j).raw();
+      });
+      const Vec ub = Vec::gather(len, [&](std::size_t k) {
+        return u_c(i0 + static_cast<int>(k) + 1, j).raw();
+      });
+      const Vec uc = (ua + ub) * Vec(0.5);
+      const Vec va = Vec::gather(len, [&](std::size_t k) {
+        return v_c(i0 + static_cast<int>(k), j).raw();
+      });
+      const Vec vb = Vec::gather(len, [&](std::size_t k) {
+        return v_c(i0 + static_cast<int>(k), j + 1).raw();
+      });
+      const Vec vc = (va + vb) * Vec(0.5);
+
+      // Upwind-selected one-sided differences: v1..v5 in the scalar loop's
+      // order, gathered per cell from the sign of the advecting velocity.
+      static constexpr int kUp[5][2] = {{-2, -3}, {-1, -2}, {0, -1}, {1, 0}, {2, 1}};
+      static constexpr int kDn[5][2] = {{3, 2}, {2, 1}, {1, 0}, {0, -1}, {-1, -2}};
+      const auto stencil = [&](const Vec& vel, bool xdir_, int s) {
+        const double ih = 1.0 / (xdir_ ? hx_ : hy_);
+        const Vec a = Vec::gather(len, [&](std::size_t k) {
+          const int i = i0 + static_cast<int>(k);
+          const int o = vel[k] >= 0.0 ? kUp[s][0] : kDn[s][0];
+          return (xdir_ ? phi_c(i + o, j) : phi_c(i, j + o)).raw();
+        });
+        const Vec b = Vec::gather(len, [&](std::size_t k) {
+          const int i = i0 + static_cast<int>(k);
+          const int o = vel[k] >= 0.0 ? kUp[s][1] : kDn[s][1];
+          return (xdir_ ? phi_c(i + o, j) : phi_c(i, j + o)).raw();
+        });
+        return (a - b) * Vec(ih);
+      };
+      const Vec dphidx = weno5<Vec>(stencil(uc, true, 0), stencil(uc, true, 1),
+                                    stencil(uc, true, 2), stencil(uc, true, 3),
+                                    stencil(uc, true, 4));
+      const Vec dphidy = weno5<Vec>(stencil(vc, false, 0), stencil(vc, false, 1),
+                                    stencil(vc, false, 2), stencil(vc, false, 3),
+                                    stencil(vc, false, 4));
+      const Vec phi_row =
+          Vec::gather(len, [&](std::size_t k) { return phi_[pidx(i0 + static_cast<int>(k), j)].raw(); });
+      const Vec out = phi_row - Vec(dt) * (uc * dphidx + vc * dphidy);
+      for (std::size_t k = 0; k < len; ++k) {
+        next[pidx(i0 + static_cast<int>(k), j)] = Real::adopt_raw(out[k]);
+      }
+      i0 = i1;
+    }
   }
 
   void predictor(double dt) {

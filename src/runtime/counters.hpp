@@ -21,6 +21,19 @@ struct CounterSnapshot {
   std::array<u64, kNumOpKinds> trunc_by_kind{};
   std::array<u64, kNumOpKinds> full_by_kind{};
 
+  /// Record `n` operations of kind `k` (trunc or full). The batch entry
+  /// points use this to update counters once per span instead of once per
+  /// op; the scalar path is the n == 1 case.
+  void bump_ops(OpKind k, bool trunc, u64 n) {
+    if (trunc) {
+      trunc_flops += n;
+      trunc_by_kind[static_cast<int>(k)] += n;
+    } else {
+      full_flops += n;
+      full_by_kind[static_cast<int>(k)] += n;
+    }
+  }
+
   void merge(const CounterSnapshot& o) {
     trunc_flops += o.trunc_flops;
     full_flops += o.full_flops;

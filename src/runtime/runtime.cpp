@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "softfloat/fast_round.hpp"
+
 namespace raptor::rt {
 
 namespace {
@@ -529,13 +531,26 @@ void Runtime::mem_release(double maybe_boxed) {
 // ---------------------------------------------------------------------------
 
 namespace {
-inline void count_op(CounterSnapshot& c, OpKind k, bool trunc) {
-  if (trunc) {
-    ++c.trunc_flops;
-    ++c.trunc_by_kind[static_cast<int>(k)];
-  } else {
-    ++c.full_flops;
-    ++c.full_by_kind[static_cast<int>(k)];
+inline void count_op(CounterSnapshot& c, OpKind k, bool trunc) { c.bump_ops(k, trunc, 1); }
+
+/// Fast-kernel eligibility per arity (see fast_round.hpp): arithmetic kinds
+/// whose one-hardware-op-plus-fast_round execution is bit-identical to the
+/// BigFloat reference inside the format envelope.
+inline bool fast1_kind(OpKind k) { return k == OpKind::Neg || k == OpKind::Sqrt; }
+inline bool fast2_kind(OpKind k) {
+  return k == OpKind::Add || k == OpKind::Sub || k == OpKind::Mul || k == OpKind::Div;
+}
+
+inline double fast1(OpKind k, double a, const sf::Format& f) {
+  return k == OpKind::Neg ? sf::fast_neg(a, f) : sf::fast_sqrt(a, f);
+}
+
+inline double fast2(OpKind k, double a, double b, const sf::Format& f) {
+  switch (k) {
+    case OpKind::Add: return sf::fast_add(a, b, f);
+    case OpKind::Sub: return sf::fast_sub(a, b, f);
+    case OpKind::Mul: return sf::fast_mul(a, b, f);
+    default: return sf::fast_div(a, b, f);
   }
 }
 }  // namespace
@@ -556,6 +571,10 @@ double Runtime::op1(OpKind k, double a, int width) {
   if (hw_fastpath_) {
     if (*f == sf::Format::fp64()) return native1(k, a);
     if (*f == sf::Format::fp32()) return native1_f32(k, a);
+    // Narrower formats execute on fp64 hardware + fast_round, never through
+    // fp32 hardware: widening through fp32 double-rounds for man_bits > 11
+    // (DESIGN.md §8; pinned by DoubleRoundingWitness in test_runtime).
+    if (fast1_kind(k) && sf::fast_op_supports(*f)) return fast1(k, a, *f);
   }
   return emulate1(ts, k, a, *f);
 }
@@ -580,6 +599,7 @@ double Runtime::op2(OpKind k, double a, double b, int width) {
   if (hw_fastpath_) {
     if (*f == sf::Format::fp64()) return native2(k, a, b);
     if (*f == sf::Format::fp32()) return native2_f32(k, a, b);
+    if (fast2_kind(k) && sf::fast_op_supports(*f)) return fast2(k, a, b, *f);
   }
   return emulate2(ts, k, a, b, *f);
 }
@@ -605,8 +625,170 @@ double Runtime::op3(OpKind k, double a, double b, double c, int width) {
   if (hw_fastpath_) {
     if (*f == sf::Format::fp64()) return native3(k, a, b, c);
     if (*f == sf::Format::fp32()) return native3_f32(k, a, b, c);
+    if (sf::fast_fma_supports(*f)) return sf::fast_fma(a, b, c, *f);
   }
   return emulate3(ts, k, a, b, c, *f);
+}
+
+// ---------------------------------------------------------------------------
+// Batched op-mode dispatch (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+//
+// Shared structure: resolve the thread state, mode and effective format once,
+// bump the counters with a single bulk add, then stream one of four loop
+// bodies over the span — native (no truncation), hardware (fp64/fp32 under
+// the fast-path flag), fast_round integer kernel (formats inside the
+// innocuous-double-rounding envelope), or per-element BigFloat emulation.
+// Every body is bit-identical to the scalar op loop it replaces; mem-mode
+// delegates to the scalar entry points so handle ownership is unchanged.
+
+void Runtime::op1_batch(OpKind k, const double* a, double* out, std::size_t n, int width) {
+  if (n == 0) return;
+  ThreadState& ts = tls();
+  if (mode_ == Mode::Mem) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = op1(k, a[i], width);
+    return;
+  }
+  const sf::Format* f = effective_format(ts, width);
+  if (f == nullptr) {
+    if (counting_) ts.counters.bump_ops(k, false, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = native1(k, a[i]);
+    return;
+  }
+  if (counting_) ts.counters.bump_ops(k, true, n);
+  if (hw_fastpath_ && *f == sf::Format::fp64()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = native1(k, a[i]);
+    return;
+  }
+  if (hw_fastpath_ && *f == sf::Format::fp32()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = native1_f32(k, a[i]);
+    return;
+  }
+  if (fast1_kind(k) && sf::fast_op_supports(*f)) {
+    const sf::RoundSpec fmt(*f);
+    if (k == OpKind::Neg) {
+      for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_neg(a[i], fmt);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_sqrt(a[i], fmt);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = emulate1(ts, k, a[i], *f);
+}
+
+void Runtime::op2_batch(OpKind k, const double* a, const double* b, double* out, std::size_t n,
+                        int width) {
+  if (n == 0) return;
+  ThreadState& ts = tls();
+  if (mode_ == Mode::Mem) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = op2(k, a[i], b[i], width);
+    return;
+  }
+  const sf::Format* f = effective_format(ts, width);
+  if (f == nullptr) {
+    if (counting_) ts.counters.bump_ops(k, false, n);
+    switch (k) {
+      case OpKind::Add:
+        for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+        break;
+      case OpKind::Sub:
+        for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+        break;
+      case OpKind::Mul:
+        for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+        break;
+      case OpKind::Div:
+        for (std::size_t i = 0; i < n; ++i) out[i] = a[i] / b[i];
+        break;
+      default:
+        for (std::size_t i = 0; i < n; ++i) out[i] = native2(k, a[i], b[i]);
+        break;
+    }
+    return;
+  }
+  if (counting_) ts.counters.bump_ops(k, true, n);
+  if (hw_fastpath_ && *f == sf::Format::fp64()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = native2(k, a[i], b[i]);
+    return;
+  }
+  if (hw_fastpath_ && *f == sf::Format::fp32()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = native2_f32(k, a[i], b[i]);
+    return;
+  }
+  if (fast2_kind(k) && sf::fast_op_supports(*f)) {
+    const sf::RoundSpec fmt(*f);  // hoisted format constants for the hot loop
+    switch (k) {
+      case OpKind::Add:
+        for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_add(a[i], b[i], fmt);
+        break;
+      case OpKind::Sub:
+        for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_sub(a[i], b[i], fmt);
+        break;
+      case OpKind::Mul:
+        for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_mul(a[i], b[i], fmt);
+        break;
+      default:
+        for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_div(a[i], b[i], fmt);
+        break;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = emulate2(ts, k, a[i], b[i], *f);
+}
+
+void Runtime::op3_batch(OpKind k, const double* a, const double* b, const double* c, double* out,
+                        std::size_t n, int width) {
+  if (n == 0) return;
+  ThreadState& ts = tls();
+  if (mode_ == Mode::Mem) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = op3(k, a[i], b[i], c[i], width);
+    return;
+  }
+  const sf::Format* f = effective_format(ts, width);
+  if (f == nullptr) {
+    if (counting_) ts.counters.bump_ops(k, false, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = native3(k, a[i], b[i], c[i]);
+    return;
+  }
+  if (counting_) ts.counters.bump_ops(k, true, n);
+  if (hw_fastpath_ && *f == sf::Format::fp64()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = native3(k, a[i], b[i], c[i]);
+    return;
+  }
+  if (hw_fastpath_ && *f == sf::Format::fp32()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = native3_f32(k, a[i], b[i], c[i]);
+    return;
+  }
+  if (sf::fast_fma_supports(*f)) {
+    const sf::RoundSpec fmt(*f);
+    for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_fma(a[i], b[i], c[i], fmt);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = emulate3(ts, k, a[i], b[i], c[i], *f);
+}
+
+void Runtime::trunc_array(const double* in, double* out, std::size_t n, int width) {
+  if (n == 0) return;
+  ThreadState& ts = tls();
+  if (mode_ == Mode::Mem) {
+    // Array form of the _raptor_pre_c protocol: each element becomes a
+    // NaN-boxed mem-mode value (the caller owns the handles, exactly as for
+    // scalar mem_make); quantizing a boxed handle's bit pattern would
+    // destroy it.
+    for (std::size_t i = 0; i < n; ++i) out[i] = mem_make(in[i], width);
+    return;
+  }
+  const sf::Format* f = effective_format(ts, width);
+  if (f == nullptr) {
+    if (out != in) std::copy(in, in + n, out);
+    return;
+  }
+  if (sf::fast_round_supports(*f)) {
+    const sf::RoundSpec fmt(*f);
+    for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_round(in[i], fmt);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = sf::quantize(in[i], *f);
 }
 
 void Runtime::count_mem(u64 bytes) {

@@ -100,6 +100,35 @@ class Runtime {
   double op1(OpKind k, double a, int width = 64);
   double op3(OpKind k, double a, double b, double c, int width = 64);
 
+  // -- Batched op-mode dispatch (DESIGN.md §8) ----------------------------
+  //
+  // Element-wise `k` over contiguous spans, bit-identical to the equivalent
+  // scalar op loop (same per-element results, same counter totals) but with
+  // the effective format, cached truncation state, mode and fast-path
+  // eligibility resolved ONCE per batch, counters updated with one bulk add,
+  // and — for formats inside the fast_round envelope — the BigFloat
+  // emulator replaced by sf::fast_* integer kernels. Unlike the scalar
+  // path, the fast kernels apply REGARDLESS of the hw_fastpath flag: batch
+  // callers opt into "as fast as possible, bit-identical" semantics, so
+  // hw_fastpath only chooses whether fp64/fp32 additionally run on native
+  // float hardware. The Table-3 emulation-cost ablation therefore measures
+  // the scalar entry points (see bench/table3_overhead.cpp). In-place calls
+  // (out == a etc.) are allowed; out must not partially overlap an input.
+  // In mem-mode these fall back to the per-element scalar path so NaN-boxed
+  // handles keep their ownership semantics.
+
+  void op1_batch(OpKind k, const double* a, double* out, std::size_t n, int width = 64);
+  void op2_batch(OpKind k, const double* a, const double* b, double* out, std::size_t n,
+                 int width = 64);
+  void op3_batch(OpKind k, const double* a, const double* b, const double* c, double* out,
+                 std::size_t n, int width = 64);
+  /// Array form of the `_raptor_pre_c` conversion primitive (not counted as
+  /// flops, matching mem_make). Op-mode: quantize each element into the
+  /// effective format, copying through unchanged when no truncation
+  /// applies. Mem-mode: each element becomes a NaN-boxed mem-mode value via
+  /// mem_make and the caller owns the returned handles.
+  void trunc_array(const double* in, double* out, std::size_t n, int width = 64);
+
   /// Memory-traffic accounting: `bytes` accessed at the current truncation
   /// state (solver kernels call this once per cell update).
   void count_mem(u64 bytes);

@@ -1,0 +1,228 @@
+// fast_round: a branch-light correctly-rounded (RNE) conversion of an fp64
+// value into any Format whose exponent/mantissa envelope fits inside double
+// (exp_bits <= 11, man_bits <= 52), using pure integer bit manipulation on
+// the IEEE-754 encoding — no BigFloat, no loops, no lookup tables.
+//
+// Every value of such a format is exactly representable as a double, so the
+// rounded result is returned in the double carrying the program's data and
+// is bit-identical to the BigFloat reference
+//     BigFloat::from_double_rounded(x, fmt).to_double()
+// including gradual underflow, signed zero, overflow-to-infinity at the
+// format's emax, and NaN canonicalization (the engine collapses every NaN
+// payload to the positive quiet std::nan("")). tests/test_fast_round.cpp
+// pins this bit-for-bit with exhaustive small-format sweeps and randomized
+// large-format sweeps.
+//
+// On top of the rounding kernel sit fast_add/sub/mul/div/sqrt/fma: the
+// op-mode operation (round operands into fmt, operate correctly rounded in
+// fmt, widen back) executed as one double-precision hardware operation
+// followed by fast_round. Rounding twice — once to double's 53 bits, once
+// to the target precision p — is *innocuous* (bit-identical to a single
+// rounding) only when the working precision is large enough relative to p
+// (Figueroa 1995): p <= 25 for add/sub/mul/div/sqrt through a 53-bit
+// intermediate; fma additionally recovers the exact addition error with
+// TwoSum and rounds the intermediate to odd. The envelope predicates below also
+// cap exp_bits at 9 so no intermediate can land in double's subnormal range,
+// where the hardware rounds at reduced precision and the innocuousness
+// argument breaks down. Anything outside these envelopes must take the
+// BigFloat path; computing through fp32 hardware instead double-rounds for
+// every format narrower than fp32 with man_bits > 11 (DESIGN.md §8 shows a
+// witness pair) and is never correct here.
+#pragma once
+
+#include <bit>
+#include <cmath>
+
+#include "softfloat/format.hpp"
+
+namespace raptor::sf {
+
+/// True if fast_round handles this format (all its values, including
+/// subnormals, are exactly representable in double).
+[[nodiscard]] constexpr bool fast_round_supports(const Format& fmt) {
+  return fmt.valid() && fmt.exp_bits <= 11 && fmt.man_bits <= 52;
+}
+
+/// True if fast_add/sub/mul/div/sqrt are bit-identical to the BigFloat
+/// reference for this format: double rounding through the 53-bit hardware
+/// intermediate is innocuous (p <= 25) and no intermediate of
+/// format-representable operands can reach double's subnormal range
+/// (exp_bits <= 9 keeps |result| >= 2^-556 or exactly zero).
+[[nodiscard]] constexpr bool fast_op_supports(const Format& fmt) {
+  return fmt.valid() && fmt.exp_bits <= 9 && fmt.man_bits <= 24;
+}
+
+/// True if fast_fma is bit-identical to the BigFloat reference. The product
+/// of two format values is exact in double (2p <= 50 bits) and the final
+/// addition recovers its exact error with TwoSum, rounding the 53-bit
+/// intermediate to odd before the final RNE — so the envelope matches the
+/// two-operand one. (A single hardware fma is NOT enough at any precision:
+/// when the addend sits more than 53 binades below the product it is
+/// discarded entirely, yet it must still break the target format's ties.)
+[[nodiscard]] constexpr bool fast_fma_supports(const Format& fmt) {
+  return fmt.valid() && fmt.exp_bits <= 9 && fmt.man_bits <= 24;
+}
+
+/// Format constants pre-derived for the hot loops: batch dispatch hoists
+/// this out of the per-element kernel so exponent arithmetic on Format
+/// fields is not redone per call.
+struct RoundSpec {
+  int man_bits;
+  i64 emax;
+  i64 emin_sub;
+  constexpr explicit RoundSpec(const Format& f)
+      : man_bits(f.man_bits), emax(f.emax()), emin_sub(f.emin_subnormal()) {}
+};
+
+/// Round `x` into the format described by `spec` (RNE) and widen back to
+/// double. Bit-identical to sf::quantize for every format
+/// fast_round_supports() accepts.
+[[nodiscard]] inline double fast_round(double x, const RoundSpec& spec) {
+  constexpr u64 kSign = u64{1} << 63;
+  constexpr u64 kFrac = (u64{1} << 52) - 1;
+  constexpr u64 kInf = u64{0x7FF} << 52;
+
+  const u64 bits = std::bit_cast<u64>(x);
+  const u64 sign = bits & kSign;
+  const int ef = static_cast<int>((bits >> 52) & 0x7FF);
+  const u64 frac = bits & kFrac;
+  if (ef == 0x7FF) {
+    // Infinity passes through; every NaN payload canonicalizes to the
+    // engine's quiet NaN, exactly as BigFloat::nan().to_double() does.
+    return frac != 0 ? std::nan("") : x;
+  }
+  if ((bits & ~kSign) == 0) return x;  // +-0 keeps its sign
+
+  // Decompose into value = m * 2^q with m in [1, 2^53), and the unbiased
+  // exponent e_msb of the leading significand bit.
+  u64 m;
+  i64 q;
+  int e_msb;
+  if (ef != 0) {
+    m = (u64{1} << 52) | frac;
+    q = ef - 1075;
+    e_msb = ef - 1023;
+  } else {
+    m = frac;
+    q = -1074;
+    e_msb = -1011 - std::countl_zero(frac);
+  }
+
+  // Weight of the target format's least significand bit at this magnitude:
+  // man_bits below the MSB for normals, pinned at emin_subnormal in the
+  // gradual-underflow range.
+  const i64 lsb = std::max<i64>(i64{e_msb} - spec.man_bits, spec.emin_sub);
+  const i64 drop = lsb - q;
+  if (drop <= 0) {
+    // Already exact at this precision; only the exponent range can reject.
+    if (e_msb > spec.emax) return std::bit_cast<double>(sign | kInf);
+    return x;
+  }
+  if (drop > 63) {
+    // m < 2^53 puts the value strictly below half the smallest subnormal.
+    return std::bit_cast<double>(sign);
+  }
+
+  // Exact early-out: operands flowing through the op pipelines are usually
+  // already format values, whose dropped bits are all zero.
+  const u64 half = u64{1} << (drop - 1);
+  const u64 dropped = m & ((half << 1) - 1);
+  if (dropped == 0) {
+    if (e_msb > spec.emax) return std::bit_cast<double>(sign | kInf);
+    return x;
+  }
+  // Round to nearest, ties to even, on the integer significand.
+  const u64 kept0 = m >> drop;
+  const u64 below = m & (half - 1);
+  const u64 round_up =
+      static_cast<u64>((m & half) != 0 && (below != 0 || (kept0 & 1) != 0));
+  const u64 kept = kept0 + round_up;
+  if (kept == 0) return std::bit_cast<double>(sign);  // underflow to zero
+
+  const int nm = 63 - std::countl_zero(kept);  // MSB position of the result
+  const i64 e2 = lsb + nm;
+  if (e2 > spec.emax) return std::bit_cast<double>(sign | kInf);
+  if (e2 >= -1022) {
+    const u64 out =
+        sign | (static_cast<u64>(e2 + 1023) << 52) | ((kept << (52 - nm)) & kFrac);
+    return std::bit_cast<double>(out);
+  }
+  // Result is a double subnormal (only reachable when fmt.exp_bits == 11 and
+  // man_bits < 52): the mantissa field is kept scaled to 2^-1074 units.
+  return std::bit_cast<double>(sign | (kept << (lsb + 1074)));
+}
+
+[[nodiscard]] inline double fast_round(double x, const Format& fmt) {
+  return fast_round(x, RoundSpec(fmt));
+}
+
+// ---------------------------------------------------------------------------
+// Fast op-mode operations (round operands -> one hardware op -> fast_round).
+// Callers must gate on fast_op_supports / fast_fma_supports; inside those
+// envelopes each function is bit-identical to the trunc_* BigFloat reference.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] inline double fast_add(double a, double b, const RoundSpec& fmt) {
+  return fast_round(fast_round(a, fmt) + fast_round(b, fmt), fmt);
+}
+[[nodiscard]] inline double fast_sub(double a, double b, const RoundSpec& fmt) {
+  return fast_round(fast_round(a, fmt) - fast_round(b, fmt), fmt);
+}
+[[nodiscard]] inline double fast_mul(double a, double b, const RoundSpec& fmt) {
+  return fast_round(fast_round(a, fmt) * fast_round(b, fmt), fmt);
+}
+[[nodiscard]] inline double fast_div(double a, double b, const RoundSpec& fmt) {
+  return fast_round(fast_round(a, fmt) / fast_round(b, fmt), fmt);
+}
+[[nodiscard]] inline double fast_neg(double a, const RoundSpec& fmt) {
+  // Negation is exact; the outer fast_round only canonicalizes -NaN.
+  return fast_round(-fast_round(a, fmt), fmt);
+}
+[[nodiscard]] inline double fast_sqrt(double a, const RoundSpec& fmt) {
+  return fast_round(std::sqrt(fast_round(a, fmt)), fmt);
+}
+[[nodiscard]] inline double fast_add(double a, double b, const Format& f) {
+  return fast_add(a, b, RoundSpec(f));
+}
+[[nodiscard]] inline double fast_sub(double a, double b, const Format& f) {
+  return fast_sub(a, b, RoundSpec(f));
+}
+[[nodiscard]] inline double fast_mul(double a, double b, const Format& f) {
+  return fast_mul(a, b, RoundSpec(f));
+}
+[[nodiscard]] inline double fast_div(double a, double b, const Format& f) {
+  return fast_div(a, b, RoundSpec(f));
+}
+[[nodiscard]] inline double fast_neg(double a, const Format& f) { return fast_neg(a, RoundSpec(f)); }
+[[nodiscard]] inline double fast_sqrt(double a, const Format& f) {
+  return fast_sqrt(a, RoundSpec(f));
+}
+[[nodiscard]] inline double fast_fma(double a, double b, double c, const RoundSpec& fmt) {
+  const double af = fast_round(a, fmt);
+  const double bf = fast_round(b, fmt);
+  const double cf = fast_round(c, fmt);
+  // Exact: two (man_bits+1)-bit significands need at most 50 bits, and
+  // exp_bits <= 9 keeps the product exponent within double's normal range.
+  const double p = af * bf;
+  double s = p + cf;
+  if (std::isfinite(s)) {
+    // Knuth TwoSum: e is the exact error of the 53-bit addition (no
+    // magnitude ordering required; no overflow possible in this envelope).
+    const double bv = s - p;
+    const double av = s - bv;
+    const double e = (p - av) + (cf - bv);
+    if (e != 0.0 && (std::bit_cast<u64>(s) & 1) == 0) {
+      // Round the 53-bit intermediate to odd: the final RNE into p <= 25
+      // bits then matches a single rounding of the exact sum (Boldo &
+      // Melquiond). |e| <= ulp(s)/2, so the odd neighbor in e's direction
+      // is one step away.
+      s = std::nextafter(s, e > 0.0 ? HUGE_VAL : -HUGE_VAL);
+    }
+  }
+  return fast_round(s, fmt);
+}
+[[nodiscard]] inline double fast_fma(double a, double b, double c, const Format& f) {
+  return fast_fma(a, b, c, RoundSpec(f));
+}
+
+}  // namespace raptor::sf

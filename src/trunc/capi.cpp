@@ -104,6 +104,59 @@ float _raptor_sqrt_f32(float a, int e, int m, const char* loc) {
   return static_cast<float>(run1(rt::OpKind::Sqrt, a, e, m, loc));
 }
 
+namespace {
+
+void run2_batch(rt::OpKind k, const double* a, const double* b, double* out, u64 n, int to_e,
+                int to_m, const char* loc) {
+  auto& R = rt::Runtime::instance();
+  rt::TruncationSpec spec;
+  spec.for64 = fmt_of(to_e, to_m);
+  R.push_scope(spec, true);
+  if (loc != nullptr) R.push_region(loc);
+  R.op2_batch(k, a, b, out, static_cast<std::size_t>(n), 64);
+  if (loc != nullptr) R.pop_region();
+  R.pop_scope();
+}
+
+}  // namespace
+
+void _raptor_add_f64_batch(const double* a, const double* b, double* out, u64 n, int e, int m,
+                           const char* loc) {
+  run2_batch(rt::OpKind::Add, a, b, out, n, e, m, loc);
+}
+void _raptor_sub_f64_batch(const double* a, const double* b, double* out, u64 n, int e, int m,
+                           const char* loc) {
+  run2_batch(rt::OpKind::Sub, a, b, out, n, e, m, loc);
+}
+void _raptor_mul_f64_batch(const double* a, const double* b, double* out, u64 n, int e, int m,
+                           const char* loc) {
+  run2_batch(rt::OpKind::Mul, a, b, out, n, e, m, loc);
+}
+void _raptor_div_f64_batch(const double* a, const double* b, double* out, u64 n, int e, int m,
+                           const char* loc) {
+  run2_batch(rt::OpKind::Div, a, b, out, n, e, m, loc);
+}
+void _raptor_fma_f64_batch(const double* a, const double* b, const double* c, double* out, u64 n,
+                           int e, int m, const char* loc) {
+  auto& R = rt::Runtime::instance();
+  rt::TruncationSpec spec;
+  spec.for64 = fmt_of(e, m);
+  R.push_scope(spec, true);
+  if (loc != nullptr) R.push_region(loc);
+  R.op3_batch(rt::OpKind::Fma, a, b, c, out, static_cast<std::size_t>(n), 64);
+  if (loc != nullptr) R.pop_region();
+  R.pop_scope();
+}
+
+void _raptor_trunc_f64_batch(const double* in, double* out, u64 n, int to_e, int to_m) {
+  auto& R = rt::Runtime::instance();
+  rt::TruncationSpec spec;
+  spec.for64 = fmt_of(to_e, to_m);
+  R.push_scope(spec, true);
+  R.trunc_array(in, out, static_cast<std::size_t>(n), 64);
+  R.pop_scope();
+}
+
 double _raptor_pre_c(double v, int to_e, int to_m) {
   auto& R = rt::Runtime::instance();
   rt::TruncationSpec spec;

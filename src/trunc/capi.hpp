@@ -34,6 +34,26 @@ float _raptor_mul_f32(float a, float b, int to_e, int to_m, const char* loc);
 float _raptor_div_f32(float a, float b, int to_e, int to_m, const char* loc);
 float _raptor_sqrt_f32(float a, int to_e, int to_m, const char* loc);
 
+// -- batched op-mode shims (DESIGN.md §8). The pass emits one call per
+//    vectorizable loop instead of one per operation; the format and the
+//    cached truncation state are resolved once per span and counters are
+//    updated in bulk. Bit-identical to the equivalent scalar shim loop.
+//    In-place (out == a) is allowed. ----------------------------------------
+
+void _raptor_add_f64_batch(const double* a, const double* b, double* out, u64 n, int to_e,
+                           int to_m, const char* loc);
+void _raptor_sub_f64_batch(const double* a, const double* b, double* out, u64 n, int to_e,
+                           int to_m, const char* loc);
+void _raptor_mul_f64_batch(const double* a, const double* b, double* out, u64 n, int to_e,
+                           int to_m, const char* loc);
+void _raptor_div_f64_batch(const double* a, const double* b, double* out, u64 n, int to_e,
+                           int to_m, const char* loc);
+void _raptor_fma_f64_batch(const double* a, const double* b, const double* c, double* out, u64 n,
+                           int to_e, int to_m, const char* loc);
+/// Array form of the truncation primitive: quantize `n` doubles into
+/// (to_e, to_m). Not counted as flops (matches `_raptor_pre_c`).
+void _raptor_trunc_f64_batch(const double* in, double* out, u64 n, int to_e, int to_m);
+
 // -- mem-mode conversion protocol (Fig. 3c) --------------------------------
 
 /// Convert a live value into mem-mode representation (allocates a shadow

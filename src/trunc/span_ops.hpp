@@ -1,0 +1,212 @@
+// Array front-end for the batched op-mode dispatch (DESIGN.md §8).
+//
+// Two layers, both reaching Runtime::op*_batch / trunc_array:
+//
+//  * Span helpers — element-wise add/sub/mul/div/scale/trunc over spans of
+//    raptor::Real (raw payloads are gathered chunk-wise, dispatched in one
+//    batch call, and the results adopted back), with `double` overloads that
+//    compile to plain native loops so substrate kernels templated on the
+//    scalar type keep an uninstrumented baseline.
+//
+//  * batch::Vec — a dynamically sized vector of raw payloads with operator
+//    overloading. A kernel templated on its scalar type (e.g. incomp::weno5)
+//    instantiated with Vec executes the *same expression tree* as its Real
+//    instantiation, so per-element results and counter totals are bitwise
+//    identical to the scalar op loop — but every operator is one batch call
+//    instead of n scalar dispatches.
+//
+// Ownership: raw payloads are plain doubles in op-mode. These helpers are
+// op-mode only — Vec intermediates would leak NaN-boxed shadow entries in
+// mem-mode — so substrates gate on Runtime::mode() == Mode::Op before taking
+// the batch path (the runtime batch entry points themselves fall back to
+// scalar dispatch in mem-mode, which the span helpers inherit).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "trunc/real.hpp"
+
+namespace raptor::batch {
+
+// ---------------------------------------------------------------------------
+// Span helpers
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Chunk size for gather/dispatch/adopt over Real spans: large enough to
+/// amortize the per-batch dispatch, small enough to stay on the stack.
+inline constexpr std::size_t kChunk = 256;
+
+inline void bin_real(rt::OpKind k, std::span<const Real> a, std::span<const Real> b,
+                     std::span<Real> out) {
+  RAPTOR_REQUIRE(a.size() == b.size() && a.size() == out.size(), "batch: span size mismatch");
+  auto& R = rt::Runtime::instance();
+  double xa[kChunk], xb[kChunk], xo[kChunk];
+  for (std::size_t base = 0; base < a.size(); base += kChunk) {
+    const std::size_t m = std::min(kChunk, a.size() - base);
+    for (std::size_t i = 0; i < m; ++i) {
+      xa[i] = a[base + i].raw();
+      xb[i] = b[base + i].raw();
+    }
+    R.op2_batch(k, xa, xb, xo, m);
+    for (std::size_t i = 0; i < m; ++i) out[base + i] = Real::adopt_raw(xo[i]);
+  }
+}
+
+inline void bin_double(rt::OpKind k, std::span<const double> a, std::span<const double> b,
+                       std::span<double> out) {
+  RAPTOR_REQUIRE(a.size() == b.size() && a.size() == out.size(), "batch: span size mismatch");
+  switch (k) {
+    case rt::OpKind::Add:
+      for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+      break;
+    case rt::OpKind::Sub:
+      for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+      break;
+    case rt::OpKind::Mul:
+      for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+      break;
+    default:
+      for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] / b[i];
+      break;
+  }
+}
+
+}  // namespace detail
+
+inline void add(std::span<const Real> a, std::span<const Real> b, std::span<Real> out) {
+  detail::bin_real(rt::OpKind::Add, a, b, out);
+}
+inline void sub(std::span<const Real> a, std::span<const Real> b, std::span<Real> out) {
+  detail::bin_real(rt::OpKind::Sub, a, b, out);
+}
+inline void mul(std::span<const Real> a, std::span<const Real> b, std::span<Real> out) {
+  detail::bin_real(rt::OpKind::Mul, a, b, out);
+}
+inline void div(std::span<const Real> a, std::span<const Real> b, std::span<Real> out) {
+  detail::bin_real(rt::OpKind::Div, a, b, out);
+}
+inline void add(std::span<const double> a, std::span<const double> b, std::span<double> out) {
+  detail::bin_double(rt::OpKind::Add, a, b, out);
+}
+inline void sub(std::span<const double> a, std::span<const double> b, std::span<double> out) {
+  detail::bin_double(rt::OpKind::Sub, a, b, out);
+}
+inline void mul(std::span<const double> a, std::span<const double> b, std::span<double> out) {
+  detail::bin_double(rt::OpKind::Mul, a, b, out);
+}
+inline void div(std::span<const double> a, std::span<const double> b, std::span<double> out) {
+  detail::bin_double(rt::OpKind::Div, a, b, out);
+}
+
+/// out[i] = s * a[i] (one Mul per element, like the scalar `T(s) * a[i]`).
+inline void scale(std::span<const Real> a, const Real& s, std::span<Real> out) {
+  RAPTOR_REQUIRE(a.size() == out.size(), "batch: span size mismatch");
+  auto& R = rt::Runtime::instance();
+  double xa[detail::kChunk], xs[detail::kChunk], xo[detail::kChunk];
+  for (std::size_t i = 0; i < detail::kChunk; ++i) xs[i] = s.raw();
+  for (std::size_t base = 0; base < a.size(); base += detail::kChunk) {
+    const std::size_t m = std::min(detail::kChunk, a.size() - base);
+    for (std::size_t i = 0; i < m; ++i) xa[i] = a[base + i].raw();
+    R.op2_batch(rt::OpKind::Mul, xs, xa, xo, m);
+    for (std::size_t i = 0; i < m; ++i) out[base + i] = Real::adopt_raw(xo[i]);
+  }
+}
+inline void scale(std::span<const double> a, double s, std::span<double> out) {
+  RAPTOR_REQUIRE(a.size() == out.size(), "batch: span size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = s * a[i];
+}
+
+/// Quantize a span into the current effective format (array `_raptor_pre_c`;
+/// no flop counting, mirroring Runtime::trunc_array).
+inline void trunc(std::span<const Real> a, std::span<Real> out) {
+  RAPTOR_REQUIRE(a.size() == out.size(), "batch: span size mismatch");
+  auto& R = rt::Runtime::instance();
+  double xa[detail::kChunk], xo[detail::kChunk];
+  for (std::size_t base = 0; base < a.size(); base += detail::kChunk) {
+    const std::size_t m = std::min(detail::kChunk, a.size() - base);
+    for (std::size_t i = 0; i < m; ++i) xa[i] = a[base + i].raw();
+    R.trunc_array(xa, xo, m);
+    for (std::size_t i = 0; i < m; ++i) out[base + i] = Real::adopt_raw(xo[i]);
+  }
+}
+inline void trunc(std::span<const double> a, std::span<double> out) {
+  RAPTOR_REQUIRE(a.size() == out.size(), "batch: span size mismatch");
+  rt::Runtime::instance().trunc_array(a.data(), out.data(), a.size());
+}
+
+// ---------------------------------------------------------------------------
+// batch::Vec — operator-overloaded batches of raw payloads
+// ---------------------------------------------------------------------------
+
+class Vec {
+ public:
+  Vec() = default;
+  /// Broadcast constant, mirroring the scalar kernels' `S(2.0)` idiom: each
+  /// element-wise use still issues one runtime op per element.
+  Vec(double scalar) : scalar_(scalar), is_scalar_(true) {}  // NOLINT: numeric
+  explicit Vec(std::size_t n) : v_(n) {}
+
+  /// Build by gathering raw payloads: fn(i) -> double, i in [0, n).
+  template <typename Fn>
+  static Vec gather(std::size_t n, Fn&& fn) {
+    Vec r(n);
+    for (std::size_t i = 0; i < n; ++i) r.v_[i] = fn(i);
+    return r;
+  }
+
+  [[nodiscard]] bool is_scalar() const { return is_scalar_; }
+  [[nodiscard]] std::size_t size() const { return is_scalar_ ? 1 : v_.size(); }
+  [[nodiscard]] double operator[](std::size_t i) const { return is_scalar_ ? scalar_ : v_[i]; }
+  [[nodiscard]] const std::vector<double>& raw() const { return v_; }
+
+  friend Vec operator+(const Vec& a, const Vec& b) { return bin(rt::OpKind::Add, a, b); }
+  friend Vec operator-(const Vec& a, const Vec& b) { return bin(rt::OpKind::Sub, a, b); }
+  friend Vec operator*(const Vec& a, const Vec& b) { return bin(rt::OpKind::Mul, a, b); }
+  friend Vec operator/(const Vec& a, const Vec& b) { return bin(rt::OpKind::Div, a, b); }
+  Vec operator-() const {
+    auto& R = rt::Runtime::instance();
+    if (is_scalar_) return Vec(R.op1(rt::OpKind::Neg, scalar_));
+    Vec r(v_.size());
+    R.op1_batch(rt::OpKind::Neg, v_.data(), r.v_.data(), v_.size());
+    return r;
+  }
+
+ private:
+  /// Broadcast scratch reused across operator calls (one live broadcast per
+  /// op2_batch call, so a single thread-local buffer suffices) — the WENO
+  /// kernels do ~20 scalar-times-vector ops per invocation and must not pay
+  /// an allocation for each.
+  static const double* broadcast(double scalar, std::size_t n) {
+    static thread_local std::vector<double> buf;
+    if (buf.size() < n) buf.resize(n);
+    std::fill(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n), scalar);
+    return buf.data();
+  }
+
+  static Vec bin(rt::OpKind k, const Vec& a, const Vec& b) {
+    auto& R = rt::Runtime::instance();
+    if (a.is_scalar_ && b.is_scalar_) return Vec(R.op2(k, a.scalar_, b.scalar_));
+    const std::size_t n = a.is_scalar_ ? b.v_.size() : a.v_.size();
+    RAPTOR_REQUIRE(a.is_scalar_ || b.is_scalar_ || b.v_.size() == n, "Vec: size mismatch");
+    Vec r(n);
+    if (a.is_scalar_) {
+      R.op2_batch(k, broadcast(a.scalar_, n), b.v_.data(), r.v_.data(), n);
+    } else if (b.is_scalar_) {
+      R.op2_batch(k, a.v_.data(), broadcast(b.scalar_, n), r.v_.data(), n);
+    } else {
+      R.op2_batch(k, a.v_.data(), b.v_.data(), r.v_.data(), n);
+    }
+    return r;
+  }
+
+  std::vector<double> v_;
+  double scalar_ = 0.0;
+  bool is_scalar_ = false;
+};
+
+}  // namespace raptor::batch

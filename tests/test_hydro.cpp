@@ -3,6 +3,8 @@
 // conservation, and truncation scoping behaviour.
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include <cmath>
 
 #include "hydro/euler.hpp"
@@ -259,6 +261,43 @@ TEST(SedovProblem, RefinementTracksTheShock) {
 // ---------------------------------------------------------------------------
 // Truncation scoping through the solver
 // ---------------------------------------------------------------------------
+
+TEST(HydroTruncation, BatchedSolverBitwiseMatchesScalarSolver) {
+  // The batched recon/update pencils (DESIGN.md §8) must be bit-identical
+  // to the scalar per-op dispatch through a full multi-step AMR run — same
+  // cell values AND same counter totals (flops + per-OpKind histogram).
+  rt::Runtime::instance().reset_all();
+  const SodParams sp;
+  const auto run_with = [&sp](bool batch) {
+    rt::Runtime::instance().reset_counters();
+    auto cfg = sod_grid_config(2);
+    amr::AmrGrid<Real> grid(cfg);
+    grid.build_with_ic(
+        [&sp](double x, double y, std::span<Real> v) { sod_init(sp, x, y, v); });
+    HydroConfig hc;
+    hc.trunc = rt::TruncationSpec::trunc64(8, 12);
+    hc.batch = batch;
+    HydroSolver<Real> solver(hc);
+    run_to_time(grid, solver, 0.05, /*regrid_interval=*/4);
+    auto fields = io::to_uniform(grid, DENS);
+    const auto momx = io::to_uniform(grid, MOMX);
+    const auto ener = io::to_uniform(grid, ENER);
+    fields.insert(fields.end(), momx.begin(), momx.end());
+    fields.insert(fields.end(), ener.begin(), ener.end());
+    return std::pair{fields, rt::Runtime::instance().counters()};
+  };
+  const auto [scalar, sc] = run_with(false);
+  const auto [batched, bc] = run_with(true);
+  ASSERT_EQ(scalar.size(), batched.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<u64>(scalar[i]), std::bit_cast<u64>(batched[i])) << "cell " << i;
+  }
+  EXPECT_EQ(sc.trunc_flops, bc.trunc_flops);
+  EXPECT_EQ(sc.full_flops, bc.full_flops);
+  EXPECT_EQ(sc.trunc_by_kind, bc.trunc_by_kind);
+  EXPECT_EQ(sc.full_by_kind, bc.full_by_kind);
+  rt::Runtime::instance().reset_all();
+}
 
 TEST(HydroTruncation, TruncatedRunDegradesGracefully) {
   rt::Runtime::instance().reset_all();

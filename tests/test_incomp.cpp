@@ -4,6 +4,8 @@
 // sensitivity of the interface (the Fig. 1 mechanism).
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include <cmath>
 
 #include "incomp/bubble.hpp"
@@ -289,6 +291,37 @@ TEST_F(IncompTest, VirtualLevelsFollowInterfaceDistance) {
   EXPECT_GT(cnt_fine, 20);
   EXPECT_GT(cnt_coarse, 500);
   EXPECT_EQ(sim.vlevel_at(0, 0), 1);
+}
+
+TEST_F(IncompTest, BatchedAdvectionBitwiseMatchesScalarAdvection) {
+  // The batched WENO5 advection (gate-run splitting + batch::Vec,
+  // DESIGN.md §8) must reproduce the scalar per-cell path bit for bit,
+  // including with a cutoff so rows split into runs of mixed gates.
+  const auto run_phi = [](bool batch, int cutoff) {
+    rt::Runtime::instance().reset_all();
+    auto cfg = small_bubble_cfg();
+    cfg.trunc = rt::TruncationSpec::trunc64(8, 12);
+    cfg.cutoff_l = cutoff;
+    cfg.batch = batch;
+    BubbleSim<Real> sim(cfg);
+    for (int s = 0; s < 3; ++s) sim.step();
+    const auto c = rt::Runtime::instance().counters();
+    return std::pair{sim.phi_field().v, c};
+  };
+  for (const int cutoff : {0, 1}) {
+    const auto [scalar, sc] = run_phi(false, cutoff);
+    const auto [batched, bc] = run_phi(true, cutoff);
+    ASSERT_EQ(scalar.size(), batched.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<u64>(scalar[i]), std::bit_cast<u64>(batched[i]))
+          << "cutoff " << cutoff << " cell " << i;
+    }
+    EXPECT_EQ(sc.trunc_flops, bc.trunc_flops) << cutoff;
+    EXPECT_EQ(sc.full_flops, bc.full_flops) << cutoff;
+    EXPECT_EQ(sc.trunc_by_kind, bc.trunc_by_kind) << cutoff;
+    EXPECT_EQ(sc.full_by_kind, bc.full_by_kind) << cutoff;
+  }
+  rt::Runtime::instance().reset_all();
 }
 
 TEST_F(IncompTest, CutoffGateControlsTruncatedFraction) {

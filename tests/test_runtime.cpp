@@ -1,14 +1,19 @@
 // Runtime tests: truncation spec parsing, scoping, op-mode dispatch,
-// counters, exclusions, allocation strategies, OpenMP thread safety.
+// counters, exclusions, allocation strategies, OpenMP thread safety, and
+// batch/scalar dispatch parity (DESIGN.md §8).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <random>
+#include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
 #include "runtime/runtime.hpp"
+#include "trunc/capi.hpp"
 #include "trunc/scope.hpp"
 
 namespace raptor::rt {
@@ -325,6 +330,285 @@ TEST_F(RuntimeTest, OpModeIsThreadSafeUnderOpenMP) {
             static_cast<u64>(threads) * kPerThread);
 }
 #endif
+
+// ---------------------------------------------------------------------------
+// Batched dispatch: bitwise parity with the scalar op loop (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+namespace batchtest {
+
+/// Mixed-magnitude operand pool: normals across the format ranges,
+/// subnormals, overflow-boundary values, zeros, infinities, NaN.
+std::vector<double> operand_pool(std::size_t n, u64 seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng() % 8) {
+      case 0: v[i] = std::bit_cast<double>(rng()); break;  // arbitrary bits
+      case 1: v[i] = 0.0; break;
+      case 2: v[i] = std::ldexp(1.0 + static_cast<double>(rng() % 4096) / 4096.0,
+                                static_cast<int>(rng() % 40) - 20);
+              break;
+      case 3: v[i] = -std::ldexp(1.0, -static_cast<int>(rng() % 160)); break;
+      case 4: v[i] = HUGE_VAL; break;
+      case 5: v[i] = std::nan(""); break;
+      case 6: v[i] = std::ldexp(1.0, static_cast<int>(rng() % 40) + 100); break;
+      default: v[i] = 1.0 / (1.0 + static_cast<double>(rng() % 1000)); break;
+    }
+  }
+  return v;
+}
+
+struct CounterTotals {
+  u64 trunc, full;
+  std::array<u64, kNumOpKinds> tk, fk;
+  friend bool operator==(const CounterTotals&, const CounterTotals&) = default;
+};
+
+CounterTotals totals() {
+  const auto c = Runtime::instance().counters();
+  return {c.trunc_flops, c.full_flops, c.trunc_by_kind, c.full_by_kind};
+}
+
+}  // namespace batchtest
+
+TEST_F(RuntimeTest, Op2BatchMatchesScalarLoopBitwise) {
+  const auto a = batchtest::operand_pool(1500, 11);
+  const auto b = batchtest::operand_pool(1500, 22);
+  // Formats covering every batch body: fast_round kernel (e8m12), BigFloat
+  // fallback (e12m30), hw fp32 / fp64, and untruncated; Pow exercises the
+  // non-arithmetic emulation fallback inside a batch.
+  struct Case {
+    std::optional<TruncationSpec> spec;
+    bool hw;
+  };
+  const std::vector<Case> cases = {
+      {TruncationSpec::trunc64(8, 12), false}, {TruncationSpec::trunc64(12, 30), false},
+      {TruncationSpec::trunc64(8, 23), true},  {TruncationSpec::trunc64(11, 52), true},
+      {TruncationSpec::trunc64(5, 10), false}, {std::nullopt, false},
+  };
+  for (const auto& [spec, hw] : cases) {
+    for (const OpKind k : {OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Div, OpKind::Pow}) {
+      R.reset_all();
+      R.set_hw_fastpath(hw);
+      std::optional<TruncScope> sc;
+      if (spec) sc.emplace(*spec);
+      std::vector<double> scalar(a.size()), batch(a.size());
+      R.reset_counters();
+      for (std::size_t i = 0; i < a.size(); ++i) scalar[i] = R.op2(k, a[i], b[i], 64);
+      const auto scalar_counts = batchtest::totals();
+      R.reset_counters();
+      R.op2_batch(k, a.data(), b.data(), batch.data(), a.size(), 64);
+      const auto batch_counts = batchtest::totals();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<u64>(scalar[i]), std::bit_cast<u64>(batch[i]))
+            << op_name(k) << " i=" << i << " fmt "
+            << (spec ? spec->to_string() : std::string("native")) << " hw=" << hw << " a=0x"
+            << std::hex << std::bit_cast<u64>(a[i]) << " b=0x" << std::bit_cast<u64>(b[i]);
+      }
+      EXPECT_EQ(scalar_counts, batch_counts) << op_name(k);
+    }
+  }
+}
+
+TEST_F(RuntimeTest, Op1AndOp3BatchMatchScalarLoops) {
+  const auto a = batchtest::operand_pool(1200, 33);
+  const auto b = batchtest::operand_pool(1200, 44);
+  const auto c = batchtest::operand_pool(1200, 55);
+  for (const bool hw : {false, true}) {
+    for (const auto& spec : {TruncationSpec::trunc64(8, 12), TruncationSpec::trunc64(8, 23),
+                             TruncationSpec::trunc64(12, 30)}) {
+      R.reset_all();
+      R.set_hw_fastpath(hw);
+      TruncScope sc(spec);
+      for (const OpKind k : {OpKind::Neg, OpKind::Sqrt, OpKind::Exp}) {
+        std::vector<double> scalar(a.size()), batch(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) scalar[i] = R.op1(k, a[i], 64);
+        R.op1_batch(k, a.data(), batch.data(), a.size(), 64);
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          ASSERT_EQ(std::bit_cast<u64>(scalar[i]), std::bit_cast<u64>(batch[i]))
+              << op_name(k) << " hw=" << hw << " i=" << i << " a=0x" << std::hex
+              << std::bit_cast<u64>(a[i]);
+        }
+      }
+      std::vector<double> scalar(a.size()), batch(a.size());
+      R.reset_counters();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        scalar[i] = R.op3(OpKind::Fma, a[i], b[i], c[i], 64);
+      }
+      const auto scalar_counts = batchtest::totals();
+      R.reset_counters();
+      R.op3_batch(OpKind::Fma, a.data(), b.data(), c.data(), batch.data(), a.size(), 64);
+      EXPECT_EQ(scalar_counts, batchtest::totals());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<u64>(scalar[i]), std::bit_cast<u64>(batch[i]))
+            << "fma hw=" << hw << " fmt " << spec.to_string() << " i=" << i << " a=0x"
+            << std::hex << std::bit_cast<u64>(a[i]) << " b=0x" << std::bit_cast<u64>(b[i])
+            << " c=0x" << std::bit_cast<u64>(c[i]);
+      }
+    }
+  }
+}
+
+TEST_F(RuntimeTest, TruncArrayMatchesQuantizeAndDoesNotCount) {
+  const auto a = batchtest::operand_pool(2000, 77);
+  for (const auto& fmt : {sf::Format{8, 12}, sf::Format{12, 30}, sf::Format{5, 2}}) {
+    R.reset_all();
+    TruncScope sc(fmt.exp_bits, fmt.man_bits);
+    std::vector<double> out(a.size());
+    R.trunc_array(a.data(), out.data(), a.size(), 64);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<u64>(out[i]), std::bit_cast<u64>(sf::quantize(a[i], fmt)))
+          << fmt.to_string() << " a=0x" << std::hex << std::bit_cast<u64>(a[i]);
+    }
+  }
+  EXPECT_EQ(R.counters().total_flops(), 0u);  // conversion is not a flop
+  // In-place and untruncated pass-through.
+  R.reset_all();
+  std::vector<double> inplace = a;
+  R.trunc_array(inplace.data(), inplace.data(), inplace.size(), 64);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<u64>(inplace[i]), std::bit_cast<u64>(a[i]));
+  }
+}
+
+TEST_F(RuntimeTest, BatchHonorsScopeRegionAndEpochChangesBetweenBatches) {
+  const std::vector<double> a = {1.0, 1.0 / 3.0, 2.0, 1e-5};
+  const std::vector<double> b = {3.0, 3.0, 7.0, 1.0};
+  std::vector<double> out(a.size());
+  // The effective format is resolved at batch entry, exactly like a scalar
+  // op at the same point. A global-config change between batches must be
+  // picked up through the epoch-invalidated cache (PR 2 machinery).
+  R.set_truncate_all(TruncationSpec::trunc64(8, 4));
+  R.op2_batch(OpKind::Div, a.data(), b.data(), out.data(), a.size(), 64);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<u64>(out[i]),
+              std::bit_cast<u64>(sf::trunc_div(a[i], b[i], sf::Format{8, 4})));
+  }
+  R.set_truncate_all(TruncationSpec::trunc64(11, 30));  // epoch bump
+  R.op2_batch(OpKind::Div, a.data(), b.data(), out.data(), a.size(), 64);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<u64>(out[i]),
+              std::bit_cast<u64>(sf::trunc_div(a[i], b[i], sf::Format{11, 30})));
+  }
+  R.clear_truncate_all();
+  R.op2_batch(OpKind::Div, a.data(), b.data(), out.data(), a.size(), 64);
+  EXPECT_DOUBLE_EQ(out[1], (1.0 / 3.0) / 3.0);
+  // Scope + excluded region around a batch behaves like around scalar ops.
+  R.exclude_region("batch/excluded");
+  TruncScope sc(8, 4);
+  {
+    Region reg("batch/excluded");
+    R.op2_batch(OpKind::Div, a.data(), b.data(), out.data(), a.size(), 64);
+    EXPECT_DOUBLE_EQ(out[1], (1.0 / 3.0) / 3.0);  // native: exclusion applies
+  }
+  R.op2_batch(OpKind::Div, a.data(), b.data(), out.data(), a.size(), 64);
+  EXPECT_EQ(std::bit_cast<u64>(out[1]),
+            std::bit_cast<u64>(sf::trunc_div(1.0 / 3.0, 3.0, sf::Format{8, 4})));
+}
+
+TEST_F(RuntimeTest, BatchWidthSelectsSpecSlot) {
+  R.set_truncate_all(TruncationSpec::parse("32_to_5_4"));
+  const std::vector<double> a = {1.0}, b = {3.0};
+  double out64 = 0, out32 = 0;
+  R.op2_batch(OpKind::Div, a.data(), b.data(), &out64, 1, 64);
+  R.op2_batch(OpKind::Div, a.data(), b.data(), &out32, 1, 32);
+  EXPECT_DOUBLE_EQ(out64, 1.0 / 3.0);
+  EXPECT_NE(out32, 1.0 / 3.0);
+}
+
+TEST_F(RuntimeTest, MemModeTruncArrayBoxesLikePreC) {
+  // In mem-mode trunc_array is the array _raptor_pre_c: each element gets a
+  // NaN-boxed shadow entry (quantizing the handle bits would destroy it).
+  R.set_mode(Mode::Mem);
+  TruncScope sc(8, 10);
+  const double in[3] = {1.0 / 3.0, 2.0, -1e-4};
+  double out[3];
+  R.trunc_array(in, out, 3, 64);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(Runtime::is_boxed(out[i])) << i;
+    EXPECT_DOUBLE_EQ(R.mem_value(out[i]), sf::quantize(in[i], sf::Format{8, 10})) << i;
+    EXPECT_DOUBLE_EQ(R.mem_shadow(out[i]), in[i]) << i;
+    R.mem_release(out[i]);
+  }
+  EXPECT_EQ(R.mem_live(), 0u);
+  EXPECT_EQ(R.counters().total_flops(), 0u);
+}
+
+TEST_F(RuntimeTest, MemModeBatchFallsBackToScalarSemantics) {
+  R.set_mode(Mode::Mem);
+  TruncScope sc(8, 10);
+  const double a0 = R.mem_make(1.0 / 3.0);
+  const double a1 = R.mem_make(2.0);
+  const double as[2] = {a0, a1};
+  const double bs[2] = {3.14159, 1e-4};
+  double out[2];
+  R.op2_batch(OpKind::Mul, as, bs, out, 2, 64);
+  ASSERT_TRUE(Runtime::is_boxed(out[0]));
+  ASSERT_TRUE(Runtime::is_boxed(out[1]));
+  const double expect0 = sf::trunc_mul(sf::quantize(1.0 / 3.0, sf::Format{8, 10}), 3.14159,
+                                       sf::Format{8, 10});
+  EXPECT_DOUBLE_EQ(R.mem_value(out[0]), expect0);
+  R.mem_release(out[0]);
+  R.mem_release(out[1]);
+  R.mem_release(a0);
+  R.mem_release(a1);
+  EXPECT_EQ(R.mem_live(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Double-rounding regression (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+TEST_F(RuntimeTest, DoubleRoundingWitnessNeverTakesAnFp32Path) {
+  // Witness pair for Format{8,12} (p = 13): a = 1, b = 2^-13 + 2^-24 (both
+  // exactly representable in the format). The exact sum 1 + 2^-13 + 2^-24
+  // is just above the format's rounding midpoint, so a single correct
+  // rounding gives 1 + 2^-12. Computing through fp32 hardware first lands
+  // exactly on fp32's tie (2^-24 = half its ulp), rounds to even at
+  // 1 + 2^-13, and the second rounding then ties down to 1.0 — the classic
+  // double-rounding failure of "widen narrow formats onto the fp32 path".
+  const double a = 1.0;
+  const double b = 0x1p-13 + 0x1p-24;
+  const double single = 1.0 + 0x1p-12;
+  const double via_fp32 =
+      sf::quantize(static_cast<double>(static_cast<float>(a) + static_cast<float>(b)),
+                   sf::Format{8, 12});
+  ASSERT_EQ(via_fp32, 1.0);  // the hazard is real for this pair
+  ASSERT_EQ(sf::trunc_add(a, b, sf::Format{8, 12}), single);
+
+  TruncScope sc(8, 12);
+  for (const bool hw : {false, true}) {
+    R.set_hw_fastpath(hw);
+    EXPECT_EQ(R.op2(OpKind::Add, a, b, 64), single) << "scalar hw=" << hw;
+    double out = 0;
+    R.op2_batch(OpKind::Add, &a, &b, &out, 1, 64);
+    EXPECT_EQ(out, single) << "batch hw=" << hw;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// C batch shims (capi)
+// ---------------------------------------------------------------------------
+
+TEST_F(RuntimeTest, CBatchShimsMatchScalarShims) {
+  const auto a = batchtest::operand_pool(600, 88);
+  const auto b = batchtest::operand_pool(600, 99);
+  std::vector<double> scalar(a.size()), batch(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    scalar[i] = capi::_raptor_mul_f64(a[i], b[i], 8, 12, "t.cpp:1:1");
+  }
+  capi::_raptor_mul_f64_batch(a.data(), b.data(), batch.data(), a.size(), 8, 12, "t.cpp:1:1");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<u64>(scalar[i]), std::bit_cast<u64>(batch[i])) << i;
+  }
+  capi::_raptor_trunc_f64_batch(a.data(), batch.data(), a.size(), 5, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<u64>(batch[i]),
+              std::bit_cast<u64>(sf::quantize(a[i], sf::Format{5, 7})))
+        << i;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // trunc_func wrappers (paper Fig. 3 usage)

@@ -376,7 +376,8 @@ TEST_P(ArbitraryFormat, ExactOperationsStayExact) {
   if (f.man_bits < 4) GTEST_SKIP() << "needs >= 4 mantissa bits for 2-digit ints";
   for (int a = 1; a <= 12; ++a) {
     for (int b = 1; b <= 12; ++b) {
-      if (a + b <= (1 << (f.man_bits + 1))) {
+      // u64 shift: man_bits reaches 61, which overflows an int shift (UBSan).
+      if (static_cast<u64>(a + b) <= (u64{1} << (f.man_bits + 1))) {
         EXPECT_DOUBLE_EQ(trunc_add(a, b, f), a + b);
       }
     }
