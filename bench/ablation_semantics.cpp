@@ -48,7 +48,7 @@ double run_kernel(Semantics sem, const sf::Format& f, int iters) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int iters = cli.get_int("iters", 20000);
 
@@ -83,3 +83,5 @@ int main(int argc, char** argv) {
       "# Fig. 5a semantics is what makes op-mode predictions transferable.\n");
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

@@ -57,7 +57,7 @@ void print_row(const Row& r) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int cells = cli.get_int("cells", 128);
   const int steps = cli.get_int("steps", 25);
@@ -91,3 +91,5 @@ int main(int argc, char** argv) {
   std::printf("# total %.1f s\n", timer.seconds());
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

@@ -55,7 +55,7 @@ std::map<int, Snapshot> run_config(const incomp::BubbleConfig& cfg, int total_st
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int steps = cli.get_int("steps", 120);
   incomp::BubbleConfig base;
@@ -109,3 +109,5 @@ int main(int argc, char** argv) {
   std::printf("# total %.1f s\n", timer.seconds());
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

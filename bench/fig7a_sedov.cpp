@@ -18,7 +18,7 @@
 
 using namespace raptor;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int max_level = cli.get_int("level", 5);
   const double t_end = cli.get_double("t-end", 0.006);
@@ -62,3 +62,5 @@ int main(int argc, char** argv) {
               cli.get("csv", "fig7a_sedov.csv").c_str());
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

@@ -16,7 +16,7 @@
 
 using namespace raptor;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int max_level = cli.get_int("level", 5);
   const double t_end = cli.get_double("t-end", 0.05);
@@ -59,3 +59,5 @@ int main(int argc, char** argv) {
               cli.get("csv", "fig7b_sod.csv").c_str());
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

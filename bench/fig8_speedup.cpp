@@ -20,7 +20,7 @@
 
 using namespace raptor;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int max_level = cli.get_int("level", 4);
   const double t_end = cli.get_double("t-end", 0.06);
@@ -98,3 +98,5 @@ int main(int argc, char** argv) {
   std::printf("# total %.1f s\n", timer.seconds());
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

@@ -33,7 +33,7 @@ struct Row {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int max_level = cli.get_int("level", 3);
   const int steps = cli.get_int("steps", 16);
@@ -125,3 +125,5 @@ int main(int argc, char** argv) {
   std::printf("# total %.1f s\n", timer.seconds());
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

@@ -188,7 +188,7 @@ void json_loop(std::FILE* f, const char* name, const LoopBench& lb, bool trailin
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int max_level = cli.get_int("level", 3);
   const int steps = cli.get_int("steps", 12);
@@ -380,3 +380,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

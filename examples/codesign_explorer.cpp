@@ -10,7 +10,7 @@
 
 using namespace raptor;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   model::CodesignModel::Config mc;
   mc.bandwidth_gbs = cli.get_double("bandwidth", 1024.0);
@@ -46,3 +46,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

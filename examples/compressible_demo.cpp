@@ -13,7 +13,7 @@
 
 using namespace raptor;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int max_level = cli.get_int("level", 4);
   const std::string out_dir = cli.get("out", ".");
@@ -51,3 +51,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

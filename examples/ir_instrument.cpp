@@ -30,7 +30,7 @@ entry:
 )";
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   ir::TruncPassOptions opts;
   opts.root = "foo";
@@ -59,3 +59,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

@@ -47,7 +47,7 @@ Real module_amplify(const std::vector<Real>& xs) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int mantissa = cli.get_int("mantissa", 8);
   const double threshold = cli.get_double("threshold", 1e-6);
@@ -83,3 +83,5 @@ int main(int argc, char** argv) {
   runtime.reset_all();
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

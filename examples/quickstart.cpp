@@ -33,7 +33,7 @@ T kernel(int n) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const raptor::Cli cli(argc, argv);
   auto& runtime = raptor::rt::Runtime::instance();
   const int n = 2000;
@@ -69,3 +69,5 @@ int main(int argc, char** argv) {
   std::printf("\nDone. See DESIGN.md for the experiment index.\n");
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

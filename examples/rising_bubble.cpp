@@ -38,7 +38,7 @@ void report(const char* tag, const incomp::InterfaceMetrics& m) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int steps = cli.get_int("steps", 150);
   const int mantissa = cli.get_int("mantissa", 12);
@@ -76,3 +76,5 @@ int main(int argc, char** argv) {
               out_dir.c_str());
   return 0;
 }
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

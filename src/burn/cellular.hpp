@@ -33,6 +33,11 @@ struct CellularConfig {
   int eos_max_iter = 20;
   /// Truncation applied to the EOS module only (the §6.1 experiment).
   std::optional<rt::TruncationSpec> eos_trunc;
+  /// Route the EOS inversion, HLL fluxes, conserved update and burn network
+  /// through the array batch dispatch (DESIGN.md §8) when running op-mode
+  /// with S = Real: bit-identical results and counters, batched dispatch.
+  /// The double baseline and mem-mode always take the scalar path.
+  bool batch = true;
 };
 
 template <class S>
@@ -76,20 +81,35 @@ class CellularSim {
   /// and temperature per cell; Burn then releases energy.
   double step() {
     const int n = cfg_.n;
+    // Batched dispatch applies to the instrumented op-mode run only; the
+    // double baseline and mem-mode take the scalar path (DESIGN.md §8).
+    bool use_batch = false;
+    if constexpr (std::is_same_v<S, Real>) {
+      use_batch = cfg_.batch && rt::Runtime::instance().mode() == rt::Mode::Op;
+    }
     // 1. EOS sweep: invert (rho, e_int) -> T, p under the eos scope.
     std::vector<S> pres(n), gam(n);
     {
       std::optional<TruncScope> scope;
       if (cfg_.eos_trunc) scope.emplace(*cfg_.eos_trunc, true);
       Region region("eos");
-      for (int i = 0; i < n; ++i) {
-        const S vel = mom_[i] / rho_[i];
-        S eint = ener_[i] / rho_[i] - S(0.5) * vel * vel;
-        const auto res = table_.invert_energy(rho_[i], eint, temp_[i], cfg_.eos_rtol,
-                                              cfg_.eos_max_iter, &eos_stats_);
-        temp_[i] = res.temp;
-        pres[i] = res.pres;
-        gam[i] = table_.gamma_eff(rho_[i], res.pres, eint);
+      bool done = false;
+      if constexpr (std::is_same_v<S, Real>) {
+        if (use_batch) {
+          eos_sweep_batch(pres, gam);
+          done = true;
+        }
+      }
+      if (!done) {
+        for (int i = 0; i < n; ++i) {
+          const S vel = mom_[i] / rho_[i];
+          S eint = ener_[i] / rho_[i] - S(0.5) * vel * vel;
+          const auto res = table_.invert_energy(rho_[i], eint, temp_[i], cfg_.eos_rtol,
+                                                cfg_.eos_max_iter, &eos_stats_);
+          temp_[i] = res.temp;
+          pres[i] = res.pres;
+          gam[i] = table_.gamma_eff(rho_[i], res.pres, eint);
+        }
       }
     }
 
@@ -107,34 +127,262 @@ class CellularSim {
     // 3. Hydro update (HLL, first order, outflow boundaries), "hydro" region.
     {
       Region region("hydro");
-      std::vector<S> f_rho(n + 1), f_mom(n + 1), f_ener(n + 1);
-      for (int f = 0; f <= n; ++f) {
-        const int il = std::max(f - 1, 0);
-        const int ir = std::min(f, n - 1);
-        flux(il, ir, pres, gam, f_rho[f], f_mom[f], f_ener[f]);
+      bool done = false;
+      if constexpr (std::is_same_v<S, Real>) {
+        if (use_batch) {
+          hydro_batch(pres, gam, dt);
+          done = true;
+        }
       }
-      const S dtdx(dt / dx_);
-      for (int i = 0; i < n; ++i) {
-        rho_[i] = rho_[i] + dtdx * (f_rho[i] - f_rho[i + 1]);
-        mom_[i] = mom_[i] + dtdx * (f_mom[i] - f_mom[i + 1]);
-        ener_[i] = ener_[i] + dtdx * (f_ener[i] - f_ener[i + 1]);
+      if (!done) {
+        std::vector<S> f_rho(n + 1), f_mom(n + 1), f_ener(n + 1);
+        for (int f = 0; f <= n; ++f) {
+          const int il = std::max(f - 1, 0);
+          const int ir = std::min(f, n - 1);
+          flux(il, ir, pres, gam, f_rho[f], f_mom[f], f_ener[f]);
+        }
+        const S dtdx(dt / dx_);
+        for (int i = 0; i < n; ++i) {
+          rho_[i] = rho_[i] + dtdx * (f_rho[i] - f_rho[i + 1]);
+          mom_[i] = mom_[i] + dtdx * (f_mom[i] - f_mom[i + 1]);
+          ener_[i] = ener_[i] + dtdx * (f_ener[i] - f_ener[i + 1]);
+        }
       }
     }
 
     // 4. Burn source, "burn" region.
     {
       Region region("burn");
-      for (int i = 0; i < n; ++i) {
-        const auto res = burn_cell(bp_, xfrac_[i], rho_[i], temp_[i], dt);
-        xfrac_[i] = res.x_new;
-        ener_[i] = ener_[i] + rho_[i] * res.energy_released;
-        energy_released_ += to_double(rho_[i] * res.energy_released) * dx_;
+      bool done = false;
+      if constexpr (std::is_same_v<S, Real>) {
+        if (use_batch) {
+          burn_batch(dt);
+          done = true;
+        }
+      }
+      if (!done) {
+        for (int i = 0; i < n; ++i) {
+          const auto res = burn_cell(bp_, xfrac_[i], rho_[i], temp_[i], dt);
+          xfrac_[i] = res.x_new;
+          ener_[i] = ener_[i] + rho_[i] * res.energy_released;
+          energy_released_ += to_double(rho_[i] * res.energy_released) * dx_;
+        }
       }
     }
     return dt;
   }
 
  private:
+  // -- Batched stage implementations (S = Real, op-mode; DESIGN.md §8) ----
+  //
+  // Each mirrors its scalar loop operation for operation over gathered raw
+  // payloads, so per-cell results and counter totals are bitwise identical;
+  // per-cell control flow (EOS convergence, HLL wave-speed branches, burn
+  // sub-cycling) is decided on the same native values and handled by lane
+  // compaction.
+
+  /// Stage 1: vel/eint preparation, batched Newton inversion, gamma_eff.
+  void eos_sweep_batch(std::vector<S>& pres, std::vector<S>& gam)
+    requires std::is_same_v<S, Real>
+  {
+    using rt::OpKind;
+    auto& R = rt::Runtime::instance();
+    const std::size_t n = static_cast<std::size_t>(cfg_.n);
+    std::vector<double> rho(n), mom(n), ener(n), temp(n), vel(n), eint(n), pr(n), t0(n), t1(n),
+        half(n, 0.5), one(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      rho[i] = rho_[i].raw();
+      mom[i] = mom_[i].raw();
+      ener[i] = ener_[i].raw();
+      temp[i] = temp_[i].raw();
+    }
+    // vel = mom / rho;  eint = ener / rho - 0.5 vel vel
+    R.op2_batch(OpKind::Div, mom.data(), rho.data(), vel.data(), n);
+    R.op2_batch(OpKind::Div, ener.data(), rho.data(), t0.data(), n);
+    R.op2_batch(OpKind::Mul, half.data(), vel.data(), t1.data(), n);
+    R.op2_batch(OpKind::Mul, t1.data(), vel.data(), t1.data(), n);
+    R.op2_batch(OpKind::Sub, t0.data(), t1.data(), eint.data(), n);
+    table_.invert_energy_batch(rho.data(), eint.data(), temp.data(), pr.data(), n, cfg_.eos_rtol,
+                               cfg_.eos_max_iter, &eos_stats_);
+    // gamma_eff = 1 + p / (rho e)
+    R.op2_batch(OpKind::Mul, rho.data(), eint.data(), t0.data(), n);
+    R.op2_batch(OpKind::Div, pr.data(), t0.data(), t1.data(), n);
+    R.op2_batch(OpKind::Add, one.data(), t1.data(), t0.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      temp_[i] = Real::adopt_raw(temp[i]);
+      pres[i] = Real::adopt_raw(pr[i]);
+      gam[i] = Real::adopt_raw(t0[i]);
+    }
+  }
+
+  /// Stages 3a+3b: HLL fluxes over all faces (wave-speed branches resolved
+  /// by face partition) and the conserved flux-difference update.
+  void hydro_batch(const std::vector<S>& pres, const std::vector<S>& gam, double dt)
+    requires std::is_same_v<S, Real>
+  {
+    using rt::OpKind;
+    auto& R = rt::Runtime::instance();
+    const std::size_t n = static_cast<std::size_t>(cfg_.n);
+    const std::size_t nf = n + 1;
+    std::vector<double> rl(nf), rr(nf), ml(nf), mr(nf), pl(nf), pr(nf), el(nf), er(nf), gl(nf),
+        gr(nf);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const std::size_t il = f == 0 ? 0 : f - 1;
+      const std::size_t ir = std::min(f, n - 1);
+      rl[f] = rho_[il].raw();
+      rr[f] = rho_[ir].raw();
+      ml[f] = mom_[il].raw();
+      mr[f] = mom_[ir].raw();
+      pl[f] = pres[il].raw();
+      pr[f] = pres[ir].raw();
+      el[f] = ener_[il].raw();
+      er[f] = ener_[ir].raw();
+      // fmax(gam, 1.05) is a selection on the truncated value (no op).
+      gl[f] = gam[il].raw() >= 1.05 ? gam[il].raw() : 1.05;
+      gr[f] = gam[ir].raw() >= 1.05 ? gam[ir].raw() : 1.05;
+    }
+    std::vector<double> ul(nf), ur(nf), cl(nf), cr(nf), sl(nf), sr(nf), t0(nf), t1(nf);
+    std::vector<double> flr(nf), frr(nf), flm(nf), frm(nf), fle(nf), fre(nf);
+    R.op2_batch(OpKind::Div, ml.data(), rl.data(), ul.data(), nf);
+    R.op2_batch(OpKind::Div, mr.data(), rr.data(), ur.data(), nf);
+    // c = sqrt(g p / r) per side
+    R.op2_batch(OpKind::Mul, gl.data(), pl.data(), t0.data(), nf);
+    R.op2_batch(OpKind::Div, t0.data(), rl.data(), t0.data(), nf);
+    R.op1_batch(OpKind::Sqrt, t0.data(), cl.data(), nf);
+    R.op2_batch(OpKind::Mul, gr.data(), pr.data(), t0.data(), nf);
+    R.op2_batch(OpKind::Div, t0.data(), rr.data(), t0.data(), nf);
+    R.op1_batch(OpKind::Sqrt, t0.data(), cr.data(), nf);
+    // sl = fmin(ul - cl, ur - cr); sr = fmax(ul + cl, ur + cr)
+    R.op2_batch(OpKind::Sub, ul.data(), cl.data(), t0.data(), nf);
+    R.op2_batch(OpKind::Sub, ur.data(), cr.data(), t1.data(), nf);
+    for (std::size_t f = 0; f < nf; ++f) sl[f] = t0[f] <= t1[f] ? t0[f] : t1[f];
+    R.op2_batch(OpKind::Add, ul.data(), cl.data(), t0.data(), nf);
+    R.op2_batch(OpKind::Add, ur.data(), cr.data(), t1.data(), nf);
+    for (std::size_t f = 0; f < nf; ++f) sr[f] = t0[f] >= t1[f] ? t0[f] : t1[f];
+    // One-sided fluxes (computed for every face, as in the scalar code)
+    R.op2_batch(OpKind::Mul, rl.data(), ul.data(), flr.data(), nf);
+    R.op2_batch(OpKind::Mul, rr.data(), ur.data(), frr.data(), nf);
+    R.op2_batch(OpKind::Mul, rl.data(), ul.data(), t0.data(), nf);
+    R.op2_batch(OpKind::Mul, t0.data(), ul.data(), t0.data(), nf);
+    R.op2_batch(OpKind::Add, t0.data(), pl.data(), flm.data(), nf);
+    R.op2_batch(OpKind::Mul, rr.data(), ur.data(), t0.data(), nf);
+    R.op2_batch(OpKind::Mul, t0.data(), ur.data(), t0.data(), nf);
+    R.op2_batch(OpKind::Add, t0.data(), pr.data(), frm.data(), nf);
+    R.op2_batch(OpKind::Add, el.data(), pl.data(), t0.data(), nf);
+    R.op2_batch(OpKind::Mul, ul.data(), t0.data(), fle.data(), nf);
+    R.op2_batch(OpKind::Add, er.data(), pr.data(), t0.data(), nf);
+    R.op2_batch(OpKind::Mul, ur.data(), t0.data(), fre.data(), nf);
+    // Wave-speed branch: upwind faces copy a one-sided flux (no ops), the
+    // subsonic middle faces take the HLL combination, batched compacted.
+    std::vector<double> f_rho(nf), f_mom(nf), f_ener(nf);
+    std::vector<std::size_t> mid;
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (sl[f] >= 0.0) {
+        f_rho[f] = flr[f];
+        f_mom[f] = flm[f];
+        f_ener[f] = fle[f];
+      } else if (sr[f] <= 0.0) {
+        f_rho[f] = frr[f];
+        f_mom[f] = frm[f];
+        f_ener[f] = fre[f];
+      } else {
+        mid.push_back(f);
+      }
+    }
+    if (!mid.empty()) {
+      const std::size_t m = mid.size();
+      std::vector<double> msl(m), msr(m), inv(m), a(m), b(m), c(m), d(m), e(m), one(m, 1.0);
+      const auto gather = [&](const std::vector<double>& src, std::vector<double>& dst) {
+        for (std::size_t k = 0; k < m; ++k) dst[k] = src[mid[k]];
+      };
+      gather(sl, msl);
+      gather(sr, msr);
+      R.op2_batch(OpKind::Sub, msr.data(), msl.data(), a.data(), m);
+      R.op2_batch(OpKind::Div, one.data(), a.data(), inv.data(), m);
+      // f = (sr fl - sl fr + sl sr (qr - ql)) * inv, per component; the
+      // q-difference for momentum is rr ur - rl ul (recomputed, as in the
+      // scalar expression).
+      const auto combine = [&](const std::vector<double>& fl, const std::vector<double>& fr,
+                               auto&& qdiff, std::vector<double>& out) {
+        gather(fl, a);
+        gather(fr, b);
+        R.op2_batch(OpKind::Mul, msr.data(), a.data(), a.data(), m);
+        R.op2_batch(OpKind::Mul, msl.data(), b.data(), b.data(), m);
+        R.op2_batch(OpKind::Sub, a.data(), b.data(), a.data(), m);
+        qdiff(c);  // fills c with (qr - ql)
+        R.op2_batch(OpKind::Mul, msl.data(), msr.data(), d.data(), m);
+        R.op2_batch(OpKind::Mul, d.data(), c.data(), d.data(), m);
+        R.op2_batch(OpKind::Add, a.data(), d.data(), a.data(), m);
+        R.op2_batch(OpKind::Mul, a.data(), inv.data(), a.data(), m);
+        for (std::size_t k = 0; k < m; ++k) out[mid[k]] = a[k];
+      };
+      combine(flr, frr,
+              [&](std::vector<double>& q) {
+                gather(rr, b);
+                gather(rl, c);
+                R.op2_batch(OpKind::Sub, b.data(), c.data(), q.data(), m);
+              },
+              f_rho);
+      combine(flm, frm,
+              [&](std::vector<double>& q) {
+                gather(rr, b);
+                gather(ur, c);
+                R.op2_batch(OpKind::Mul, b.data(), c.data(), d.data(), m);
+                gather(rl, b);
+                gather(ul, c);
+                R.op2_batch(OpKind::Mul, b.data(), c.data(), e.data(), m);
+                R.op2_batch(OpKind::Sub, d.data(), e.data(), q.data(), m);
+              },
+              f_mom);
+      combine(fle, fre,
+              [&](std::vector<double>& q) {
+                gather(er, b);
+                gather(el, c);
+                R.op2_batch(OpKind::Sub, b.data(), c.data(), q.data(), m);
+              },
+              f_ener);
+    }
+    // Conserved update: u[i] += dtdx (f[i] - f[i+1]) per variable.
+    std::vector<double> dtdx(n, dt / dx_), u(n), diff(n), t2(n);
+    const auto update = [&](std::vector<S>& field, const std::vector<double>& fl) {
+      for (std::size_t i = 0; i < n; ++i) u[i] = field[i].raw();
+      R.op2_batch(OpKind::Sub, fl.data(), fl.data() + 1, diff.data(), n);
+      R.op2_batch(OpKind::Mul, dtdx.data(), diff.data(), t2.data(), n);
+      R.op2_batch(OpKind::Add, u.data(), t2.data(), u.data(), n);
+      for (std::size_t i = 0; i < n; ++i) field[i] = Real::adopt_raw(u[i]);
+    };
+    update(rho_, f_rho);
+    update(mom_, f_mom);
+    update(ener_, f_ener);
+  }
+
+  /// Stage 4: batched burn network plus the energy deposition.
+  void burn_batch(double dt)
+    requires std::is_same_v<S, Real>
+  {
+    using rt::OpKind;
+    auto& R = rt::Runtime::instance();
+    const std::size_t n = static_cast<std::size_t>(cfg_.n);
+    std::vector<double> x(n), rho(n), temp(n), en(n), rel(n), t0(n), t1(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = xfrac_[i].raw();
+      rho[i] = rho_[i].raw();
+      temp[i] = temp_[i].raw();
+      en[i] = ener_[i].raw();
+    }
+    burn_cells_batch(bp_, n, x.data(), rho.data(), temp.data(), dt, rel.data());
+    // ener += rho * release;  energy_released_ += (rho * release) * dx —
+    // the product is evaluated twice, exactly as in the scalar statements.
+    R.op2_batch(OpKind::Mul, rho.data(), rel.data(), t0.data(), n);
+    R.op2_batch(OpKind::Add, en.data(), t0.data(), en.data(), n);
+    R.op2_batch(OpKind::Mul, rho.data(), rel.data(), t1.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xfrac_[i] = Real::adopt_raw(x[i]);
+      ener_[i] = Real::adopt_raw(en[i]);
+      energy_released_ += t1[i] * dx_;
+    }
+  }
+
   void flux(int il, int ir, const std::vector<S>& pres, const std::vector<S>& gam, S& f_rho,
             S& f_mom, S& f_ener) const {
     using std::sqrt;

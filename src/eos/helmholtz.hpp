@@ -91,6 +91,18 @@ class HelmholtzTable {
 
   // -- Newton-Raphson inversion (the §6.1 experiment target) -------------
 
+  /// Batched form of invert_energy over spans of op-mode raw payloads
+  /// (DESIGN.md §8): the effective format, mode and dispatch are resolved
+  /// once per batch operation, lanes retire from the batch as their Newton
+  /// iteration converges, and every lane's result, iteration count and
+  /// counter contribution is bit-identical to invert_energy<Real> on the
+  /// same inputs. `temp` carries the guess in and the result out; `pres`
+  /// receives p_interp at the result. Op-mode only (callers gate on
+  /// Runtime::mode(), as for the other batch front-ends).
+  void invert_energy_batch(const double* rho, const double* e_target, double* temp, double* pres,
+                           std::size_t n, double rtol, int max_iter,
+                           EosStats* stats = nullptr) const;
+
   /// Given (rho, e) find T such that e_interp(rho, T) = e. `stats` (if
   /// non-null) accumulates convergence bookkeeping.
   template <class S>
@@ -164,6 +176,13 @@ class HelmholtzTable {
   [[nodiscard]] std::size_t idx(int i, int j) const {
     return static_cast<std::size_t>(j) * cfg_.n_rho + i;
   }
+
+  /// Scratch and helpers for the batched inversion (helmholtz.cpp).
+  struct BatchScratch;
+  void locate_batch(std::size_t n, BatchScratch& s) const;
+  void blend_batch(const std::vector<double>& tab, std::size_t n, BatchScratch& s) const;
+  void interp_batch(const std::vector<double>& tab, std::size_t n, BatchScratch& s) const;
+  void dedt_batch(std::size_t n, BatchScratch& s) const;
 
   Config cfg_;
   double dlr_ = 0.0, dlt_ = 0.0;

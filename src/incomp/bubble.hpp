@@ -208,21 +208,29 @@ class BubbleSim {
   }
 
   void advect_phi(double dt) {
-    Region region("incomp/advect");
+    // Region entry happens inside the parallel block: every executing
+    // thread must carry the label, or per-region profiles, overrides, and
+    // exclusions would only see the master thread's share.
     std::vector<S> next(phi_.size());
     if constexpr (std::is_same_v<S, Real>) {
       if (cfg_.batch && rt::Runtime::instance().mode() == rt::Mode::Op) {
-#pragma omp parallel for schedule(dynamic)
-        for (int j = 0; j < cfg_.ny; ++j) {
-          advect_row_batch(j, dt, next);
-          rt::Runtime::instance().count_mem(static_cast<u64>(cfg_.nx) * 16 * sizeof(double));
+#pragma omp parallel
+        {
+          Region region("incomp/advect");
+#pragma omp for schedule(dynamic)
+          for (int j = 0; j < cfg_.ny; ++j) {
+            advect_row_batch(j, dt, next);
+            rt::Runtime::instance().count_mem(static_cast<u64>(cfg_.nx) * 16 * sizeof(double));
+          }
         }
         phi_ = std::move(next);
         return;
       }
     }
+#pragma omp parallel
     {
-#pragma omp parallel for schedule(dynamic)
+      Region region("incomp/advect");
+#pragma omp for schedule(dynamic)
       for (int j = 0; j < cfg_.ny; ++j) {
         for (int i = 0; i < cfg_.nx; ++i) {
           std::optional<TruncScope> sc;
@@ -317,9 +325,10 @@ class BubbleSim {
     std::vector<S> us = u_, vs = v_;
 
     // u faces (interior: no penetration at the side walls).
+#pragma omp parallel
     {
       Region region("incomp/advect");
-#pragma omp parallel for schedule(dynamic)
+#pragma omp for schedule(dynamic)
       for (int j = 0; j < cfg_.ny; ++j) {
         for (int i = 1; i < cfg_.nx; ++i) {
           std::optional<TruncScope> sc;
@@ -335,9 +344,10 @@ class BubbleSim {
         }
       }
     }
+#pragma omp parallel
     {
       Region region("incomp/diffuse");
-#pragma omp parallel for schedule(dynamic)
+#pragma omp for schedule(dynamic)
       for (int j = 0; j < cfg_.ny; ++j) {
         for (int i = 1; i < cfg_.nx; ++i) {
           std::optional<TruncScope> sc;
@@ -367,9 +377,10 @@ class BubbleSim {
     }
 
     // v faces (interior: no penetration at top/bottom walls).
+#pragma omp parallel
     {
       Region region("incomp/advect");
-#pragma omp parallel for schedule(dynamic)
+#pragma omp for schedule(dynamic)
       for (int j = 1; j < cfg_.ny; ++j) {
         for (int i = 0; i < cfg_.nx; ++i) {
           std::optional<TruncScope> sc;
@@ -385,9 +396,10 @@ class BubbleSim {
         }
       }
     }
+#pragma omp parallel
     {
       Region region("incomp/diffuse");
-#pragma omp parallel for schedule(dynamic)
+#pragma omp for schedule(dynamic)
       for (int j = 1; j < cfg_.ny; ++j) {
         for (int i = 0; i < cfg_.nx; ++i) {
           std::optional<TruncScope> sc;
@@ -497,7 +509,7 @@ class BubbleSim {
 
   BubbleConfig cfg_;
   double hx_, hy_;
-  PoissonSolver solver_;
+  PoissonSolver<double> solver_;
   std::vector<S> u_, v_, phi_;
   std::vector<double> p_;
   std::vector<int> vlevel_;

@@ -1,14 +1,37 @@
 // Variable-coefficient pressure Poisson solver: div(beta grad p) = rhs on a
 // cell-centered grid with homogeneous Neumann walls, solved by red-black
-// SOR. This substitutes for Flash-X's Hypre solve (see DESIGN.md §1); like
-// Hypre it is an external, *untruncated* component — the paper's pass
-// ignores calls into pre-compiled libraries — so it works in plain double.
+// SOR. This substitutes for Flash-X's Hypre solve (see DESIGN.md §1).
+//
+// The solver is templated on the scalar S like the other substrates:
+//   * S = double — the untruncated external-library stand-in the bubble
+//     projection uses (the paper's pass ignores pre-compiled libraries);
+//   * S = Real  — the sweep arithmetic (matvec, Gauss-Seidel update) runs
+//     instrumented under the "poisson" region, so the solver can be
+//     profiled, truncated per-region, and searched (DESIGN.md §10). The
+//     face coefficients, convergence control and Neumann null-space pinning
+//     stay native bookkeeping, mirroring how AMR/EOS treat mesh metadata.
+//
+// With S = Real in op-mode the red-black sweep dispatches through the batch
+// entry points (DESIGN.md §8): cells of one color in a row are independent,
+// so each is gathered into spans and streamed through op2_batch with the
+// exact scalar expression tree — bit-identical results and counter totals.
+//
+// Convergence control: the (expensive) residual is recomputed every 10
+// sweeps, but a cheap per-sweep update norm triggers an early residual
+// check as soon as the iteration is plausibly converged — convergence on a
+// non-multiple-of-10 sweep is detected immediately, and the reported
+// residual always corresponds to the returned p (it is recomputed at every
+// exit point, never stale).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <type_traits>
 #include <vector>
 
 #include "support/common.hpp"
+#include "trunc/real.hpp"
+#include "trunc/scope.hpp"
 
 namespace raptor::incomp {
 
@@ -18,85 +41,132 @@ struct PoissonResult {
   bool converged = false;
 };
 
+template <class S = double>
 class PoissonSolver {
  public:
   PoissonSolver(int nx, int ny, double hx, double hy)
       : nx_(nx), ny_(ny), hx2_(1.0 / (hx * hx)), hy2_(1.0 / (hy * hy)) {}
 
+  /// Route the instrumented sweep through the batch dispatch (op-mode with
+  /// S = Real only; bit-identical to the scalar path).
+  void set_batch(bool on) { batch_ = on; }
+
   /// Solve div(beta grad p) = rhs. beta_x: (nx+1) x ny face coefficients,
   /// beta_y: nx x (ny+1). p holds the initial guess on entry, the solution
   /// on exit. rhs is compatible (mean-zero) up to solver tolerance for
   /// all-Neumann problems; the mean of p is pinned to zero.
-  PoissonResult solve(std::vector<double>& p, const std::vector<double>& rhs,
+  PoissonResult solve(std::vector<S>& p, const std::vector<double>& rhs,
                       const std::vector<double>& beta_x, const std::vector<double>& beta_y,
                       double tol = 1e-8, int max_iter = 2000, double omega = 1.7) const {
     RAPTOR_REQUIRE(p.size() == static_cast<std::size_t>(nx_) * ny_, "poisson: bad p size");
     PoissonResult out;
-    const auto idx = [this](int i, int j) { return static_cast<std::size_t>(j) * nx_ + i; };
-    const auto bx = [&](int i, int j) { return beta_x[static_cast<std::size_t>(j) * (nx_ + 1) + i]; };
-    const auto by = [&](int i, int j) { return beta_y[static_cast<std::size_t>(j) * nx_ + i]; };
 
     double rhs_norm = 0.0;
     for (const double r : rhs) rhs_norm = std::max(rhs_norm, std::fabs(r));
     if (rhs_norm < 1e-300) rhs_norm = 1.0;
 
+    // Largest diagonal, scaling the cheap update norm to residual units.
+    double diag_max = 0.0;
+    for (int j = 0; j < ny_; ++j) {
+      for (int i = 0; i < nx_; ++i) diag_max = std::max(diag_max, diag_at(beta_x, beta_y, i, j));
+    }
+    if (diag_max <= 0.0) diag_max = 1.0;
+
+    bool use_batch = false;
+    if constexpr (std::is_same_v<S, Real>) {
+      use_batch = batch_ && rt::Runtime::instance().mode() == rt::Mode::Op;
+    }
+
+    // A failed early check suppresses further early checks until the next
+    // regular cadence point, so a stalled (e.g. heavily truncated) solve
+    // does not pay a residual evaluation per sweep.
+    bool early_check_armed = true;
     for (int it = 1; it <= max_iter; ++it) {
       out.iterations = it;
+      double max_update = 0.0;
       for (int color = 0; color < 2; ++color) {
-#pragma omp parallel for schedule(static)
-        for (int j = 0; j < ny_; ++j) {
-          for (int i = (j + color) & 1; i < nx_; i += 2) {
-            // Neumann walls: face coefficient already zero at boundaries.
-            const double ble = i > 0 ? bx(i, j) * hx2_ : 0.0;
-            const double bri = i < nx_ - 1 ? bx(i + 1, j) * hx2_ : 0.0;
-            const double bbo = j > 0 ? by(i, j) * hy2_ : 0.0;
-            const double bto = j < ny_ - 1 ? by(i, j + 1) * hy2_ : 0.0;
-            const double diag = ble + bri + bbo + bto;
-            if (diag <= 0.0) continue;
-            const double nb = (i > 0 ? ble * p[idx(i - 1, j)] : 0.0) +
-                              (i < nx_ - 1 ? bri * p[idx(i + 1, j)] : 0.0) +
-                              (j > 0 ? bbo * p[idx(i, j - 1)] : 0.0) +
-                              (j < ny_ - 1 ? bto * p[idx(i, j + 1)] : 0.0);
-            const double gs = (nb - rhs[idx(i, j)]) / diag;
-            p[idx(i, j)] += omega * (gs - p[idx(i, j)]);
+#pragma omp parallel reduction(max : max_update)
+        {
+          // Region entry per executing thread: worker threads must carry the
+          // label too, or per-region profiles/overrides would miss them.
+          Region region("poisson");
+          if (use_batch) {
+            if constexpr (std::is_same_v<S, Real>) {
+              BatchRow row;
+#pragma omp for schedule(static)
+              for (int j = 0; j < ny_; ++j) {
+                max_update = std::max(
+                    max_update, sweep_row_batch(p, rhs, beta_x, beta_y, j, color, omega, row));
+              }
+            }
+          } else {
+#pragma omp for schedule(static)
+            for (int j = 0; j < ny_; ++j) {
+              for (int i = (j + color) & 1; i < nx_; i += 2) {
+                const double diag = diag_at(beta_x, beta_y, i, j);
+                if (diag <= 0.0) continue;
+                // Neumann walls: the face coefficient is zero there, so the
+                // clamped neighbour reads contribute exactly nothing while
+                // every cell executes the same operation sequence (which is
+                // what lets the batch path mirror this loop bit for bit).
+                const double ble = i > 0 ? bx(beta_x, i, j) * hx2_ : 0.0;
+                const double bri = i < nx_ - 1 ? bx(beta_x, i + 1, j) * hx2_ : 0.0;
+                const double bbo = j > 0 ? by(beta_y, i, j) * hy2_ : 0.0;
+                const double bto = j < ny_ - 1 ? by(beta_y, i, j + 1) * hy2_ : 0.0;
+                const S nb = S(ble) * p_c(p, i - 1, j) + S(bri) * p_c(p, i + 1, j) +
+                             S(bbo) * p_c(p, i, j - 1) + S(bto) * p_c(p, i, j + 1);
+                const S gs = (nb - S(rhs[idx(i, j)])) / S(diag);
+                const S upd = S(omega) * (gs - p[idx(i, j)]);
+                p[idx(i, j)] = p[idx(i, j)] + upd;
+                max_update = std::max(max_update, std::fabs(to_double(upd)));
+              }
+            }
           }
         }
       }
-      if (it % 10 == 0 || it == max_iter) {
+      // Convergence control (native): the residual is recomputed on the
+      // usual every-10 cadence, at the iteration budget, and as soon as the
+      // scaled update norm suggests convergence — so detection is prompt on
+      // any iteration and the reported residual is never stale.
+      const bool cadence = it % 10 == 0 || it == max_iter;
+      const bool plausibly_converged =
+          early_check_armed && max_update * diag_max < tol * rhs_norm;
+      if (cadence) early_check_armed = true;
+      if (cadence || plausibly_converged) {
         const double res = residual_norm(p, rhs, beta_x, beta_y);
         out.residual = res;
         if (res < tol * rhs_norm) {
           out.converged = true;
           break;
         }
+        if (plausibly_converged && !cadence) early_check_armed = false;
       }
     }
-    // Pin the Neumann null space.
+    // Pin the Neumann null space (native bookkeeping).
     double mean = 0.0;
-    for (const double v : p) mean += v;
+    for (const S& v : p) mean += to_double(v);
     mean /= static_cast<double>(p.size());
-    for (double& v : p) v -= mean;
+    for (S& v : p) v = S(to_double(v) - mean);
     return out;
   }
 
-  [[nodiscard]] double residual_norm(const std::vector<double>& p, const std::vector<double>& rhs,
+  [[nodiscard]] double residual_norm(const std::vector<S>& p, const std::vector<double>& rhs,
                                      const std::vector<double>& beta_x,
                                      const std::vector<double>& beta_y) const {
-    const auto idx = [this](int i, int j) { return static_cast<std::size_t>(j) * nx_ + i; };
-    const auto bx = [&](int i, int j) { return beta_x[static_cast<std::size_t>(j) * (nx_ + 1) + i]; };
-    const auto by = [&](int i, int j) { return beta_y[static_cast<std::size_t>(j) * nx_ + i]; };
     double worst = 0.0;
 #pragma omp parallel for schedule(static) reduction(max : worst)
     for (int j = 0; j < ny_; ++j) {
       for (int i = 0; i < nx_; ++i) {
-        const double ble = i > 0 ? bx(i, j) * hx2_ : 0.0;
-        const double bri = i < nx_ - 1 ? bx(i + 1, j) * hx2_ : 0.0;
-        const double bbo = j > 0 ? by(i, j) * hy2_ : 0.0;
-        const double bto = j < ny_ - 1 ? by(i, j + 1) * hy2_ : 0.0;
-        const double lap = (i > 0 ? ble * (p[idx(i - 1, j)] - p[idx(i, j)]) : 0.0) +
-                           (i < nx_ - 1 ? bri * (p[idx(i + 1, j)] - p[idx(i, j)]) : 0.0) +
-                           (j > 0 ? bbo * (p[idx(i, j - 1)] - p[idx(i, j)]) : 0.0) +
-                           (j < ny_ - 1 ? bto * (p[idx(i, j + 1)] - p[idx(i, j)]) : 0.0);
+        const double ble = i > 0 ? bx(beta_x, i, j) * hx2_ : 0.0;
+        const double bri = i < nx_ - 1 ? bx(beta_x, i + 1, j) * hx2_ : 0.0;
+        const double bbo = j > 0 ? by(beta_y, i, j) * hy2_ : 0.0;
+        const double bto = j < ny_ - 1 ? by(beta_y, i, j + 1) * hy2_ : 0.0;
+        const double pc = to_double(p[idx(i, j)]);
+        const double lap =
+            (i > 0 ? ble * (to_double(p[idx(i - 1, j)]) - pc) : 0.0) +
+            (i < nx_ - 1 ? bri * (to_double(p[idx(i + 1, j)]) - pc) : 0.0) +
+            (j > 0 ? bbo * (to_double(p[idx(i, j - 1)]) - pc) : 0.0) +
+            (j < ny_ - 1 ? bto * (to_double(p[idx(i, j + 1)]) - pc) : 0.0);
         worst = std::max(worst, std::fabs(lap - rhs[idx(i, j)]));
       }
     }
@@ -104,8 +174,96 @@ class PoissonSolver {
   }
 
  private:
+  [[nodiscard]] std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(j) * nx_ + i;
+  }
+  [[nodiscard]] double bx(const std::vector<double>& beta_x, int i, int j) const {
+    return beta_x[static_cast<std::size_t>(j) * (nx_ + 1) + i];
+  }
+  [[nodiscard]] double by(const std::vector<double>& beta_y, int i, int j) const {
+    return beta_y[static_cast<std::size_t>(j) * nx_ + i];
+  }
+  [[nodiscard]] double diag_at(const std::vector<double>& beta_x,
+                               const std::vector<double>& beta_y, int i, int j) const {
+    const double ble = i > 0 ? bx(beta_x, i, j) * hx2_ : 0.0;
+    const double bri = i < nx_ - 1 ? bx(beta_x, i + 1, j) * hx2_ : 0.0;
+    const double bbo = j > 0 ? by(beta_y, i, j) * hy2_ : 0.0;
+    const double bto = j < ny_ - 1 ? by(beta_y, i, j + 1) * hy2_ : 0.0;
+    return ble + bri + bbo + bto;
+  }
+  /// Clamped cell read; out-of-domain neighbours pair with a zero face
+  /// coefficient so their value never contributes.
+  [[nodiscard]] const S& p_c(const std::vector<S>& p, int i, int j) const {
+    i = std::clamp(i, 0, nx_ - 1);
+    j = std::clamp(j, 0, ny_ - 1);
+    return p[idx(i, j)];
+  }
+
+  /// Per-thread gather/scatter buffers for one row's batched sweep.
+  struct BatchRow {
+    std::vector<double> ble, bri, bbo, bto, pl, pr, pb, pt, pc, rv, dv, om, t1, t2, nb, gs, upd;
+    std::vector<int> cells;
+  };
+
+  /// Batched update of one row's cells of one color: the same operation
+  /// sequence as the scalar loop (Mul/Mul/Add/Mul/Add/Mul/Add for nb, then
+  /// Sub/Div, Sub/Mul, Add), streamed through the batch entry points over
+  /// the diag > 0 cells. Returns the row's max |update| (native).
+  double sweep_row_batch(std::vector<S>& p, const std::vector<double>& rhs,
+                         const std::vector<double>& beta_x, const std::vector<double>& beta_y,
+                         int j, int color, double omega, BatchRow& r) const
+    requires std::is_same_v<S, Real>
+  {
+    auto& R = rt::Runtime::instance();
+    r.cells.clear();
+    for (int i = (j + color) & 1; i < nx_; i += 2) {
+      if (diag_at(beta_x, beta_y, i, j) > 0.0) r.cells.push_back(i);
+    }
+    const std::size_t n = r.cells.size();
+    if (n == 0) return 0.0;
+    for (auto* v : {&r.ble, &r.bri, &r.bbo, &r.bto, &r.pl, &r.pr, &r.pb, &r.pt, &r.pc, &r.rv,
+                    &r.dv, &r.t1, &r.t2, &r.nb, &r.gs, &r.upd}) {
+      v->resize(n);
+    }
+    r.om.assign(n, omega);
+    for (std::size_t k = 0; k < n; ++k) {
+      const int i = r.cells[k];
+      r.ble[k] = i > 0 ? bx(beta_x, i, j) * hx2_ : 0.0;
+      r.bri[k] = i < nx_ - 1 ? bx(beta_x, i + 1, j) * hx2_ : 0.0;
+      r.bbo[k] = j > 0 ? by(beta_y, i, j) * hy2_ : 0.0;
+      r.bto[k] = j < ny_ - 1 ? by(beta_y, i, j + 1) * hy2_ : 0.0;
+      r.pl[k] = p_c(p, i - 1, j).raw();
+      r.pr[k] = p_c(p, i + 1, j).raw();
+      r.pb[k] = p_c(p, i, j - 1).raw();
+      r.pt[k] = p_c(p, i, j + 1).raw();
+      r.pc[k] = p[idx(i, j)].raw();
+      r.rv[k] = rhs[idx(i, j)];
+      r.dv[k] = r.ble[k] + r.bri[k] + r.bbo[k] + r.bto[k];
+    }
+    using rt::OpKind;
+    R.op2_batch(OpKind::Mul, r.ble.data(), r.pl.data(), r.nb.data(), n);
+    R.op2_batch(OpKind::Mul, r.bri.data(), r.pr.data(), r.t1.data(), n);
+    R.op2_batch(OpKind::Add, r.nb.data(), r.t1.data(), r.nb.data(), n);
+    R.op2_batch(OpKind::Mul, r.bbo.data(), r.pb.data(), r.t1.data(), n);
+    R.op2_batch(OpKind::Add, r.nb.data(), r.t1.data(), r.nb.data(), n);
+    R.op2_batch(OpKind::Mul, r.bto.data(), r.pt.data(), r.t1.data(), n);
+    R.op2_batch(OpKind::Add, r.nb.data(), r.t1.data(), r.nb.data(), n);
+    R.op2_batch(OpKind::Sub, r.nb.data(), r.rv.data(), r.t1.data(), n);
+    R.op2_batch(OpKind::Div, r.t1.data(), r.dv.data(), r.gs.data(), n);
+    R.op2_batch(OpKind::Sub, r.gs.data(), r.pc.data(), r.t2.data(), n);
+    R.op2_batch(OpKind::Mul, r.om.data(), r.t2.data(), r.upd.data(), n);
+    R.op2_batch(OpKind::Add, r.pc.data(), r.upd.data(), r.t1.data(), n);
+    double max_update = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      p[idx(r.cells[k], j)] = Real::adopt_raw(r.t1[k]);
+      max_update = std::max(max_update, std::fabs(r.upd[k]));
+    }
+    return max_update;
+  }
+
   int nx_, ny_;
   double hx2_, hy2_;
+  bool batch_ = true;
 };
 
 }  // namespace raptor::incomp

@@ -1,0 +1,51 @@
+// Serialization of the per-region profile aggregation (DESIGN.md §10): the
+// rows behind the precision-search ranking, dumped as CSV (spreadsheet /
+// plotting) or JSON (tool ingestion). Columns mirror rt::RegionProfile.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "runtime/counters.hpp"
+
+namespace raptor::io {
+
+inline void write_region_profiles_csv(const std::string& path,
+                                      const std::vector<rt::RegionProfileEntry>& entries) {
+  CsvWriter csv(path, {"region", "trunc_flops", "full_flops", "trunc_bytes", "full_bytes",
+                       "trunc_fraction", "max_deviation", "flagged"});
+  for (const auto& e : entries) {
+    const rt::CounterSnapshot& c = e.profile.counters;
+    csv.row_strings({e.label, std::to_string(c.trunc_flops), std::to_string(c.full_flops),
+                     std::to_string(c.trunc_bytes), std::to_string(c.full_bytes),
+                     std::to_string(c.trunc_fraction()), std::to_string(e.profile.max_deviation),
+                     std::to_string(e.profile.flagged)});
+  }
+}
+
+inline void write_region_profiles_json(std::ostream& out,
+                                       const std::vector<rt::RegionProfileEntry>& entries) {
+  out << "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    const rt::CounterSnapshot& c = e.profile.counters;
+    out << "  {\"region\": \"" << e.label << "\", \"trunc_flops\": " << c.trunc_flops
+        << ", \"full_flops\": " << c.full_flops << ", \"trunc_bytes\": " << c.trunc_bytes
+        << ", \"full_bytes\": " << c.full_bytes << ", \"trunc_fraction\": " << c.trunc_fraction()
+        << ", \"max_deviation\": " << e.profile.max_deviation
+        << ", \"flagged\": " << e.profile.flagged << "}";
+    out << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+}
+
+inline void write_region_profiles_json(const std::string& path,
+                                       const std::vector<rt::RegionProfileEntry>& entries) {
+  std::ofstream out(path);
+  RAPTOR_REQUIRE(out.good(), "write_region_profiles_json: cannot open output file");
+  write_region_profiles_json(out, entries);
+}
+
+}  // namespace raptor::io

@@ -56,6 +56,28 @@ struct CounterSnapshot {
   }
 };
 
+/// Per-region aggregate (the precision-search input, DESIGN.md §10): the
+/// counters of every operation executed while the region was innermost on
+/// its thread, plus the worst mem-mode deviation observed there. Collected
+/// per thread and merged on read, like CounterSnapshot.
+struct RegionProfile {
+  CounterSnapshot counters;
+  double max_deviation = 0.0;  ///< worst mem-mode result deviation (0 in op-mode)
+  u64 flagged = 0;             ///< mem-mode results above the deviation threshold
+
+  void merge(const RegionProfile& o) {
+    counters.merge(o.counters);
+    max_deviation = max_deviation > o.max_deviation ? max_deviation : o.max_deviation;
+    flagged += o.flagged;
+  }
+};
+
+/// One labelled row of Runtime::region_profiles().
+struct RegionProfileEntry {
+  std::string label;
+  RegionProfile profile;
+};
+
 /// One deviation-heatmap record (mem-mode, paper §6.3): operations at
 /// `location` whose truncated result deviated from the FP64 shadow by more
 /// than the configured threshold.

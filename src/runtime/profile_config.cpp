@@ -1,6 +1,7 @@
 #include "runtime/profile_config.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -91,6 +92,21 @@ ProfileConfig parse_profile(std::string_view text) {
     } else if (key == "exclude") {
       if (val.empty()) fail(lineno, "exclude needs a region label");
       out.exclusions.emplace_back(val);
+    } else if (key == "region") {
+      const auto sep = val.find_first_of(" \t");
+      if (val.empty() || sep == std::string_view::npos) {
+        fail(lineno, "region needs a label and a truncation spec");
+      }
+      RegionFormat rf;
+      rf.region = std::string(val.substr(0, sep));
+      const std::string_view spec_text = trim(val.substr(sep + 1));
+      try {
+        rf.spec = TruncationSpec::parse(spec_text);
+      } catch (const ConfigError& e) {
+        fail(lineno, e.what());
+      }
+      if (rf.spec.empty()) fail(lineno, "region: empty spec");
+      out.region_formats.push_back(std::move(rf));
     } else {
       fail(lineno, "unknown directive '" + std::string(key) + "'");
     }
@@ -106,6 +122,35 @@ ProfileConfig load_profile(const std::string& path) {
   return parse_profile(ss.str());
 }
 
+std::string emit_profile(const ProfileConfig& cfg) {
+  std::ostringstream out;
+  out << "# raptor profile\n";
+  if (cfg.mode) out << "mode " << (*cfg.mode == Mode::Mem ? "mem" : "op") << '\n';
+  if (cfg.alloc) {
+    out << "alloc " << (*cfg.alloc == AllocStrategy::Naive ? "naive" : "scratch") << '\n';
+  }
+  if (cfg.counting) out << "counting " << (*cfg.counting ? "on" : "off") << '\n';
+  if (cfg.hw_fastpath) out << "hw-fastpath " << (*cfg.hw_fastpath ? "on" : "off") << '\n';
+  if (cfg.threshold) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", *cfg.threshold);
+    out << "threshold " << buf << '\n';
+  }
+  if (cfg.truncate_all) out << "truncate-all " << cfg.truncate_all->to_string() << '\n';
+  for (const auto& label : cfg.exclusions) out << "exclude " << label << '\n';
+  for (const auto& rf : cfg.region_formats) {
+    out << "region " << rf.region << ' ' << rf.spec.to_string() << '\n';
+  }
+  return out.str();
+}
+
+void save_profile(const std::string& path, const ProfileConfig& cfg) {
+  std::ofstream out(path);
+  if (!out.good()) throw ConfigError("profile: cannot write '" + path + "'");
+  out << emit_profile(cfg);
+  if (!out.good()) throw ConfigError("profile: write to '" + path + "' failed");
+}
+
 void apply_profile(Runtime& runtime, const ProfileConfig& cfg) {
   if (cfg.mode) runtime.set_mode(*cfg.mode);
   if (cfg.alloc) runtime.set_alloc_strategy(*cfg.alloc);
@@ -114,6 +159,7 @@ void apply_profile(Runtime& runtime, const ProfileConfig& cfg) {
   if (cfg.threshold) runtime.set_deviation_threshold(*cfg.threshold);
   if (cfg.truncate_all) runtime.set_truncate_all(*cfg.truncate_all);
   for (const auto& label : cfg.exclusions) runtime.exclude_region(label);
+  for (const auto& rf : cfg.region_formats) runtime.set_region_format(rf.region, rf.spec);
 }
 
 }  // namespace raptor::rt

@@ -12,9 +12,14 @@
 //   truncate-all 64_to_5_14;32_to_3_8
 //   exclude hydro/recon          # repeatable
 //   exclude hydro/riemann
+//   region eos 64_to_8_18        # per-region format override (repeatable);
+//   region hydro/recon 64_to_11_30  # the precision-search recommendation
 //
 // apply_profile() configures the global Runtime accordingly; parse errors
-// throw rt::ConfigError with a line number.
+// throw rt::ConfigError with a line number. emit_profile() serializes a
+// config back to this text form such that parse_profile(emit_profile(c))
+// round-trips every field — the search driver's recommendations are written
+// with it.
 #pragma once
 
 #include <string>
@@ -23,6 +28,15 @@
 #include "runtime/runtime.hpp"
 
 namespace raptor::rt {
+
+/// One `region <label> <spec>` directive: run the region in the spec's
+/// formats (Runtime::set_region_format).
+struct RegionFormat {
+  std::string region;
+  TruncationSpec spec;
+
+  friend bool operator==(const RegionFormat&, const RegionFormat&) = default;
+};
 
 /// Parsed form (useful for inspection/tests before applying).
 struct ProfileConfig {
@@ -33,6 +47,9 @@ struct ProfileConfig {
   std::optional<double> threshold;
   std::optional<TruncationSpec> truncate_all;
   std::vector<std::string> exclusions;
+  std::vector<RegionFormat> region_formats;
+
+  friend bool operator==(const ProfileConfig&, const ProfileConfig&) = default;
 };
 
 /// Parse a config from text. Throws ConfigError ("profile:<line>: ...").
@@ -40,6 +57,12 @@ struct ProfileConfig {
 
 /// Read and parse a config file. Throws ConfigError on I/O or parse errors.
 [[nodiscard]] ProfileConfig load_profile(const std::string& path);
+
+/// Serialize to the config-file text form; parse_profile inverts it.
+[[nodiscard]] std::string emit_profile(const ProfileConfig& cfg);
+
+/// Write emit_profile(cfg) to a file. Throws ConfigError on I/O errors.
+void save_profile(const std::string& path, const ProfileConfig& cfg);
 
 /// Apply a parsed profile to a Runtime (only the fields that were set).
 void apply_profile(Runtime& runtime, const ProfileConfig& cfg);

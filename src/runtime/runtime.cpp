@@ -48,6 +48,10 @@ struct Runtime::ThreadState {
   struct RegionFrame {
     const char* label = "";
     bool excluded = false;
+    /// Format override bound to this region label (or inherited from the
+    /// enclosing region), resolved once at region entry like `excluded`.
+    bool has_override = false;
+    TruncationSpec override_spec;
   };
 
   /// Resolved truncation state for one operand width: what
@@ -66,11 +70,20 @@ struct Runtime::ThreadState {
   TruncCache trunc_cache[3];  ///< widths 64 / 32 / 16
   u64 config_epoch = 0;
   CounterSnapshot counters;
+  /// Per-region aggregation (lazily resolved slot pointer; the map is
+  /// node-based so cached pointers survive growth). `prof_cached` is
+  /// invalidated together with the truncation cache — every op resolves its
+  /// effective format first, which syncs the epoch, so a cleared map can
+  /// never be reached through a stale pointer.
+  std::map<std::string, RegionProfile> region_profiles;
+  RegionProfile* region_prof = nullptr;
+  bool prof_cached = false;
   EmuCell scratch[4];
   Runtime* owner;
 
   void invalidate_trunc_cache() {
     for (TruncCache& c : trunc_cache) c.cached = false;
+    prof_cached = false;
   }
 
   explicit ThreadState(Runtime* o) : owner(o) { o->register_thread(this); }
@@ -95,6 +108,7 @@ void Runtime::register_thread(ThreadState* ts) {
 void Runtime::retire_thread(ThreadState* ts) {
   std::lock_guard lock(threads_mu_);
   retired_.merge(ts->counters);
+  for (const auto& [label, prof] : ts->region_profiles) retired_regions_[label].merge(prof);
   std::erase(threads_, ts);
 }
 
@@ -148,6 +162,74 @@ bool Runtime::is_excluded(const std::string& label) const {
   return std::find(exclusions_.begin(), exclusions_.end(), label) != exclusions_.end();
 }
 
+void Runtime::set_region_format(const std::string& label, const TruncationSpec& spec) {
+  {
+    std::lock_guard lock(config_mu_);
+    auto it = std::find_if(region_formats_.begin(), region_formats_.end(),
+                           [&](const auto& e) { return e.first == label; });
+    if (it != region_formats_.end()) {
+      it->second = spec;
+    } else {
+      region_formats_.emplace_back(label, spec);
+    }
+  }
+  config_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void Runtime::clear_region_formats() {
+  {
+    std::lock_guard lock(config_mu_);
+    region_formats_.clear();
+  }
+  config_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+std::optional<TruncationSpec> Runtime::region_format(const std::string& label) const {
+  std::lock_guard lock(config_mu_);
+  for (const auto& [l, s] : region_formats_) {
+    if (l == label) return s;
+  }
+  return std::nullopt;
+}
+
+void Runtime::set_region_profiling(bool on) {
+  {
+    std::lock_guard lock(config_mu_);
+    region_profiling_ = on;
+  }
+  // Threads re-resolve their cached profile slot on the next epoch sync.
+  config_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<RegionProfileEntry> Runtime::region_profiles() const {
+  std::map<std::string, RegionProfile> merged;
+  {
+    std::lock_guard lock(threads_mu_);
+    merged = retired_regions_;
+    for (const ThreadState* ts : threads_) {
+      for (const auto& [label, prof] : ts->region_profiles) merged[label].merge(prof);
+    }
+  }
+  std::vector<RegionProfileEntry> out;
+  out.reserve(merged.size());
+  for (auto& [label, prof] : merged) out.push_back({label, prof});
+  std::sort(out.begin(), out.end(), [](const RegionProfileEntry& a, const RegionProfileEntry& b) {
+    return a.profile.counters.total_flops() > b.profile.counters.total_flops();
+  });
+  return out;
+}
+
+void Runtime::reset_region_profiles() {
+  {
+    std::lock_guard lock(threads_mu_);
+    retired_regions_.clear();
+    for (ThreadState* ts : threads_) ts->region_profiles.clear();
+  }
+  // Invalidate every thread's cached slot pointer (it aims into the cleared
+  // map); the pointer is re-resolved after the next effective_format call.
+  config_epoch_.fetch_add(1, std::memory_order_release);
+}
+
 // ---------------------------------------------------------------------------
 // Scoping
 // ---------------------------------------------------------------------------
@@ -167,11 +249,31 @@ void Runtime::pop_scope() {
 
 void Runtime::push_region(const char* label) {
   ThreadState& ts = tls();
-  // Exclusion is decided at region entry (cheap per-op reads afterwards);
-  // a region nested under an excluded one stays excluded.
-  bool excluded = !ts.regions.empty() && ts.regions.back().excluded;
-  if (!excluded) excluded = is_excluded(label);
-  ts.regions.push_back({label, excluded});
+  // Exclusion and format overrides are decided at region entry (cheap
+  // per-op reads afterwards); a region nested under an excluded one stays
+  // excluded, and a region without its own override inherits the enclosing
+  // region's.
+  ThreadState::RegionFrame frame;
+  frame.label = label;
+  if (!ts.regions.empty()) {
+    frame.excluded = ts.regions.back().excluded;
+    frame.has_override = ts.regions.back().has_override;
+    if (frame.has_override) frame.override_spec = ts.regions.back().override_spec;
+  }
+  {
+    std::lock_guard lock(config_mu_);
+    if (!frame.excluded) {
+      frame.excluded = std::find(exclusions_.begin(), exclusions_.end(), label) !=
+                       exclusions_.end();
+    }
+    auto it = std::find_if(region_formats_.begin(), region_formats_.end(),
+                           [&](const auto& e) { return e.first == label; });
+    if (it != region_formats_.end()) {
+      frame.has_override = true;
+      frame.override_spec = it->second;
+    }
+  }
+  ts.regions.push_back(std::move(frame));
   ts.invalidate_trunc_cache();
 }
 
@@ -197,7 +299,11 @@ const sf::Format* Runtime::effective_format(ThreadState& ts, int width) const {
   if (!c.cached) {
     std::optional<sf::Format> f;
     if (ts.regions.empty() || !ts.regions.back().excluded) {
-      if (!ts.scopes.empty()) {
+      if (!ts.regions.empty() && ts.regions.back().has_override) {
+        // Per-region override (precision-search output): most specific
+        // user intent, beaten only by exclusion.
+        f = ts.regions.back().override_spec.for_width(width);
+      } else if (!ts.scopes.empty()) {
         if (ts.scopes.back().enabled) f = ts.scopes.back().spec.for_width(width);
       } else {
         // Global spec: the only cross-thread input, read under config_mu_
@@ -211,6 +317,18 @@ const sf::Format* Runtime::effective_format(ThreadState& ts, int width) const {
     c.cached = true;
   }
   return c.active ? &c.fmt : nullptr;
+}
+
+RegionProfile* Runtime::region_prof(ThreadState& ts) {
+  if (!ts.prof_cached) {
+    ts.region_prof = nullptr;
+    if (region_profiling_) {
+      const char* label = ts.regions.empty() ? "<toplevel>" : ts.regions.back().label;
+      ts.region_prof = &ts.region_profiles[label];
+    }
+    ts.prof_cached = true;
+  }
+  return ts.region_prof;
 }
 
 bool Runtime::truncation_active(int width) { return effective_format(tls(), width) != nullptr; }
@@ -448,6 +566,10 @@ double Runtime::mem_op(ThreadState& ts, OpKind k, const double* args, int n, con
   }
 
   const double dev_r = deviation_of(tr.to_double(), sr);
+  if (RegionProfile* rp = region_prof(ts)) {
+    if (dev_r > rp->max_deviation) rp->max_deviation = dev_r;
+    if (dev_r > dev_threshold_) ++rp->flagged;
+  }
   if (dev_r > dev_threshold_) {
     bool fresh = true;
     for (int i = 0; i < n; ++i) fresh = fresh && dev[i] <= dev_threshold_;
@@ -530,9 +652,19 @@ void Runtime::mem_release(double maybe_boxed) {
 // Instrumented entry points
 // ---------------------------------------------------------------------------
 
-namespace {
-inline void count_op(CounterSnapshot& c, OpKind k, bool trunc) { c.bump_ops(k, trunc, 1); }
+void Runtime::count_scalar(ThreadState& ts, OpKind k, bool trunc) {
+  if (!counting_) return;
+  ts.counters.bump_ops(k, trunc, 1);
+  if (RegionProfile* rp = region_prof(ts)) rp->counters.bump_ops(k, trunc, 1);
+}
 
+void Runtime::count_batch(ThreadState& ts, OpKind k, bool trunc, u64 n) {
+  if (!counting_) return;
+  ts.counters.bump_ops(k, trunc, n);
+  if (RegionProfile* rp = region_prof(ts)) rp->counters.bump_ops(k, trunc, n);
+}
+
+namespace {
 /// Fast-kernel eligibility per arity (see fast_round.hpp): arithmetic kinds
 /// whose one-hardware-op-plus-fast_round execution is bit-identical to the
 /// BigFloat reference inside the format envelope.
@@ -560,13 +692,13 @@ double Runtime::op1(OpKind k, double a, int width) {
   const sf::Format* f = effective_format(ts, width);
   if (f == nullptr) {
     if (mode_ == Mode::Mem && boxing::is_boxed(a)) {
-      if (counting_) count_op(ts.counters, k, false);
+      count_scalar(ts, k, false);
       return mem_op(ts, k, &a, 1, sf::Format::fp64(), /*truncated=*/false);
     }
-    if (counting_) count_op(ts.counters, k, false);
+    count_scalar(ts, k, false);
     return native1(k, a);
   }
-  if (counting_) count_op(ts.counters, k, true);
+  count_scalar(ts, k, true);
   if (mode_ == Mode::Mem) return mem_op(ts, k, &a, 1, *f, true);
   if (hw_fastpath_) {
     if (*f == sf::Format::fp64()) return native1(k, a);
@@ -584,14 +716,14 @@ double Runtime::op2(OpKind k, double a, double b, int width) {
   const sf::Format* f = effective_format(ts, width);
   if (f == nullptr) {
     if (mode_ == Mode::Mem && (boxing::is_boxed(a) || boxing::is_boxed(b))) {
-      if (counting_) count_op(ts.counters, k, false);
+      count_scalar(ts, k, false);
       const double args[2] = {a, b};
       return mem_op(ts, k, args, 2, sf::Format::fp64(), /*truncated=*/false);
     }
-    if (counting_) count_op(ts.counters, k, false);
+    count_scalar(ts, k, false);
     return native2(k, a, b);
   }
-  if (counting_) count_op(ts.counters, k, true);
+  count_scalar(ts, k, true);
   if (mode_ == Mode::Mem) {
     const double args[2] = {a, b};
     return mem_op(ts, k, args, 2, *f, true);
@@ -610,14 +742,14 @@ double Runtime::op3(OpKind k, double a, double b, double c, int width) {
   if (f == nullptr) {
     if (mode_ == Mode::Mem &&
         (boxing::is_boxed(a) || boxing::is_boxed(b) || boxing::is_boxed(c))) {
-      if (counting_) count_op(ts.counters, k, false);
+      count_scalar(ts, k, false);
       const double args[3] = {a, b, c};
       return mem_op(ts, k, args, 3, sf::Format::fp64(), /*truncated=*/false);
     }
-    if (counting_) count_op(ts.counters, k, false);
+    count_scalar(ts, k, false);
     return native3(k, a, b, c);
   }
-  if (counting_) count_op(ts.counters, k, true);
+  count_scalar(ts, k, true);
   if (mode_ == Mode::Mem) {
     const double args[3] = {a, b, c};
     return mem_op(ts, k, args, 3, *f, true);
@@ -651,11 +783,11 @@ void Runtime::op1_batch(OpKind k, const double* a, double* out, std::size_t n, i
   }
   const sf::Format* f = effective_format(ts, width);
   if (f == nullptr) {
-    if (counting_) ts.counters.bump_ops(k, false, n);
+    count_batch(ts, k, false, n);
     for (std::size_t i = 0; i < n; ++i) out[i] = native1(k, a[i]);
     return;
   }
-  if (counting_) ts.counters.bump_ops(k, true, n);
+  count_batch(ts, k, true, n);
   if (hw_fastpath_ && *f == sf::Format::fp64()) {
     for (std::size_t i = 0; i < n; ++i) out[i] = native1(k, a[i]);
     return;
@@ -686,7 +818,7 @@ void Runtime::op2_batch(OpKind k, const double* a, const double* b, double* out,
   }
   const sf::Format* f = effective_format(ts, width);
   if (f == nullptr) {
-    if (counting_) ts.counters.bump_ops(k, false, n);
+    count_batch(ts, k, false, n);
     switch (k) {
       case OpKind::Add:
         for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
@@ -706,7 +838,7 @@ void Runtime::op2_batch(OpKind k, const double* a, const double* b, double* out,
     }
     return;
   }
-  if (counting_) ts.counters.bump_ops(k, true, n);
+  count_batch(ts, k, true, n);
   if (hw_fastpath_ && *f == sf::Format::fp64()) {
     for (std::size_t i = 0; i < n; ++i) out[i] = native2(k, a[i], b[i]);
     return;
@@ -746,11 +878,11 @@ void Runtime::op3_batch(OpKind k, const double* a, const double* b, const double
   }
   const sf::Format* f = effective_format(ts, width);
   if (f == nullptr) {
-    if (counting_) ts.counters.bump_ops(k, false, n);
+    count_batch(ts, k, false, n);
     for (std::size_t i = 0; i < n; ++i) out[i] = native3(k, a[i], b[i], c[i]);
     return;
   }
-  if (counting_) ts.counters.bump_ops(k, true, n);
+  count_batch(ts, k, true, n);
   if (hw_fastpath_ && *f == sf::Format::fp64()) {
     for (std::size_t i = 0; i < n; ++i) out[i] = native3(k, a[i], b[i], c[i]);
     return;
@@ -794,10 +926,14 @@ void Runtime::trunc_array(const double* in, double* out, std::size_t n, int widt
 void Runtime::count_mem(u64 bytes) {
   if (!counting_) return;
   ThreadState& ts = tls();
-  if (effective_format(ts, 64) != nullptr) {
+  const bool trunc = effective_format(ts, 64) != nullptr;
+  RegionProfile* rp = region_prof(ts);
+  if (trunc) {
     ts.counters.trunc_bytes += bytes;
+    if (rp != nullptr) rp->counters.trunc_bytes += bytes;
   } else {
     ts.counters.full_bytes += bytes;
+    if (rp != nullptr) rp->counters.full_bytes += bytes;
   }
 }
 
@@ -855,7 +991,10 @@ void Runtime::reset_flags() {
 void Runtime::reset_all() {
   clear_truncate_all();
   clear_exclusions();
+  clear_region_formats();
+  set_region_profiling(false);
   reset_counters();
+  reset_region_profiles();
   reset_flags();
   mem_clear();
   set_mode(Mode::Op);

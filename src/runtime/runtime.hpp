@@ -33,9 +33,11 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/config.hpp"
@@ -81,6 +83,41 @@ class Runtime {
   void exclude_region(const std::string& label);
   void clear_exclusions();
   [[nodiscard]] bool is_excluded(const std::string& label) const;
+
+  // -- Per-region format overrides (the precision-search output) ----------
+  //
+  // A region override binds a truncation spec to a region label: while that
+  // region (or a region nested under it) is innermost, operations execute in
+  // the override's format. Overrides are the positive counterpart of
+  // exclusion and share its resolution point (region entry) and inheritance
+  // rule; precedence is exclusion > region override > scope > global.
+  // apply_profile() installs one per `region` directive.
+
+  void set_region_format(const std::string& label, const TruncationSpec& spec);
+  void clear_region_formats();
+  [[nodiscard]] std::optional<TruncationSpec> region_format(const std::string& label) const;
+
+  // -- Per-region profile aggregation (DESIGN.md §10) ---------------------
+  //
+  // When enabled, every counted operation also accrues to the profile of
+  // the innermost region on its thread ("<toplevel>" outside any region),
+  // and mem-mode deviations feed the region's max_deviation. Collection is
+  // thread-local with a cached slot pointer (resolved on region entry, so
+  // steady-state cost is one pointer bump per op) and merged on read, like
+  // counters(). Off by default: Table-3 overhead numbers stay comparable.
+  //
+  // Quiescence contract (stricter than counters(), whose racy read of a
+  // live thread's totals is merely stale): region_profiles() iterates and
+  // reset_region_profiles() clears the per-thread maps, so BOTH must be
+  // called while no instrumented code is executing — a worker inserting
+  // its first entry for a region label concurrently would mutate the map
+  // under the reader. All in-tree callers read/reset between runs.
+
+  void set_region_profiling(bool on);
+  [[nodiscard]] bool region_profiling() const { return region_profiling_; }
+  /// Merged per-region profiles, sorted by truncated+full flops descending.
+  [[nodiscard]] std::vector<RegionProfileEntry> region_profiles() const;
+  void reset_region_profiles();
 
   // -- Thread-local scoping (used via trunc/scope.hpp RAII) ---------------
 
@@ -188,6 +225,16 @@ class Runtime {
   /// thread-local cache and stays valid until the next scope/region change.
   const sf::Format* effective_format(ThreadState& ts, int width) const;
 
+  /// Profile slot of the innermost region (nullptr when region profiling is
+  /// off). Cached per thread; callers must resolve effective_format() first
+  /// in the same operation so the epoch is synced (see ThreadState).
+  RegionProfile* region_prof(ThreadState& ts);
+
+  /// Counter bumps shared by the scalar and batch entry points: thread
+  /// totals plus (when region profiling is on) the innermost region's slot.
+  void count_scalar(ThreadState& ts, OpKind k, bool trunc);
+  void count_batch(ThreadState& ts, OpKind k, bool trunc, u64 n);
+
   double native1(OpKind k, double a) const;
   double native2(OpKind k, double a, double b) const;
   double native2_f32(OpKind k, double a, double b) const;
@@ -216,6 +263,8 @@ class Runtime {
   bool have_global_ = false;
   TruncationSpec global_spec_;
   std::vector<std::string> exclusions_;
+  std::vector<std::pair<std::string, TruncationSpec>> region_formats_;
+  bool region_profiling_ = false;
   /// Bumped on every global truncation/exclusion change; thread-local
   /// truncation caches revalidate against it (starts at 1 so a fresh
   /// ThreadState with epoch 0 always recomputes).
@@ -224,6 +273,7 @@ class Runtime {
   mutable std::mutex threads_mu_;
   std::vector<ThreadState*> threads_;
   CounterSnapshot retired_;
+  std::map<std::string, RegionProfile> retired_regions_;
 
   mutable std::mutex flags_mu_;
   std::vector<FlagRecord> flags_;

@@ -1,0 +1,169 @@
+#include "search/precision_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace raptor::search {
+
+double scaled_max_error(const std::vector<double>& ref, const std::vector<double>& cand) {
+  if (ref.size() != cand.size()) return std::numeric_limits<double>::infinity();
+  double scale = 0.0;
+  for (const double r : ref) {
+    if (std::isfinite(r)) scale = std::max(scale, std::fabs(r));
+  }
+  if (scale < 1e-300) scale = 1.0;
+  double worst = 0.0;
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    const double r = ref[k], c = cand[k];
+    const bool r_bad = !std::isfinite(r), c_bad = !std::isfinite(c);
+    if (r_bad && c_bad) continue;  // diverged identically: nothing new
+    if (r_bad || c_bad) return std::numeric_limits<double>::infinity();
+    worst = std::max(worst, std::fabs(c - r) / scale);
+  }
+  return worst;
+}
+
+namespace {
+
+void log_line(const SearchOptions& opts, const std::string& msg) {
+  if (opts.log) opts.log(msg);
+}
+
+}  // namespace
+
+SearchResult PrecisionSearch::run(const Workload& workload) const {
+  RAPTOR_REQUIRE(static_cast<bool>(workload.run), "precision search: workload has no callback");
+  RAPTOR_REQUIRE(opts_.min_man >= 1 && opts_.min_man <= opts_.max_man && opts_.max_man <= 61,
+                 "precision search: bad mantissa range");
+  auto& R = rt::Runtime::instance();
+  const ErrorMetric metric = opts_.metric ? opts_.metric : ErrorMetric(scaled_max_error);
+  SearchResult out;
+
+  // 1. Reference run: native precision, per-region profiling on.
+  R.reset_all();
+  R.set_hw_fastpath(true);  // sweep speed; bit-identical (DESIGN.md §8)
+  R.set_region_profiling(true);
+  const std::vector<double> ref = workload.run();
+  out.reference_profile = R.region_profiles();
+  R.set_region_profiling(false);
+
+  u64 total_flops = 0;
+  for (const auto& e : out.reference_profile) total_flops += e.profile.counters.total_flops();
+
+  // Candidate regions: explicit list, or every profiled region by flop
+  // count descending (region_profiles is already sorted that way).
+  std::vector<std::pair<std::string, u64>> candidates;
+  const auto profiled_flops = [&](const std::string& label) -> u64 {
+    for (const auto& e : out.reference_profile) {
+      if (e.label == label) return e.profile.counters.total_flops();
+    }
+    return 0;
+  };
+  if (!workload.regions.empty()) {
+    for (const auto& r : workload.regions) candidates.emplace_back(r, profiled_flops(r));
+  } else {
+    for (const auto& e : out.reference_profile) {
+      if (e.label != "<toplevel>") {
+        candidates.emplace_back(e.label, e.profile.counters.total_flops());
+      }
+    }
+  }
+
+  // 2. Greedy per-region bisection, keeping accepted choices applied.
+  const auto spec_of = [&](int man) {
+    rt::TruncationSpec spec;
+    spec.for64 = sf::Format{opts_.exp_bits, man};
+    return spec;
+  };
+  const auto evaluate = [&]() {
+    ++out.evaluations;
+    return metric(ref, workload.run());
+  };
+  // Identity guard: truncating 64-bit ops to (11, 52) is the identity, so
+  // the top of the search range is feasible for free in the default family.
+  const bool top_is_identity = opts_.exp_bits == 11 && opts_.max_man == 52;
+
+  for (const auto& [region, flops] : candidates) {
+    RegionChoice choice;
+    choice.region = region;
+    choice.flops = flops;
+    if (total_flops > 0 && static_cast<double>(flops) <
+                               opts_.min_flop_share * static_cast<double>(total_flops)) {
+      log_line(opts_, "  region " + region + ": skipped (<" +
+                          std::to_string(100.0 * opts_.min_flop_share) + "% of flops)");
+      out.choices.push_back(std::move(choice));
+      continue;
+    }
+    int lo = opts_.min_man;
+    int hi = opts_.max_man;
+    double err_at_hi = 0.0;
+    bool feasible = top_is_identity;
+    if (!feasible) {
+      R.set_region_format(region, spec_of(hi));
+      err_at_hi = evaluate();
+      feasible = err_at_hi <= opts_.tolerance;
+    }
+    if (!feasible) {
+      // Even the widest candidate format breaks tolerance: leave native.
+      R.clear_region_formats();
+      for (const auto& c : out.choices) {
+        if (c.truncated) R.set_region_format(c.region, spec_of(c.format.man_bits));
+      }
+      log_line(opts_, "  region " + region + ": left native (err " +
+                          std::to_string(err_at_hi) + " at m=" + std::to_string(hi) + ")");
+      out.choices.push_back(std::move(choice));
+      continue;
+    }
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      R.set_region_format(region, spec_of(mid));
+      const double err = evaluate();
+      log_line(opts_, "  region " + region + ": m=" + std::to_string(mid) + " err " +
+                          std::to_string(err) + (err <= opts_.tolerance ? " ok" : " too coarse"));
+      if (err <= opts_.tolerance) {
+        hi = mid;
+        err_at_hi = err;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    if (top_is_identity && hi == opts_.max_man) {
+      // Identity format: no truncation benefit; leave the region native.
+      R.clear_region_formats();
+      for (const auto& c : out.choices) {
+        if (c.truncated) R.set_region_format(c.region, spec_of(c.format.man_bits));
+      }
+      log_line(opts_, "  region " + region + ": left native (needs full precision)");
+    } else {
+      choice.truncated = true;
+      choice.format = sf::Format{opts_.exp_bits, hi};
+      choice.error = err_at_hi;
+      R.set_region_format(region, spec_of(hi));
+      log_line(opts_, "  region " + region + ": chose " + choice.format.to_string());
+    }
+    out.choices.push_back(std::move(choice));
+  }
+
+  // 3. Emit the recommendation and verify it end to end.
+  for (const auto& c : out.choices) {
+    if (c.truncated) {
+      rt::RegionFormat rf;
+      rf.region = c.region;
+      rf.spec = spec_of(c.format.man_bits);
+      out.config.region_formats.push_back(std::move(rf));
+    }
+  }
+  R.reset_all();
+  R.set_hw_fastpath(true);
+  apply_profile(R, out.config);
+  const std::vector<double> final_run = workload.run();
+  out.final_error = metric(ref, final_run);
+  out.final_counters = R.counters();
+  out.trunc_fraction = out.final_counters.trunc_fraction();
+  out.within_tolerance = out.final_error <= opts_.tolerance;
+  R.reset_all();
+  return out;
+}
+
+}  // namespace raptor::search

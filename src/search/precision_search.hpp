@@ -1,0 +1,104 @@
+// Automated per-region precision search (DESIGN.md §10): closes the paper's
+// profiling loop. RAPTOR's counters tell you *where* truncated work happens;
+// this driver decides *which format each region can afford*:
+//
+//   1. reference run at native precision with region profiling on — yields
+//      the observable vector and the per-region flop ranking;
+//   2. greedy per-region search, biggest region first: bisect the mantissa
+//      width (at fixed exponent width) to the narrowest format whose
+//      workload error stays under tolerance, keeping already-chosen region
+//      formats applied while searching the next region;
+//   3. emit the recommendation as a rt::ProfileConfig of `region`
+//      directives — consumable by parse_profile/apply_profile — and verify
+//      it with a final run, reporting the achieved error and truncated-flop
+//      fraction.
+//
+// The driver owns the global Runtime while running (it resets it on entry
+// and leaves it reset on return). Workload callbacks run the application
+// under whatever truncation the driver has configured and return an
+// observable vector; they must be deterministic and must not install their
+// own truncation scopes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/profile_config.hpp"
+
+namespace raptor::search {
+
+/// A profiled application the driver can re-run under candidate formats.
+struct Workload {
+  std::string name;
+  /// Regions to search, in priority order. Empty: every region observed in
+  /// the reference profile, ranked by flop count descending.
+  std::vector<std::string> regions;
+  /// Run under the current runtime configuration; returns the observable
+  /// vector the error metric compares (solution samples, diagnostics, ...).
+  std::function<std::vector<double>()> run;
+};
+
+/// Error metric comparing a candidate run's observable against the
+/// reference run's. Must return +inf (not NaN) for catastrophic divergence.
+using ErrorMetric =
+    std::function<double(const std::vector<double>& ref, const std::vector<double>& cand)>;
+
+/// Default metric: max |cand - ref| scaled by the reference's max
+/// magnitude; one-sided NaN counts as infinite error.
+[[nodiscard]] double scaled_max_error(const std::vector<double>& ref,
+                                      const std::vector<double>& cand);
+
+struct SearchOptions {
+  /// Maximum tolerated metric value for an accepted format.
+  double tolerance = 1e-3;
+  /// Candidate format family: Format{exp_bits, m} for m in [min_man, max_man].
+  int exp_bits = 11;
+  int min_man = 4;
+  int max_man = 52;
+  /// Regions whose reference-profile flop count is below this fraction of
+  /// the total are left untouched (searching them cannot move the needle).
+  double min_flop_share = 0.01;
+  /// Metric override (default: scaled_max_error).
+  ErrorMetric metric;
+  /// Progress callback (e.g. [](const std::string& s) { puts(s.c_str()); }).
+  std::function<void(const std::string&)> log;
+};
+
+/// Decision for one region.
+struct RegionChoice {
+  std::string region;
+  bool truncated = false;                 ///< false: left at native precision
+  sf::Format format = sf::Format::fp64(); ///< chosen format when truncated
+  u64 flops = 0;                          ///< reference-profile flops in this region
+  double error = 0.0;                     ///< metric at the accepting evaluation
+};
+
+struct SearchResult {
+  std::vector<RegionChoice> choices;
+  /// The recommendation: `region` directives for every truncated choice.
+  /// Round-trips through emit_profile/parse_profile and re-applies with
+  /// apply_profile.
+  rt::ProfileConfig config;
+  /// Reference-run per-region profile (flop ranking input).
+  std::vector<rt::RegionProfileEntry> reference_profile;
+  /// Final verification run with `config` applied.
+  rt::CounterSnapshot final_counters;
+  double final_error = 0.0;
+  double trunc_fraction = 0.0;
+  bool within_tolerance = false;
+  /// Workload evaluations spent on the search (excluding reference+final).
+  int evaluations = 0;
+};
+
+class PrecisionSearch {
+ public:
+  explicit PrecisionSearch(SearchOptions opts = {}) : opts_(std::move(opts)) {}
+
+  [[nodiscard]] SearchResult run(const Workload& workload) const;
+
+ private:
+  SearchOptions opts_;
+};
+
+}  // namespace raptor::search

@@ -1,0 +1,157 @@
+#include "search/workloads.hpp"
+
+#include <cmath>
+
+#include "burn/cellular.hpp"
+#include "hydro/setups.hpp"
+#include "incomp/bubble.hpp"
+#include "incomp/poisson.hpp"
+#include "io/sfocu.hpp"
+
+namespace raptor::search {
+
+namespace {
+
+/// Uniform-mesh samples of every conserved variable (deterministic
+/// observable for the compressible workloads).
+std::vector<double> grid_observable(const amr::AmrGrid<Real>& g) {
+  std::vector<double> out;
+  for (const int var : {hydro::DENS, hydro::MOMX, hydro::MOMY, hydro::ENER}) {
+    const auto field = io::to_uniform(g, var);
+    out.insert(out.end(), field.begin(), field.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_sod_workload(const WorkloadOptions& opts) {
+  Workload w;
+  w.name = "sod";
+  w.regions = {"hydro/recon", "hydro/riemann", "hydro/update"};
+  const int max_level = opts.quick ? 2 : 3;
+  const double t_end = opts.quick ? 0.03 : 0.05;
+  w.run = [max_level, t_end]() {
+    const hydro::SodParams sp;
+    amr::AmrGrid<Real> grid(hydro::sod_grid_config(max_level));
+    grid.build_with_ic(
+        [&sp](double x, double y, std::span<Real> v) { hydro::sod_init(sp, x, y, v); });
+    hydro::HydroSolver<Real> solver(hydro::HydroConfig{});
+    hydro::run_to_time(grid, solver, t_end);
+    return grid_observable(grid);
+  };
+  return w;
+}
+
+Workload make_sedov_workload(const WorkloadOptions& opts) {
+  Workload w;
+  w.name = "sedov";
+  w.regions = {"hydro/recon", "hydro/riemann", "hydro/update"};
+  const int max_level = opts.quick ? 2 : 3;
+  const double t_end = opts.quick ? 0.005 : 0.01;
+  w.run = [max_level, t_end]() {
+    const hydro::SedovParams sp;
+    amr::AmrGrid<Real> grid(hydro::sedov_grid_config(max_level));
+    grid.build_with_ic(
+        [&sp](double x, double y, std::span<Real> v) { hydro::sedov_init(sp, x, y, v); });
+    hydro::HydroSolver<Real> solver(hydro::HydroConfig{});
+    hydro::run_to_time(grid, solver, t_end);
+    return grid_observable(grid);
+  };
+  return w;
+}
+
+Workload make_bubble_workload(const WorkloadOptions& opts) {
+  Workload w;
+  w.name = "bubble";
+  w.regions = {"incomp/advect", "incomp/diffuse"};
+  const int steps = opts.quick ? 6 : 15;
+  const int n = opts.quick ? 12 : 20;
+  w.run = [steps, n]() {
+    incomp::BubbleConfig bc;
+    bc.nx = n;
+    bc.ny = 2 * n;
+    bc.poisson_max_iter = 300;
+    incomp::BubbleSim<Real> sim(bc);
+    for (int s = 0; s < steps; ++s) sim.step();
+    const auto phi = sim.phi_field();
+    return phi.v;
+  };
+  return w;
+}
+
+Workload make_poisson_workload(const WorkloadOptions& opts) {
+  Workload w;
+  w.name = "poisson";
+  w.regions = {"poisson"};
+  const int n = opts.quick ? 16 : 32;
+  const int max_iter = opts.quick ? 1200 : 2500;
+  w.run = [n, max_iter]() {
+    const double h = 1.0 / n;
+    incomp::PoissonSolver<Real> solver(n, n, h, h);
+    std::vector<double> beta_x(static_cast<std::size_t>(n + 1) * n, 0.0);
+    std::vector<double> beta_y(static_cast<std::size_t>(n) * (n + 1), 0.0);
+    // Interior faces only (Neumann walls); mildly variable coefficients.
+    for (int j = 0; j < n; ++j) {
+      for (int i = 1; i < n; ++i) {
+        beta_x[static_cast<std::size_t>(j) * (n + 1) + i] = 1.0 + 0.5 * ((i + j) % 3);
+      }
+    }
+    for (int j = 1; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        beta_y[static_cast<std::size_t>(j) * n + i] = 1.0 + 0.5 * ((i * j) % 2);
+      }
+    }
+    // Mean-zero manufactured rhs: cos modes satisfy the Neumann walls.
+    std::vector<double> rhs(static_cast<std::size_t>(n) * n);
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        const double x = (i + 0.5) * h, y = (j + 0.5) * h;
+        rhs[static_cast<std::size_t>(j) * n + i] =
+            std::cos(M_PI * x) * std::cos(M_PI * y) + 0.3 * std::cos(2.0 * M_PI * x);
+      }
+    }
+    std::vector<Real> p(rhs.size(), Real(0.0));
+    solver.solve(p, rhs, beta_x, beta_y, 1e-8, max_iter);
+    std::vector<double> out(p.size());
+    for (std::size_t k = 0; k < p.size(); ++k) out[k] = to_double(p[k]);
+    return out;
+  };
+  return w;
+}
+
+Workload make_burn_workload(const WorkloadOptions& opts) {
+  Workload w;
+  w.name = "burn";
+  w.regions = {"eos", "hydro", "burn"};
+  const int n = opts.quick ? 48 : 96;
+  const int steps = opts.quick ? 12 : 30;
+  w.run = [n, steps]() {
+    burn::CellularConfig cc;
+    cc.n = n;
+    burn::CellularSim<Real> sim(cc);
+    for (int s = 0; s < steps; ++s) sim.step();
+    std::vector<double> out;
+    out.reserve(3 * static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) out.push_back(sim.temperature(i));
+    for (int i = 0; i < n; ++i) out.push_back(sim.mass_fraction(i));
+    for (int i = 0; i < n; ++i) out.push_back(sim.density(i));
+    return out;
+  };
+  return w;
+}
+
+std::vector<Workload> builtin_workloads(const WorkloadOptions& opts) {
+  return {make_sod_workload(opts), make_sedov_workload(opts), make_bubble_workload(opts),
+          make_poisson_workload(opts), make_burn_workload(opts)};
+}
+
+Workload builtin_workload(const std::string& name, const WorkloadOptions& opts) {
+  for (auto& w : builtin_workloads(opts)) {
+    if (w.name == name) return w;
+  }
+  RAPTOR_REQUIRE(false, "unknown workload (expected sod|sedov|bubble|poisson|burn)");
+  return {};
+}
+
+}  // namespace raptor::search

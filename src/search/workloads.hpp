@@ -1,0 +1,36 @@
+// Built-in precision-search workloads (DESIGN.md §10): the paper's
+// evaluation problems packaged as search::Workload callbacks — Sod and
+// Sedov (compressible AMR hydro), the rising bubble (incompressible
+// multiphase), the standalone pressure Poisson solve, and the cellular
+// detonation (EOS + hydro + burn). Each constructs a small instrumented
+// (S = Real) simulation, advances a fixed schedule under whatever
+// truncation the driver has configured, and returns a deterministic
+// observable vector.
+#pragma once
+
+#include <vector>
+
+#include "search/precision_search.hpp"
+
+namespace raptor::search {
+
+/// `quick` shrinks grids/schedules for smoke tests and CI.
+struct WorkloadOptions {
+  bool quick = false;
+};
+
+[[nodiscard]] Workload make_sod_workload(const WorkloadOptions& opts = {});
+[[nodiscard]] Workload make_sedov_workload(const WorkloadOptions& opts = {});
+[[nodiscard]] Workload make_bubble_workload(const WorkloadOptions& opts = {});
+[[nodiscard]] Workload make_poisson_workload(const WorkloadOptions& opts = {});
+[[nodiscard]] Workload make_burn_workload(const WorkloadOptions& opts = {});
+
+/// All of the above, in registration order.
+[[nodiscard]] std::vector<Workload> builtin_workloads(const WorkloadOptions& opts = {});
+
+/// Lookup by name ("sod", "sedov", "bubble", "poisson", "burn"); aborts on
+/// an unknown name with the list of known ones.
+[[nodiscard]] Workload builtin_workload(const std::string& name,
+                                        const WorkloadOptions& opts = {});
+
+}  // namespace raptor::search

@@ -3,10 +3,23 @@
 #pragma once
 
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace raptor {
+
+/// Malformed option value ("--max-iter=abc"). User input, so it throws
+/// rather than aborting; main() catches it and prints the message.
+class CliError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// main() wrapper for the example/bench programs: runs `fn` and turns a
+/// CliError into a one-line stderr message + exit code 2 instead of an
+/// uncaught-exception abort.
+int cli_main(int (*fn)(int, char**), int argc, char** argv);
 
 class Cli {
  public:

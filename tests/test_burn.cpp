@@ -3,11 +3,13 @@
 // the module-scoped truncation wiring.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 
 #include "burn/burn.hpp"
 #include "burn/cellular.hpp"
 #include "runtime/runtime.hpp"
+#include "support/rng.hpp"
 
 namespace raptor::burn {
 namespace {
@@ -124,6 +126,116 @@ TEST_F(BurnTest, CellularCountsEosOpsAsTruncated) {
   const auto c = rt::Runtime::instance().counters();
   EXPECT_GT(c.trunc_flops, 0u);  // eos module truncated
   EXPECT_GT(c.full_flops, 0u);   // hydro + burn at full precision
+}
+
+// ---------------------------------------------------------------------------
+// Batched dispatch parity (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+TEST_F(BurnTest, BatchedBurnMatchesScalarBitwise) {
+  auto& R = rt::Runtime::instance();
+  // Lanes spanning frozen cells, gentle burns, and stiff near-detonation
+  // conditions — exercising sub-cycling and Newton lane retirement.
+  for (const int man : {52, 18}) {
+    SCOPED_TRACE(man);
+    std::optional<TruncScope> scope;
+    if (man < 52) scope.emplace(11, man);
+
+    Rng rng(man);
+    const std::size_t n = 48;
+    std::vector<double> x(n), rho(n), temp(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      x[k] = rng.uniform(0.05, 1.0);
+      rho[k] = std::pow(10.0, rng.uniform(5.0, 7.5));
+      temp[k] = std::pow(10.0, rng.uniform(7.2, 9.7));  // spans frozen..fierce
+    }
+    const double dt = 1e-9;
+
+    std::vector<double> x_s(n), en_s(n);
+    std::vector<int> sub_s(n);
+    R.reset_counters();
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto res = burn_cell(bp, Real(x[k]), Real(rho[k]), Real(temp[k]), dt);
+      x_s[k] = to_double(res.x_new);
+      en_s[k] = to_double(res.energy_released);
+      sub_s[k] = res.substeps;
+    }
+    const auto cs = R.counters();
+
+    std::vector<double> x_b = x, en_b(n);
+    std::vector<int> sub_b(n);
+    R.reset_counters();
+    burn_cells_batch(bp, n, x_b.data(), rho.data(), temp.data(), dt, en_b.data(), sub_b.data());
+    const auto cb = R.counters();
+
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(std::bit_cast<u64>(x_s[k]), std::bit_cast<u64>(x_b[k])) << k;
+      EXPECT_EQ(std::bit_cast<u64>(en_s[k]), std::bit_cast<u64>(en_b[k])) << k;
+      EXPECT_EQ(sub_s[k], sub_b[k]) << k;
+    }
+    EXPECT_EQ(cs.trunc_flops, cb.trunc_flops);
+    EXPECT_EQ(cs.full_flops, cb.full_flops);
+    for (int i = 0; i < rt::kNumOpKinds; ++i) {
+      EXPECT_EQ(cs.trunc_by_kind[i], cb.trunc_by_kind[i]) << i;
+      EXPECT_EQ(cs.full_by_kind[i], cb.full_by_kind[i]) << i;
+    }
+  }
+}
+
+TEST_F(BurnTest, CellularBatchStepMatchesScalarBitwise) {
+  auto& R = rt::Runtime::instance();
+  // Truncate the EOS module (the §6.1 configuration) so the parity covers
+  // truncated and full-precision regions at once.
+  const auto run = [&](bool batch, rt::CounterSnapshot& counters) {
+    R.reset_counters();
+    CellularConfig cc;
+    cc.n = 48;
+    cc.batch = batch;
+    cc.eos_trunc = rt::TruncationSpec::trunc64(11, 44);
+    CellularSim<Real> sim(cc);
+    std::vector<double> out;
+    for (int s = 0; s < 6; ++s) out.push_back(sim.step());
+    for (int i = 0; i < cc.n; ++i) {
+      out.push_back(sim.temperature(i));
+      out.push_back(sim.mass_fraction(i));
+      out.push_back(sim.density(i));
+    }
+    out.push_back(sim.total_energy_released());
+    out.push_back(static_cast<double>(sim.eos_stats().total_iterations));
+    out.push_back(static_cast<double>(sim.eos_stats().failures));
+    counters = R.counters();
+    return out;
+  };
+  rt::CounterSnapshot cs, cb;
+  const auto scalar = run(false, cs);
+  const auto batch = run(true, cb);
+  ASSERT_EQ(scalar.size(), batch.size());
+  for (std::size_t k = 0; k < scalar.size(); ++k) {
+    EXPECT_EQ(std::bit_cast<u64>(scalar[k]), std::bit_cast<u64>(batch[k])) << k;
+  }
+  EXPECT_EQ(cs.trunc_flops, cb.trunc_flops);
+  EXPECT_EQ(cs.full_flops, cb.full_flops);
+  for (int i = 0; i < rt::kNumOpKinds; ++i) {
+    EXPECT_EQ(cs.trunc_by_kind[i], cb.trunc_by_kind[i]) << i;
+    EXPECT_EQ(cs.full_by_kind[i], cb.full_by_kind[i]) << i;
+  }
+  EXPECT_GT(cs.trunc_flops, 0u);
+}
+
+TEST_F(BurnTest, CellularBatchFallsBackOutsideOpMode) {
+  // Mem-mode and the double instantiation must take the scalar path even
+  // with cfg.batch set (batch::Vec-style raw payloads would leak handles).
+  auto& R = rt::Runtime::instance();
+  R.set_mode(rt::Mode::Mem);
+  CellularConfig cc;
+  cc.n = 16;
+  cc.batch = true;
+  CellularSim<Real> sim(cc);
+  const double dt = sim.step();
+  EXPECT_GT(dt, 0.0);
+  R.set_mode(rt::Mode::Op);
+  CellularSim<double> simd(cc);
+  EXPECT_GT(simd.step(), 0.0);
 }
 
 }  // namespace

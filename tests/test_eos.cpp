@@ -4,6 +4,7 @@
 // that neither looser tolerances nor more iterations rescue).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 
 #include "eos/helmholtz.hpp"
@@ -163,6 +164,66 @@ TEST_F(EosTest, ConvergenceThresholdNearPaperValue) {
   }
   EXPECT_GE(threshold, 32);
   EXPECT_LE(threshold, 50);
+}
+
+// ---------------------------------------------------------------------------
+// Batched inversion parity (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+TEST_F(EosTest, BatchedInversionMatchesScalarBitwise) {
+  auto& R = rt::Runtime::instance();
+  // Mixed difficulty: a truncation coarse enough that some lanes converge
+  // quickly, some late, and some not at all — exercising lane retirement.
+  for (const int man : {52, 30, 20}) {
+    SCOPED_TRACE(man);
+    std::optional<TruncScope> scope;
+    if (man < 52) scope.emplace(11, man);
+
+    Rng rng(man);
+    const int n = 64;
+    std::vector<double> rho(n), e_t(n), guess(n);
+    for (int k = 0; k < n; ++k) {
+      rho[k] = std::pow(10.0, rng.uniform(3.0, 8.0));
+      const double temp = std::pow(10.0, rng.uniform(7.3, 9.7));
+      e_t[k] = HelmholtzTable::e_analytic(rho[k], temp);
+      guess[k] = temp * rng.uniform(0.5, 1.9);
+    }
+
+    // Scalar reference.
+    EosStats stats_s;
+    std::vector<double> temp_s(n), pres_s(n);
+    R.reset_counters();
+    for (int k = 0; k < n; ++k) {
+      const auto res = table.invert_energy(Real(rho[k]), Real(e_t[k]), Real(guess[k]), 1e-10, 12,
+                                           &stats_s);
+      temp_s[k] = to_double(res.temp);
+      pres_s[k] = to_double(res.pres);
+    }
+    const auto cs = R.counters();
+
+    // Batched run on the same inputs.
+    EosStats stats_b;
+    std::vector<double> temp_b = guess, pres_b(n);
+    R.reset_counters();
+    table.invert_energy_batch(rho.data(), e_t.data(), temp_b.data(), pres_b.data(), n, 1e-10, 12,
+                              &stats_b);
+    const auto cb = R.counters();
+
+    for (int k = 0; k < n; ++k) {
+      EXPECT_EQ(std::bit_cast<u64>(temp_s[k]), std::bit_cast<u64>(temp_b[k])) << k;
+      EXPECT_EQ(std::bit_cast<u64>(pres_s[k]), std::bit_cast<u64>(pres_b[k])) << k;
+    }
+    EXPECT_EQ(stats_s.calls, stats_b.calls);
+    EXPECT_EQ(stats_s.failures, stats_b.failures);
+    EXPECT_EQ(stats_s.total_iterations, stats_b.total_iterations);
+    EXPECT_EQ(stats_s.max_iterations_seen, stats_b.max_iterations_seen);
+    EXPECT_EQ(cs.trunc_flops, cb.trunc_flops);
+    EXPECT_EQ(cs.full_flops, cb.full_flops);
+    for (int i = 0; i < rt::kNumOpKinds; ++i) {
+      EXPECT_EQ(cs.trunc_by_kind[i], cb.trunc_by_kind[i]) << i;
+      EXPECT_EQ(cs.full_by_kind[i], cb.full_by_kind[i]) << i;
+    }
+  }
 }
 
 }  // namespace

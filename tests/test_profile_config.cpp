@@ -33,6 +33,8 @@ threshold 1e-6
 truncate-all 64_to_5_14;32_to_3_8
 exclude hydro/recon
 exclude hydro/riemann   # trailing comment
+region eos 64_to_8_18
+region hydro/update 64_to_11_30;32_to_8_10
 )";
 
 TEST_F(ProfileConfigTest, ParsesEveryDirective) {
@@ -52,6 +54,11 @@ TEST_F(ProfileConfigTest, ParsesEveryDirective) {
   ASSERT_EQ(cfg.exclusions.size(), 2u);
   EXPECT_EQ(cfg.exclusions[0], "hydro/recon");
   EXPECT_EQ(cfg.exclusions[1], "hydro/riemann");
+  ASSERT_EQ(cfg.region_formats.size(), 2u);
+  EXPECT_EQ(cfg.region_formats[0].region, "eos");
+  EXPECT_EQ(cfg.region_formats[0].spec.to_string(), "64_to_8_18");
+  EXPECT_EQ(cfg.region_formats[1].region, "hydro/update");
+  EXPECT_EQ(cfg.region_formats[1].spec.to_string(), "64_to_11_30;32_to_8_10");
 }
 
 TEST_F(ProfileConfigTest, ApplyConfiguresRuntime) {
@@ -65,6 +72,9 @@ TEST_F(ProfileConfigTest, ApplyConfiguresRuntime) {
   EXPECT_TRUE(R.is_excluded("hydro/recon"));
   EXPECT_TRUE(R.is_excluded("hydro/riemann"));
   EXPECT_FALSE(R.is_excluded("hydro/update"));
+  ASSERT_TRUE(R.region_format("eos").has_value());
+  EXPECT_EQ(R.region_format("eos")->to_string(), "64_to_8_18");
+  EXPECT_FALSE(R.region_format("hydro/recon").has_value());
 }
 
 TEST_F(ProfileConfigTest, PartialConfigLeavesDefaultsAlone) {
@@ -90,6 +100,62 @@ TEST_F(ProfileConfigTest, ErrorsCarryLineNumbers) {
   expect_error("truncate-all 64_to_99_99\n", "truncation spec");
   expect_error("exclude\n", "region label");
   expect_error("frobnicate on\n", "unknown directive");
+  expect_error("region eos\n", "region needs");
+  expect_error("region\n", "region needs");
+  expect_error("region eos 64_to_99_99\n", "truncation spec");
+  expect_error("# ok\nregion eos 64_to_99_99\n", "profile:2");
+}
+
+// ---------------------------------------------------------------------------
+// emit_profile round trip (the precision-search output path)
+// ---------------------------------------------------------------------------
+
+TEST_F(ProfileConfigTest, EmitRoundTripsEveryField) {
+  const ProfileConfig cfg = parse_profile(kFullConfig);
+  const std::string text = emit_profile(cfg);
+  EXPECT_EQ(parse_profile(text), cfg);
+  // Idempotent: emitting the reparsed config reproduces the text.
+  EXPECT_EQ(emit_profile(parse_profile(text)), text);
+}
+
+TEST_F(ProfileConfigTest, EmitRoundTripsSparseAndAwkwardValues) {
+  ProfileConfig cfg;
+  EXPECT_EQ(parse_profile(emit_profile(cfg)), cfg);  // empty config
+
+  cfg.threshold = 0.1;  // not exactly representable: %.17g must round-trip
+  cfg.counting = false;
+  RegionFormat rf;
+  rf.region = "a/b/c";
+  rf.spec = TruncationSpec::trunc64(5, 2);
+  cfg.region_formats.push_back(rf);
+  const ProfileConfig back = parse_profile(emit_profile(cfg));
+  EXPECT_EQ(back, cfg);
+  ASSERT_TRUE(back.threshold.has_value());
+  EXPECT_EQ(*back.threshold, 0.1);  // bit-exact
+}
+
+TEST_F(ProfileConfigTest, EmitRoundTripsEverySearchStyleRecommendation) {
+  // The search driver emits one `region` directive per truncated region,
+  // over the whole candidate family; every one must survive the round trip.
+  for (int exp = 2; exp <= 11; exp += 3) {
+    for (int man = 1; man <= 52; ++man) {
+      ProfileConfig cfg;
+      RegionFormat rf;
+      rf.region = "kern";
+      rf.spec.for64 = sf::Format{exp, man};
+      cfg.region_formats.push_back(rf);
+      EXPECT_EQ(parse_profile(emit_profile(cfg)), cfg) << exp << " " << man;
+    }
+  }
+}
+
+TEST_F(ProfileConfigTest, SaveProfileWritesLoadableFile) {
+  const std::string path = "/tmp/raptor_profile_emit_test.cfg";
+  const ProfileConfig cfg = parse_profile("region eos 64_to_8_18\nmode op\n");
+  save_profile(path, cfg);
+  EXPECT_EQ(load_profile(path), cfg);
+  std::remove(path.c_str());
+  EXPECT_THROW(save_profile("/nonexistent/dir/raptor.cfg", cfg), ConfigError);
 }
 
 TEST_F(ProfileConfigTest, LoadFromFileRoundTrips) {

@@ -6,6 +6,7 @@
 #include <bit>
 #include <cmath>
 #include <random>
+#include <thread>
 #include <vector>
 
 #ifdef _OPENMP
@@ -237,6 +238,70 @@ TEST_F(RuntimeTest, ResetCountersZeroes) {
   R.op2(OpKind::Add, 1.0, 2.0, 64);
   R.reset_counters();
   EXPECT_EQ(R.counters().total_flops(), 0u);
+}
+
+TEST_F(RuntimeTest, CounterMergeFoldsEveryField) {
+  // Merge-completeness audit (the per-region aggregation relies on merge):
+  // give every field — including the PR-3 per-OpKind histograms — a
+  // distinct nonzero value and verify merge round-trips all of them.
+  CounterSnapshot a;
+  a.trunc_flops = 1;
+  a.full_flops = 2;
+  a.trunc_bytes = 3;
+  a.full_bytes = 4;
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    a.trunc_by_kind[i] = 100 + static_cast<u64>(i);
+    a.full_by_kind[i] = 200 + static_cast<u64>(i);
+  }
+  CounterSnapshot b = a;
+
+  CounterSnapshot m;
+  m.merge(a);
+  m.merge(b);
+  EXPECT_EQ(m.trunc_flops, 2 * a.trunc_flops);
+  EXPECT_EQ(m.full_flops, 2 * a.full_flops);
+  EXPECT_EQ(m.trunc_bytes, 2 * a.trunc_bytes);
+  EXPECT_EQ(m.full_bytes, 2 * a.full_bytes);
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    EXPECT_EQ(m.trunc_by_kind[i], 2 * a.trunc_by_kind[i]) << i;
+    EXPECT_EQ(m.full_by_kind[i], 2 * a.full_by_kind[i]) << i;
+  }
+
+  // RegionProfile::merge folds the counters plus its own fields.
+  RegionProfile ra, rb;
+  ra.counters = a;
+  ra.max_deviation = 0.25;
+  ra.flagged = 7;
+  rb.counters = b;
+  rb.max_deviation = 0.5;
+  rb.flagged = 11;
+  ra.merge(rb);
+  EXPECT_EQ(ra.counters.trunc_flops, 2 * a.trunc_flops);
+  EXPECT_EQ(ra.counters.trunc_by_kind[3], 2 * a.trunc_by_kind[3]);
+  EXPECT_DOUBLE_EQ(ra.max_deviation, 0.5);
+  EXPECT_EQ(ra.flagged, 18u);
+}
+
+TEST_F(RuntimeTest, RetiredThreadCountersSurviveInRegionProfiles) {
+  // A thread's per-region contribution must fold into the merged view when
+  // the thread exits (the retire path uses the merge under audit above).
+  R.set_region_profiling(true);
+  std::thread worker([] {
+    Region region("worker");
+    TruncScope scope(8, 10);
+    for (int i = 0; i < 5; ++i) Runtime::instance().op2(OpKind::Mul, 1.5, 3.0, 64);
+  });
+  worker.join();
+  const auto profs = R.region_profiles();
+  bool found = false;
+  for (const auto& e : profs) {
+    if (e.label == "worker") {
+      found = true;
+      EXPECT_EQ(e.profile.counters.trunc_flops, 5u);
+      EXPECT_EQ(e.profile.counters.trunc_by_kind[static_cast<int>(OpKind::Mul)], 5u);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 // ---------------------------------------------------------------------------

@@ -120,5 +120,51 @@ TEST(Cli, FlagValueIsTruthyOne) {
   EXPECT_EQ(cli.get_int("verbose", 0), 1);
 }
 
+TEST(Cli, RejectsNonNumericValuesInsteadOfReturningZero) {
+  // Regression: atoi/atof silently turned "--max-iter=abc" into 0 and
+  // poisoned sweeps; strict parsing must throw with the flag's name.
+  const char* argv[] = {"prog", "--max-iter=abc", "--tol=fast"};
+  Cli cli(3, const_cast<char**>(argv));
+  try {
+    (void)cli.get_int("max-iter", 7);
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_NE(std::string(e.what()).find("--max-iter=abc"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW((void)cli.get_double("tol", 1.0), CliError);
+}
+
+TEST(Cli, RejectsTrailingGarbageAndEmptyValues) {
+  const char* argv[] = {"prog", "--n=12x", "--w=1.5e", "--empty="};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_int("n", 0), CliError);
+  EXPECT_THROW((void)cli.get_double("w", 0.0), CliError);
+  EXPECT_THROW((void)cli.get_int("empty", 0), CliError);
+  EXPECT_THROW((void)cli.get_double("empty", 0.0), CliError);
+  // get() still returns the raw string for non-numeric options.
+  EXPECT_EQ(cli.get("n", ""), "12x");
+}
+
+TEST(Cli, RejectsOutOfRangeNumbers) {
+  const char* argv[] = {"prog", "--big=99999999999999999999", "--huge=1e999"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_int("big", 0), CliError);
+  EXPECT_THROW((void)cli.get_double("huge", 0.0), CliError);
+}
+
+TEST(Cli, AcceptsWellFormedNumbers) {
+  const char* argv[] = {"prog", "--a=-42", "--b=+7", "--c=-1.25e-3", "--d=0x0", "--tiny=1e-320"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("a", 0), -42);
+  EXPECT_EQ(cli.get_int("b", 0), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("c", 0.0), -1.25e-3);
+  EXPECT_EQ(cli.get_int("missing", 9), 9);  // defaults pass through untouched
+  // Base-10 only for ints: hex would silently mean something else per tool.
+  EXPECT_THROW((void)cli.get_int("d", 0), CliError);
+  // Gradual underflow is a representable value, not an error (strtod sets
+  // ERANGE for subnormals; only true overflow is rejected).
+  EXPECT_DOUBLE_EQ(cli.get_double("tiny", 0.0), 1e-320);
+}
+
 }  // namespace
 }  // namespace raptor
