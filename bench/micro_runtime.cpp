@@ -5,6 +5,7 @@
 //   the batched dispatch (op2_batch / trunc_array / fast_round, DESIGN.md §8).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <vector>
 
 #include "runtime/runtime.hpp"
@@ -185,6 +186,28 @@ void BM_BatchAdd(benchmark::State& state) {
 }
 // mantissa 12/23: fast_round kernel; 30: per-element BigFloat fallback.
 BENCHMARK(BM_BatchAdd)->Arg(12)->Arg(23)->Arg(30);
+
+void BM_BatchAddTraced(benchmark::State& state) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  trace::TraceOptions topts;
+  topts.path = "micro_runtime_trace.rtrace";
+  topts.sample_stride = static_cast<u32>(state.range(0));
+  R.trace_start(topts);
+  TruncScope scope(8, 12);
+  constexpr std::size_t kN = 4096;
+  std::vector<double> a(kN, 1.234), b(kN, 5.678e-3), out(kN);
+  for (auto _ : state) {
+    R.op2_batch(rt::OpKind::Add, a.data(), b.data(), out.data(), kN, 64);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kN);
+  R.reset_all();  // stops the trace session
+  std::remove("micro_runtime_trace.rtrace");
+}
+// Sampled capture vs BM_BatchAdd(12): stride 64 is the DESIGN.md §12
+// acceptance point; stride 1 samples every span (worst case).
+BENCHMARK(BM_BatchAddTraced)->Arg(64)->Arg(1);
 
 void BM_BatchFma(benchmark::State& state) {
   auto& R = rt::Runtime::instance();

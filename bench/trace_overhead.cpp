@@ -1,0 +1,171 @@
+// Trace-capture overhead on the batched dispatch path (DESIGN.md §12
+// acceptance: sampled tracing at 1/64 must stay within 2x of counting-only).
+//
+// Measures ns/element over the micro_runtime batch shapes — op2_batch add
+// and op3_batch fma at the fast_round format (8, 12), plus a scalar op2
+// loop — in three configurations:
+//   counting-only (the PR-3/4 baseline),
+//   tracing at the default 1/64 stride,
+//   tracing at 1/1 (every span sampled; the worst case, reported for
+//   context but not gated).
+//
+// Writes BENCH_trace_overhead.json (committed at the repo root as the
+// recorded perf trajectory) and exits nonzero when the 1/64 ratio exceeds
+// the --max-ratio gate (default 2.0) unless --no-check.
+//
+// Options: --n=4096 --reps=2000 --stride=64 --max-ratio=2.0 --json=PATH
+//          --no-check --quick
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+#include "trunc/scope.hpp"
+
+using namespace raptor;
+
+namespace {
+
+struct Shape {
+  const char* name;
+  /// Runs `reps` repetitions over spans of n; returns seconds.
+  double (*run)(std::size_t n, int reps);
+};
+
+std::vector<double> make_data(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(0.25, 4.0);  // positive, spread exponents
+  return v;
+}
+
+double run_batch_add(std::size_t n, int reps) {
+  auto& R = rt::Runtime::instance();
+  const auto a = make_data(n, 1);
+  const auto b = make_data(n, 2);
+  std::vector<double> out(n);
+  Timer t;
+  for (int r = 0; r < reps; ++r) {
+    R.op2_batch(rt::OpKind::Add, a.data(), b.data(), out.data(), n, 64);
+  }
+  return t.seconds();
+}
+
+double run_batch_fma(std::size_t n, int reps) {
+  auto& R = rt::Runtime::instance();
+  const auto a = make_data(n, 3);
+  const auto b = make_data(n, 4);
+  const auto c = make_data(n, 5);
+  std::vector<double> out(n);
+  Timer t;
+  for (int r = 0; r < reps; ++r) {
+    R.op3_batch(rt::OpKind::Fma, a.data(), b.data(), c.data(), out.data(), n, 64);
+  }
+  return t.seconds();
+}
+
+double run_scalar_add(std::size_t n, int reps) {
+  auto& R = rt::Runtime::instance();
+  const auto a = make_data(n, 6);
+  const auto b = make_data(n, 7);
+  std::vector<double> out(n);
+  Timer t;
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = R.op2(rt::OpKind::Add, a[i], b[i], 64);
+  }
+  return t.seconds();
+}
+
+constexpr Shape kShapes[] = {
+    {"batch_add", run_batch_add},
+    {"batch_fma", run_batch_fma},
+    {"scalar_add", run_scalar_add},
+};
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.has("quick");
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 4096));
+  const int reps = cli.get_int("reps", quick ? 200 : 2000);
+  const u32 stride = static_cast<u32>(cli.get_int("stride", 64));
+  const double max_ratio = cli.get_double("max-ratio", 2.0);
+  const bool check = !cli.has("no-check");
+  const std::string json_path = cli.get("json", "BENCH_trace_overhead.json");
+
+  auto& R = rt::Runtime::instance();
+  struct Row {
+    const char* name;
+    double counting_ns, traced_ns, traced_all_ns, ratio;
+  };
+  std::vector<Row> rows;
+
+  std::printf("trace overhead on the batch dispatch path (n=%zu, reps=%d, format (8,12))\n\n",
+              n, reps);
+  char traced_hdr[32];
+  std::snprintf(traced_hdr, sizeof traced_hdr, "traced 1/%u", stride);
+  std::printf("%-12s %14s %16s %16s %9s\n", "shape", "counting", traced_hdr, "traced 1/1",
+              "ratio");
+  for (const Shape& shape : kShapes) {
+    const auto measure = [&](bool traced, u32 s) {
+      R.reset_all();
+      TruncScope scope(8, 12);
+      if (traced) {
+        trace::TraceOptions topts;
+        topts.path = "trace_overhead.rtrace";
+        topts.sample_stride = s;
+        R.trace_start(topts);
+      }
+      shape.run(n, reps / 4);  // warm-up (thread attach, page faults)
+      const double sec = shape.run(n, reps);
+      if (traced) R.trace_stop();
+      R.reset_all();
+      return 1e9 * sec / (static_cast<double>(n) * reps);
+    };
+    Row row;
+    row.name = shape.name;
+    row.counting_ns = measure(false, stride);
+    row.traced_ns = measure(true, stride);
+    row.traced_all_ns = measure(true, 1);
+    row.ratio = row.traced_ns / row.counting_ns;
+    rows.push_back(row);
+    std::printf("%-12s %11.2f ns %13.2f ns %13.2f ns %8.2fx\n", row.name, row.counting_ns,
+                row.traced_ns, row.traced_all_ns, row.ratio);
+  }
+  std::remove("trace_overhead.rtrace");
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"n\": %zu,\n  \"sample_stride\": %u,\n  \"shapes\": {\n", n, stride);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    \"%s\": {\"counting_ns_per_el\": %.3f, \"traced_ns_per_el\": %.3f, "
+                   "\"traced_every_span_ns_per_el\": %.3f, \"ratio\": %.3f}%s\n",
+                   r.name, r.counting_ns, r.traced_ns, r.traced_all_ns, r.ratio,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (check) {
+    bool ok = true;
+    for (const Row& r : rows) {
+      if (r.ratio > max_ratio) {
+        std::printf("FAIL: %s traced/counting ratio %.2fx exceeds %.2fx\n", r.name, r.ratio,
+                    max_ratio);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("OK: sampled tracing within %.1fx of counting-only on every shape\n", max_ratio);
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

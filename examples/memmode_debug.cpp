@@ -80,8 +80,13 @@ int run(int argc, char** argv) {
   }
   std::printf("\nlive shadow entries after scope exit: %zu (all Reals released)\n",
               runtime.mem_live());
+  // The upstream runtime's gc_dump_status role: mem_clear() reports how many
+  // handles were still live — nonzero means instrumented code leaked them.
+  const std::size_t leaked = runtime.mem_clear();
+  std::printf("mem_clear() leak report: %zu still-live entr%s%s\n", leaked,
+              leaked == 1 ? "y" : "ies", leaked == 0 ? " (clean)" : " (leaked handles!)");
   runtime.reset_all();
-  return 0;
+  return leaked == 0 ? 0 : 1;
 }
 
 int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

@@ -1,0 +1,114 @@
+// End-to-end numerical event tracing demo (DESIGN.md §12): the acceptance
+// flow of the trace subsystem.
+//
+//   1. run a built-in workload (Sod by default) with tracing active at a
+//      1/64 sampling stride -> produces a `.rtrace` file;
+//   2. read the trace back and print the per-region analysis (op mix,
+//      dynamic exponent range, deviation quantiles) — what
+//      `tools/raptor_trace` does offline;
+//   3. derive per-region format recommendations from the observed dynamic
+//      range, emit them as a profile config, and check rt::parse_profile
+//      accepts it;
+//   4. feed the exponent hints to PrecisionSearch and verify the resulting
+//      configuration holds tolerance end to end.
+//
+// Exits nonzero if any stage fails, so CI can run it as a smoke test.
+//
+// Run: ./trace_demo [--workload=sod|sedov|bubble|poisson|burn] [--stride=64]
+//                   [--out=trace_demo.rtrace] [--tol=1e-3] [--quick]
+#include <cstdio>
+#include <string>
+
+#include "runtime/profile_config.hpp"
+#include "search/workloads.hpp"
+#include "support/cli.hpp"
+#include "trace/analysis.hpp"
+#include "trunc/scope.hpp"
+
+using namespace raptor;
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  search::WorkloadOptions wopts;
+  wopts.quick = cli.has("quick");
+  const std::string name = cli.get("workload", "sod");
+  const std::string path = cli.get("out", "trace_demo.rtrace");
+  const int stride = cli.get_int("stride", 64);
+  const double tol = cli.get_double("tol", 1e-3);
+  search::Workload workload = search::builtin_workload(name, wopts);
+
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  R.set_hw_fastpath(true);
+
+  // 1. Traced reference run (native precision).
+  trace::TraceOptions topts;
+  topts.path = path;
+  topts.sample_stride = static_cast<u32>(stride);
+  R.trace_start(topts);
+  workload.run();
+  const trace::TraceStats stats = R.trace_stop();
+  std::printf("traced %s at 1/%d sampling: %llu events from %u thread(s), %llu dropped -> %s\n",
+              name.c_str(), stride, static_cast<unsigned long long>(stats.events),
+              stats.threads, static_cast<unsigned long long>(stats.dropped), path.c_str());
+  if (stats.events == 0) {
+    std::fprintf(stderr, "FAIL: trace captured no events\n");
+    return 1;
+  }
+
+  // 2. Offline analysis of the capture.
+  const trace::TraceData td = trace::read_rtrace(path);
+  std::printf("\nper-region analysis (sampled):\n");
+  std::printf("  %-16s %12s %8s %9s %9s %10s\n", "region", "sampled_ops", "trunc%", "exp_min",
+              "exp_max", "dev_p99");
+  const auto reports = trace::build_reports(td);
+  for (const auto& r : reports) {
+    const double trunc_pct =
+        r.ops > 0 ? 100.0 * static_cast<double>(r.trunc_ops) / static_cast<double>(r.ops) : 0.0;
+    std::printf("  %-16s %12llu %7.1f%% %9s %9s %10.2e\n", r.label.c_str(),
+                static_cast<unsigned long long>(r.ops), trunc_pct,
+                r.exp.has_range() ? trace::exp_class_str(r.exp.min_exp).c_str() : "-",
+                r.exp.has_range() ? trace::exp_class_str(r.exp.max_exp).c_str() : "-",
+                r.dev.quantile(0.99));
+  }
+
+  // 3. Recommendation -> profile config -> parse round trip.
+  const auto recs = trace::recommend(td);
+  const std::string cfg_text = trace::recommendations_to_profile(recs);
+  std::printf("\nrecommended starting formats:\n%s", cfg_text.c_str());
+  rt::ProfileConfig cfg;
+  try {
+    cfg = rt::parse_profile(cfg_text);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "FAIL: parse_profile rejected the recommendation: %s\n", ex.what());
+    return 1;
+  }
+
+  // 4. Exponent-informed precision search, verified end to end.
+  search::SearchOptions sopts;
+  sopts.tolerance = tol;
+  for (const auto& rec : recs) {
+    if (rec.label != "<toplevel>") sopts.exp_hints.emplace_back(rec.label, rec.exp_bits);
+  }
+  const search::SearchResult result = search::PrecisionSearch(sopts).run(workload);
+  std::printf("\nsearch with exponent hints: err %.3e (tol %.0e), %.1f%% of flops truncated, "
+              "%d evaluations\n",
+              result.final_error, tol, 100.0 * result.trunc_fraction, result.evaluations);
+  for (const auto& c : result.choices) {
+    std::printf("  %-16s %s\n", c.region.c_str(),
+                c.truncated ? c.format.to_string().c_str() : "native");
+  }
+  const std::string emitted = rt::emit_profile(result.config);
+  if (rt::parse_profile(emitted) != result.config) {
+    std::fprintf(stderr, "FAIL: search recommendation does not round-trip emit/parse\n");
+    return 1;
+  }
+  if (!result.within_tolerance) {
+    std::fprintf(stderr, "FAIL: verified configuration missed tolerance\n");
+    return 1;
+  }
+  std::printf("\nOK: recommendation verified within tolerance\n");
+  return 0;
+}
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

@@ -1,10 +1,20 @@
 // Serialization of the per-region profile aggregation (DESIGN.md §10): the
 // rows behind the precision-search ranking, dumped as CSV (spreadsheet /
 // plotting) or JSON (tool ingestion). Columns mirror rt::RegionProfile.
+//
+// Region labels are user-controlled strings, so both writers escape them:
+// JSON per RFC 8259 (quote, backslash, control characters), CSV per RFC
+// 4180 (fields containing comma, quote or newline are quoted with doubled
+// inner quotes). Non-finite numbers have no JSON literal — mem-mode
+// max_deviation can legitimately be +inf (one-sided NaN divergence) — so
+// they are emitted as the strings "inf" / "-inf" / "nan".
 #pragma once
 
+#include <cmath>
 #include <ostream>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "io/csv.hpp"
@@ -12,15 +22,65 @@
 
 namespace raptor::io {
 
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON representation of a double: the numeric literal when finite, a
+/// quoted string otherwise (JSON has no inf/nan literals).
+[[nodiscard]] inline std::string json_number(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// RFC 4180 CSV field: quoted (with doubled inner quotes) when the value
+/// contains a comma, quote or newline.
+[[nodiscard]] inline std::string csv_field(std::string_view s) {
+  if (s.find_first_of(",\"\n\r") == std::string_view::npos) return std::string(s);
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
 inline void write_region_profiles_csv(const std::string& path,
                                       const std::vector<rt::RegionProfileEntry>& entries) {
   CsvWriter csv(path, {"region", "trunc_flops", "full_flops", "trunc_bytes", "full_bytes",
                        "trunc_fraction", "max_deviation", "flagged"});
   for (const auto& e : entries) {
     const rt::CounterSnapshot& c = e.profile.counters;
-    csv.row_strings({e.label, std::to_string(c.trunc_flops), std::to_string(c.full_flops),
-                     std::to_string(c.trunc_bytes), std::to_string(c.full_bytes),
-                     std::to_string(c.trunc_fraction()), std::to_string(e.profile.max_deviation),
+    csv.row_strings({csv_field(e.label), std::to_string(c.trunc_flops),
+                     std::to_string(c.full_flops), std::to_string(c.trunc_bytes),
+                     std::to_string(c.full_bytes), std::to_string(c.trunc_fraction()),
+                     std::to_string(e.profile.max_deviation),
                      std::to_string(e.profile.flagged)});
   }
 }
@@ -31,10 +91,10 @@ inline void write_region_profiles_json(std::ostream& out,
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const auto& e = entries[i];
     const rt::CounterSnapshot& c = e.profile.counters;
-    out << "  {\"region\": \"" << e.label << "\", \"trunc_flops\": " << c.trunc_flops
+    out << "  {\"region\": \"" << json_escape(e.label) << "\", \"trunc_flops\": " << c.trunc_flops
         << ", \"full_flops\": " << c.full_flops << ", \"trunc_bytes\": " << c.trunc_bytes
         << ", \"full_bytes\": " << c.full_bytes << ", \"trunc_fraction\": " << c.trunc_fraction()
-        << ", \"max_deviation\": " << e.profile.max_deviation
+        << ", \"max_deviation\": " << json_number(e.profile.max_deviation)
         << ", \"flagged\": " << e.profile.flagged << "}";
     out << (i + 1 < entries.size() ? ",\n" : "\n");
   }

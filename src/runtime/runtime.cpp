@@ -78,12 +78,23 @@ struct Runtime::ThreadState {
   std::map<std::string, RegionProfile> region_profiles;
   RegionProfile* region_prof = nullptr;
   bool prof_cached = false;
+  /// Trace capture state (DESIGN.md §12): the thread's ring/histogram
+  /// buffer for the current tracer session, the sampling countdown, and a
+  /// cached (region slot, histogram) pair resolved like region_prof. The
+  /// session stamp re-syncs everything across trace_start/trace_stop.
+  trace::ThreadTrace* trace_buf = nullptr;
+  u64 trace_session = 0;
+  u64 trace_countdown = 0;
+  u32 trace_slot = 0;
+  trace::RegionHist* trace_hist = nullptr;
+  bool trace_slot_cached = false;
   EmuCell scratch[4];
   Runtime* owner;
 
   void invalidate_trunc_cache() {
     for (TruncCache& c : trunc_cache) c.cached = false;
     prof_cached = false;
+    trace_slot_cached = false;
   }
 
   explicit ThreadState(Runtime* o) : owner(o) { o->register_thread(this); }
@@ -106,6 +117,10 @@ void Runtime::register_thread(ThreadState* ts) {
 }
 
 void Runtime::retire_thread(ThreadState* ts) {
+  // Trace flush first: merge the thread's histograms into the tracer's
+  // retired aggregate (its undrained ring events are picked up by the
+  // drainer). detach() ignores buffers from stale sessions.
+  if (ts->trace_buf != nullptr) tracer_.detach(ts->trace_buf, ts->trace_session);
   std::lock_guard lock(threads_mu_);
   retired_.merge(ts->counters);
   for (const auto& [label, prof] : ts->region_profiles) retired_regions_[label].merge(prof);
@@ -576,6 +591,13 @@ double Runtime::mem_op(ThreadState& ts, OpKind k, const double* args, int n, con
     const char* label = ts.regions.empty() ? "<toplevel>" : ts.regions.back().label;
     record_flag(label, k, dev_r, fresh);
   }
+  // Mem-mode events carry the result's deviation bucket; the caller's trace
+  // hook skips NaN-boxed results, so this is the only capture point.
+  if (trace_on_) {
+    const double rv = tr.to_double();
+    trace_event(ts, k, &rv, 1, truncated ? &f : nullptr, /*span=*/false, /*mem=*/true,
+                trace::DevHistogram::bucket_of(dev_r));
+  }
   // One locked write for the result: alloc_boxed stamps the generation under
   // the same shard lock as the allocation.
   return shadow_.alloc_boxed(tr, sr);
@@ -687,8 +709,92 @@ inline double fast2(OpKind k, double a, double b, const sf::Format& f) {
 }
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Trace capture (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+//
+// Called from the op entry points only while a session is active. The
+// steady-state cost is the session check plus one countdown decrement; the
+// sampled slow path interns the region label (cached until the next scope/
+// region/config change), updates the thread's per-region histograms — per
+// element for batch spans — and pushes one event into the thread's SPSC
+// ring (never blocking: a full ring counts a drop).
+
+void Runtime::trace_event(ThreadState& ts, OpKind k, const double* vals, std::size_t n,
+                          const sf::Format* f, bool span, bool mem, u8 dev_bucket) {
+  const u64 session = tracer_.session();
+  if (ts.trace_session != session || ts.trace_buf == nullptr) {
+    ts.trace_buf = tracer_.attach();
+    ts.trace_session = session;
+    ts.trace_countdown = tracer_.stride();
+    ts.trace_slot_cached = false;
+  }
+  if (--ts.trace_countdown != 0) return;
+  ts.trace_countdown = tracer_.stride();
+  if (!ts.trace_slot_cached) {
+    const char* label = ts.regions.empty() ? "<toplevel>" : ts.regions.back().label;
+    ts.trace_slot = tracer_.intern(label);
+    ts.trace_hist = &ts.trace_buf->hists[ts.trace_slot];
+    ts.trace_slot_cached = true;
+  }
+  trace::ExpHistogram& eh = ts.trace_hist->exp;
+  i32 mn = std::numeric_limits<i32>::max();
+  i32 mx = std::numeric_limits<i32>::min();
+  for (std::size_t i = 0; i < n; ++i) {
+    const i32 cls = trace::exp_class(vals[i]);
+    eh.add_class(cls);
+    mn = std::min(mn, cls);
+    mx = std::max(mx, cls);
+  }
+  if (dev_bucket != trace::kDevNone) ts.trace_hist->dev.add_bucket(dev_bucket);
+
+  trace::Event ev;
+  ev.kind = static_cast<u8>(k);
+  ev.flags = static_cast<u8>((f != nullptr ? trace::kFlagTruncated : 0u) |
+                             (span ? trace::kFlagSpan : 0u) | (mem ? trace::kFlagMem : 0u));
+  ev.region = static_cast<u16>(ts.trace_slot);
+  if (f != nullptr) {
+    ev.fmt_exp = static_cast<u8>(f->exp_bits);
+    ev.fmt_man = static_cast<u8>(f->man_bits);
+  }
+  ev.dev_bucket = dev_bucket;
+  ev.exp_min = static_cast<i16>(mn);
+  ev.exp_max = static_cast<i16>(mx);
+  ev.count = static_cast<u32>(n);
+  ts.trace_buf->ring.try_push(ev);
+}
+
 double Runtime::op1(OpKind k, double a, int width) {
   ThreadState& ts = tls();
+  const double r = op1_dispatch(ts, k, a, width);
+  // Mem-mode results are NaN-boxed handles and were already traced (with
+  // their deviation bucket) inside mem_op; everything else is traced here,
+  // re-reading the effective format from the (hot) thread-local cache.
+  if (trace_on_ && !boxing::is_boxed(r)) {
+    trace_event(ts, k, &r, 1, effective_format(ts, width), false, false, trace::kDevNone);
+  }
+  return r;
+}
+
+double Runtime::op2(OpKind k, double a, double b, int width) {
+  ThreadState& ts = tls();
+  const double r = op2_dispatch(ts, k, a, b, width);
+  if (trace_on_ && !boxing::is_boxed(r)) {
+    trace_event(ts, k, &r, 1, effective_format(ts, width), false, false, trace::kDevNone);
+  }
+  return r;
+}
+
+double Runtime::op3(OpKind k, double a, double b, double c, int width) {
+  ThreadState& ts = tls();
+  const double r = op3_dispatch(ts, k, a, b, c, width);
+  if (trace_on_ && !boxing::is_boxed(r)) {
+    trace_event(ts, k, &r, 1, effective_format(ts, width), false, false, trace::kDevNone);
+  }
+  return r;
+}
+
+double Runtime::op1_dispatch(ThreadState& ts, OpKind k, double a, int width) {
   const sf::Format* f = effective_format(ts, width);
   if (f == nullptr) {
     if (mode_ == Mode::Mem && boxing::is_boxed(a)) {
@@ -711,8 +817,7 @@ double Runtime::op1(OpKind k, double a, int width) {
   return emulate1(ts, k, a, *f);
 }
 
-double Runtime::op2(OpKind k, double a, double b, int width) {
-  ThreadState& ts = tls();
+double Runtime::op2_dispatch(ThreadState& ts, OpKind k, double a, double b, int width) {
   const sf::Format* f = effective_format(ts, width);
   if (f == nullptr) {
     if (mode_ == Mode::Mem && (boxing::is_boxed(a) || boxing::is_boxed(b))) {
@@ -736,8 +841,7 @@ double Runtime::op2(OpKind k, double a, double b, int width) {
   return emulate2(ts, k, a, b, *f);
 }
 
-double Runtime::op3(OpKind k, double a, double b, double c, int width) {
-  ThreadState& ts = tls();
+double Runtime::op3_dispatch(ThreadState& ts, OpKind k, double a, double b, double c, int width) {
   const sf::Format* f = effective_format(ts, width);
   if (f == nullptr) {
     if (mode_ == Mode::Mem &&
@@ -778,10 +882,20 @@ void Runtime::op1_batch(OpKind k, const double* a, double* out, std::size_t n, i
   if (n == 0) return;
   ThreadState& ts = tls();
   if (mode_ == Mode::Mem) {
+    // Scalar entry points keep handle ownership semantics and trace each
+    // element (with deviation buckets) themselves.
     for (std::size_t i = 0; i < n; ++i) out[i] = op1(k, a[i], width);
     return;
   }
   const sf::Format* f = effective_format(ts, width);
+  op1_batch_op(ts, k, a, out, n, f);
+  // One sampling-countdown decrement per span; a sampled span records one
+  // event plus per-element exponent histogram updates.
+  if (trace_on_) trace_event(ts, k, out, n, f, /*span=*/true, false, trace::kDevNone);
+}
+
+void Runtime::op1_batch_op(ThreadState& ts, OpKind k, const double* a, double* out, std::size_t n,
+                           const sf::Format* f) {
   if (f == nullptr) {
     count_batch(ts, k, false, n);
     for (std::size_t i = 0; i < n; ++i) out[i] = native1(k, a[i]);
@@ -817,6 +931,12 @@ void Runtime::op2_batch(OpKind k, const double* a, const double* b, double* out,
     return;
   }
   const sf::Format* f = effective_format(ts, width);
+  op2_batch_op(ts, k, a, b, out, n, f);
+  if (trace_on_) trace_event(ts, k, out, n, f, /*span=*/true, false, trace::kDevNone);
+}
+
+void Runtime::op2_batch_op(ThreadState& ts, OpKind k, const double* a, const double* b,
+                           double* out, std::size_t n, const sf::Format* f) {
   if (f == nullptr) {
     count_batch(ts, k, false, n);
     switch (k) {
@@ -877,6 +997,12 @@ void Runtime::op3_batch(OpKind k, const double* a, const double* b, const double
     return;
   }
   const sf::Format* f = effective_format(ts, width);
+  op3_batch_op(ts, k, a, b, c, out, n, f);
+  if (trace_on_) trace_event(ts, k, out, n, f, /*span=*/true, false, trace::kDevNone);
+}
+
+void Runtime::op3_batch_op(ThreadState& ts, OpKind k, const double* a, const double* b,
+                           const double* c, double* out, std::size_t n, const sf::Format* f) {
   if (f == nullptr) {
     count_batch(ts, k, false, n);
     for (std::size_t i = 0; i < n; ++i) out[i] = native3(k, a[i], b[i], c[i]);
@@ -988,7 +1114,18 @@ void Runtime::reset_flags() {
   flags_.clear();
 }
 
+void Runtime::trace_start(const trace::TraceOptions& opts) {
+  tracer_.start(opts);
+  trace_on_ = true;
+}
+
+trace::TraceStats Runtime::trace_stop() {
+  trace_on_ = false;
+  return tracer_.stop();
+}
+
 void Runtime::reset_all() {
+  if (trace_on_) trace_stop();
   clear_truncate_all();
   clear_exclusions();
   clear_region_formats();

@@ -44,6 +44,7 @@
 #include "runtime/counters.hpp"
 #include "runtime/shadow_table.hpp"
 #include "softfloat/bigfloat.hpp"
+#include "trace/tracer.hpp"
 
 namespace raptor::rt {
 
@@ -118,6 +119,29 @@ class Runtime {
   /// Merged per-region profiles, sorted by truncated+full flops descending.
   [[nodiscard]] std::vector<RegionProfileEntry> region_profiles() const;
   void reset_region_profiles();
+
+  // -- Numerical event tracing (DESIGN.md §12) ----------------------------
+  //
+  // When a trace session is active, every instrumented operation decrements
+  // a per-thread sampling countdown; every sample_stride-th op (or batch
+  // span) emits one event — op kind, region, target format, result exponent
+  // class, mem-mode deviation bucket — into the thread's SPSC ring and
+  // updates the thread's per-region exponent/deviation histograms (batch
+  // spans update the exponent histogram per element). A background drainer
+  // streams rings into the `.rtrace` file; a full ring drops events (with
+  // accounting) rather than ever blocking the producer.
+  //
+  // trace_start/trace_stop/trace_histograms share the configuration
+  // quiescence contract: call them while no instrumented code is executing.
+  // Off-session cost is one predicted branch per op.
+
+  void trace_start(const trace::TraceOptions& opts);
+  trace::TraceStats trace_stop();
+  [[nodiscard]] bool trace_active() const { return trace_on_; }
+  /// Merged per-region exponent/deviation histograms of the active session.
+  [[nodiscard]] std::vector<trace::RegionHistEntry> trace_histograms() const {
+    return tracer_.histograms();
+  }
 
   // -- Thread-local scoping (used via trunc/scope.hpp RAII) ---------------
 
@@ -196,8 +220,10 @@ class Runtime {
   [[nodiscard]] u64 mem_locked_sections() const { return shadow_.locked_sections(); }
   void mem_reset_locked_sections() { shadow_.reset_locked_sections(); }
   /// Drop all mem-mode entries (between experiments; callers ensure no
-  /// boxed doubles survive).
-  void mem_clear() { shadow_.clear(); }
+  /// boxed doubles survive). Returns the number of entries that were still
+  /// live — nonzero means instrumented code leaked handles (the upstream
+  /// runtime's gc_dump_status role); examples/memmode_debug prints it.
+  std::size_t mem_clear() { return shadow_.clear(); }
 
   // -- Reports --------------------------------------------------------------
 
@@ -234,6 +260,26 @@ class Runtime {
   /// totals plus (when region profiling is on) the innermost region's slot.
   void count_scalar(ThreadState& ts, OpKind k, bool trunc);
   void count_batch(ThreadState& ts, OpKind k, bool trunc, u64 n);
+
+  // Dispatch bodies behind the public op entry points: the public wrappers
+  // add the trace hook around them (the result value is needed for the
+  // event's exponent class, so the hook sits after dispatch).
+  double op1_dispatch(ThreadState& ts, OpKind k, double a, int width);
+  double op2_dispatch(ThreadState& ts, OpKind k, double a, double b, int width);
+  double op3_dispatch(ThreadState& ts, OpKind k, double a, double b, double c, int width);
+  void op1_batch_op(ThreadState& ts, OpKind k, const double* a, double* out, std::size_t n,
+                    const sf::Format* f);
+  void op2_batch_op(ThreadState& ts, OpKind k, const double* a, const double* b, double* out,
+                    std::size_t n, const sf::Format* f);
+  void op3_batch_op(ThreadState& ts, OpKind k, const double* a, const double* b, const double* c,
+                    double* out, std::size_t n, const sf::Format* f);
+
+  /// Trace capture (called only when trace_on_): re-syncs the thread with
+  /// the tracer session, pays the sampling countdown, and on-sample records
+  /// one event over `vals[0..n)` plus per-element exponent histogram
+  /// updates. `f` is the resolved target format (nullptr = untruncated).
+  void trace_event(ThreadState& ts, OpKind k, const double* vals, std::size_t n,
+                   const sf::Format* f, bool span, bool mem, u8 dev_bucket);
 
   double native1(OpKind k, double a) const;
   double native2(OpKind k, double a, double b) const;
@@ -279,6 +325,12 @@ class Runtime {
   std::vector<FlagRecord> flags_;
 
   ShadowTable shadow_;
+
+  /// Tracing flag mirrored out of tracer_ as a plain bool: written by
+  /// trace_start/trace_stop under the quiescence contract, read unprotected
+  /// on every op (like counting_).
+  bool trace_on_ = false;
+  trace::Tracer tracer_;
 };
 
 }  // namespace raptor::rt

@@ -157,7 +157,7 @@ std::size_t ShadowTable::capacity() const {
   return n;
 }
 
-void ShadowTable::clear() {
+std::size_t ShadowTable::clear() {
   // Lock every shard (fixed order: clear is the only multi-lock path, so the
   // order cannot deadlock against single-shard users), bump the generation
   // while the whole table is quiescent, then drop the entries. Holding all
@@ -167,11 +167,14 @@ void ShadowTable::clear() {
   for (u32 s = 0; s < kShards; ++s) locks[s] = std::unique_lock(shards_[s].mu);
   generation_.store((generation_.load(std::memory_order_relaxed) + 1) & 0xFFFF,
                     std::memory_order_release);
+  std::size_t leaked = 0;
   for (Shard& sh : shards_) {
+    leaked += sh.live;
     sh.entries.clear();
     sh.free_slots.clear();
     sh.live = 0;
   }
+  return leaked;
 }
 
 u64 ShadowTable::locked_sections() const {

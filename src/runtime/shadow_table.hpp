@@ -118,8 +118,11 @@ class ShadowTable {
   [[nodiscard]] std::size_t capacity() const;
   /// Drop everything (between experiments) and bump the generation:
   /// outstanding boxed handles become stale and their later retain/release
-  /// calls are ignored by the runtime. Takes all shard locks.
-  void clear();
+  /// calls are ignored by the runtime. Takes all shard locks. Returns the
+  /// number of entries that were still live — the leak report of the
+  /// upstream runtime's gc_dump_status (a nonzero count means handles were
+  /// never released/materialized).
+  std::size_t clear();
   /// Current generation stamped into newly boxed handles. Lock-free.
   [[nodiscard]] u32 generation() const { return generation_.load(std::memory_order_acquire); }
 

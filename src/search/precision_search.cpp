@@ -71,20 +71,38 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
   }
 
   // 2. Greedy per-region bisection, keeping accepted choices applied.
-  const auto spec_of = [&](int man) {
+  const auto exp_for = [&](const std::string& region) {
+    for (const auto& [label, bits] : opts_.exp_hints) {
+      if (label == region) return bits;
+    }
+    return opts_.exp_bits;
+  };
+  const auto spec_of = [](const sf::Format& f) {
     rt::TruncationSpec spec;
-    spec.for64 = sf::Format{opts_.exp_bits, man};
+    spec.for64 = f;
     return spec;
+  };
+  // Re-install every accepted choice (after clearing a failed candidate's
+  // override); each choice carries its own exponent width.
+  const auto reapply_choices = [&]() {
+    R.clear_region_formats();
+    for (const auto& c : out.choices) {
+      if (c.truncated) R.set_region_format(c.region, spec_of(c.format));
+    }
   };
   const auto evaluate = [&]() {
     ++out.evaluations;
     return metric(ref, workload.run());
   };
-  // Identity guard: truncating 64-bit ops to (11, 52) is the identity, so
-  // the top of the search range is feasible for free in the default family.
-  const bool top_is_identity = opts_.exp_bits == 11 && opts_.max_man == 52;
 
   for (const auto& [region, flops] : candidates) {
+    const int ebits = exp_for(region);
+    RAPTOR_REQUIRE(ebits >= 2 && ebits <= 18, "precision search: bad exponent-width hint");
+    // Identity guard: truncating 64-bit ops to (11, 52) is the identity, so
+    // the top of the search range is feasible for free in the default
+    // family. An exponent-hinted region forfeits this (Format{e<11, 52}
+    // really truncates) and pays one feasibility evaluation instead.
+    const bool top_is_identity = ebits == 11 && opts_.max_man == 52;
     RegionChoice choice;
     choice.region = region;
     choice.flops = flops;
@@ -100,16 +118,13 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
     double err_at_hi = 0.0;
     bool feasible = top_is_identity;
     if (!feasible) {
-      R.set_region_format(region, spec_of(hi));
+      R.set_region_format(region, spec_of(sf::Format{ebits, hi}));
       err_at_hi = evaluate();
       feasible = err_at_hi <= opts_.tolerance;
     }
     if (!feasible) {
       // Even the widest candidate format breaks tolerance: leave native.
-      R.clear_region_formats();
-      for (const auto& c : out.choices) {
-        if (c.truncated) R.set_region_format(c.region, spec_of(c.format.man_bits));
-      }
+      reapply_choices();
       log_line(opts_, "  region " + region + ": left native (err " +
                           std::to_string(err_at_hi) + " at m=" + std::to_string(hi) + ")");
       out.choices.push_back(std::move(choice));
@@ -117,7 +132,7 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
     }
     while (lo < hi) {
       const int mid = lo + (hi - lo) / 2;
-      R.set_region_format(region, spec_of(mid));
+      R.set_region_format(region, spec_of(sf::Format{ebits, mid}));
       const double err = evaluate();
       log_line(opts_, "  region " + region + ": m=" + std::to_string(mid) + " err " +
                           std::to_string(err) + (err <= opts_.tolerance ? " ok" : " too coarse"));
@@ -130,16 +145,13 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
     }
     if (top_is_identity && hi == opts_.max_man) {
       // Identity format: no truncation benefit; leave the region native.
-      R.clear_region_formats();
-      for (const auto& c : out.choices) {
-        if (c.truncated) R.set_region_format(c.region, spec_of(c.format.man_bits));
-      }
+      reapply_choices();
       log_line(opts_, "  region " + region + ": left native (needs full precision)");
     } else {
       choice.truncated = true;
-      choice.format = sf::Format{opts_.exp_bits, hi};
+      choice.format = sf::Format{ebits, hi};
       choice.error = err_at_hi;
-      R.set_region_format(region, spec_of(hi));
+      R.set_region_format(region, spec_of(choice.format));
       log_line(opts_, "  region " + region + ": chose " + choice.format.to_string());
     }
     out.choices.push_back(std::move(choice));
@@ -150,7 +162,7 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
     if (c.truncated) {
       rt::RegionFormat rf;
       rf.region = c.region;
-      rf.spec = spec_of(c.format.man_bits);
+      rf.spec = spec_of(c.format);
       out.config.region_formats.push_back(std::move(rf));
     }
   }

@@ -22,6 +22,7 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/profile_config.hpp"
@@ -59,6 +60,14 @@ struct SearchOptions {
   /// Regions whose reference-profile flop count is below this fraction of
   /// the total are left untouched (searching them cannot move the needle).
   double min_flop_share = 0.01;
+  /// Per-region exponent-width overrides (the trace subsystem's
+  /// `--recommend` output, DESIGN.md §12): a region listed here bisects its
+  /// mantissa in the Format{hint, m} family instead of Format{exp_bits, m},
+  /// so the search starts from an exponent width matched to the region's
+  /// observed dynamic range. Note a hinted region loses the free identity
+  /// guard (Format{e<11, 52} is not the identity), costing one feasibility
+  /// evaluation — the price of searching a narrower family.
+  std::vector<std::pair<std::string, int>> exp_hints;
   /// Metric override (default: scaled_max_error).
   ErrorMetric metric;
   /// Progress callback (e.g. [](const std::string& s) { puts(s.c_str()); }).

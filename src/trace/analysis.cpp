@@ -1,0 +1,108 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace raptor::trace {
+
+int min_exp_bits(i32 min_exp, i32 max_exp) {
+  for (int e = 2; e <= 11; ++e) {
+    const i32 bias = (1 << (e - 1)) - 1;
+    if (bias >= max_exp && 1 - bias <= min_exp) return e;
+  }
+  return 11;
+}
+
+int man_bits_hint(const DevHistogram& dev, int default_man) {
+  if (dev.total() == 0) return default_man;
+  const double p99 = dev.quantile(0.99);
+  if (p99 <= 0.0) return std::clamp(default_man, 4, 52);
+  if (!std::isfinite(p99) || p99 >= 1.0) return 52;  // catastrophic: stay wide
+  // p99 ~ 2^-man; two guard bits absorb accumulation beyond the per-op bound.
+  const int man = static_cast<int>(std::ceil(-std::log2(p99))) + 2;
+  return std::clamp(man, 4, 52);
+}
+
+std::vector<RegionReport> build_reports(const TraceData& td) {
+  std::map<u16, RegionReport> by_slot;
+  const bool have_hists = !td.histograms.empty();
+
+  for (const DecodedEvent& e : td.events) {
+    RegionReport& r = by_slot[e.region];
+    ++r.events;
+    r.ops += e.count;
+    r.ops_by_kind[e.kind] += e.count;
+    if (e.flags & kFlagTruncated) r.trunc_ops += e.count;
+    if (e.flags & kFlagMem) r.mem_ops += e.count;
+    if (!have_hists) {
+      // Histogram-free fallback: spread a span's count over its min/max
+      // exponent classes (the per-element distribution was not persisted).
+      if (e.exp_min == e.exp_max) {
+        r.exp.add_class(e.exp_min, e.count);
+      } else {
+        r.exp.add_class(e.exp_min, (e.count + 1) / 2);
+        r.exp.add_class(e.exp_max, e.count / 2);
+      }
+      if (e.dev_bucket != kDevNone) r.dev.add_bucket(e.dev_bucket, e.count);
+    }
+  }
+  if (have_hists) {
+    for (const auto& [slot, hist] : td.histograms) {
+      RegionReport& r = by_slot[static_cast<u16>(slot)];
+      r.exp.merge(hist.exp);
+      r.dev.merge(hist.dev);
+    }
+  }
+
+  std::vector<RegionReport> out;
+  out.reserve(by_slot.size());
+  for (auto& [slot, report] : by_slot) {
+    report.label = td.region_name(slot);
+    out.push_back(std::move(report));
+  }
+  std::sort(out.begin(), out.end(), [](const RegionReport& a, const RegionReport& b) {
+    if (a.ops != b.ops) return a.ops > b.ops;
+    return a.exp.total() > b.exp.total();
+  });
+  return out;
+}
+
+std::vector<Recommendation> recommend(const TraceData& td, int default_man) {
+  std::vector<Recommendation> recs;
+  for (const RegionReport& r : build_reports(td)) {
+    if (!r.exp.has_range()) continue;  // no finite results observed: nothing to base a format on
+    Recommendation rec;
+    rec.label = r.label;
+    rec.min_exp = r.exp.min_exp;
+    rec.max_exp = r.exp.max_exp;
+    rec.exp_bits = min_exp_bits(rec.min_exp, rec.max_exp);
+    rec.man_bits = man_bits_hint(r.dev, default_man);
+    recs.push_back(std::move(rec));
+  }
+  return recs;
+}
+
+std::string recommendations_to_profile(const std::vector<Recommendation>& recs) {
+  std::string out = "# raptor profile (trace --recommend)\n";
+  for (const Recommendation& r : recs) {
+    // "<toplevel>" is the synthetic outside-any-region label; a region
+    // directive for it could never bind (overrides resolve at region entry).
+    if (r.label == "<toplevel>") continue;
+    // The config grammar splits "region <label> <spec>" on whitespace, so a
+    // label containing whitespace cannot be expressed; leave a breadcrumb.
+    if (r.label.find_first_of(" \t") != std::string::npos) {
+      out += "# skipped (label contains whitespace): " + r.label + '\n';
+      continue;
+    }
+    out += "region ";
+    out += r.label;
+    out += " 64_to_";
+    out += std::to_string(r.exp_bits);
+    out += '_';
+    out += std::to_string(r.man_bits);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace raptor::trace

@@ -1,0 +1,61 @@
+// Offline analysis of `.rtrace` captures (DESIGN.md §12): fold the event
+// stream and the persisted histograms into per-region reports (op mix,
+// exponent range, deviation quantiles) and derive format recommendations —
+// the minimum exponent width that covers the observed dynamic range, plus a
+// mantissa starting point from the deviation distribution. The
+// recommendations seed PrecisionSearch (SearchOptions::exp_hints) so the
+// mantissa bisection starts from an exponent-informed format instead of the
+// default (11, m) family.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/rtrace.hpp"
+
+namespace raptor::trace {
+
+struct RegionReport {
+  std::string label;
+  u64 events = 0;      ///< event records (samples)
+  u64 ops = 0;         ///< count-weighted sampled operations
+  u64 trunc_ops = 0;   ///< of which executed in a target format
+  u64 mem_ops = 0;     ///< of which were mem-mode operations
+  std::map<u8, u64> ops_by_kind;  ///< producer op-kind id -> sampled ops
+  ExpHistogram exp;    ///< persisted histogram (preferred) or event-derived
+  DevHistogram dev;
+  u64 dropped_span_info = 0;  ///< reserved
+};
+
+struct Recommendation {
+  std::string label;
+  int exp_bits = 11;
+  int man_bits = 52;
+  i32 min_exp = 0;  ///< observed dynamic range behind the exponent choice
+  i32 max_exp = 0;
+};
+
+/// Smallest IEEE-style exponent width (clamped to [2, 11]) whose normal
+/// range [1 - bias, bias] covers the observed [min_exp, max_exp].
+[[nodiscard]] int min_exp_bits(i32 min_exp, i32 max_exp);
+
+/// Mantissa starting point from a deviation distribution: enough bits that
+/// 2^-man sits below the p99 observed deviation with two guard bits;
+/// `default_man` when the histogram is empty (op-mode traces).
+[[nodiscard]] int man_bits_hint(const DevHistogram& dev, int default_man = 52);
+
+/// Per-region rollup, sorted by sampled ops descending. Prefers the
+/// persisted histograms (exact, per-element) and falls back to
+/// reconstructing the exponent histogram from event min/max classes for
+/// files without H blocks.
+[[nodiscard]] std::vector<RegionReport> build_reports(const TraceData& td);
+
+/// One recommendation per region with an observed exponent range.
+[[nodiscard]] std::vector<Recommendation> recommend(const TraceData& td, int default_man = 52);
+
+/// Serialize recommendations as a raptor profile config ("region <label>
+/// 64_to_<e>_<m>" directives) — the text rt::parse_profile accepts.
+[[nodiscard]] std::string recommendations_to_profile(const std::vector<Recommendation>& recs);
+
+}  // namespace raptor::trace

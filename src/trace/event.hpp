@@ -1,0 +1,73 @@
+// Numerical trace event record (DESIGN.md §12). One event describes either a
+// single sampled scalar operation or a whole sampled batch span; the payload
+// is what the offline analyzer needs to reconstruct per-region op mix,
+// dynamic exponent range and deviation distribution without storing the
+// operand values themselves.
+//
+// The record is a 16-byte POD so a per-thread ring buffer of 2^14 entries
+// costs 256 KiB and events stream to disk by memcpy into the delta encoder.
+// The trace layer deliberately knows nothing about rt::OpKind — `kind` is an
+// opaque u8 the producer stamps; the analyzer maps names back via the
+// runtime's op table.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "support/common.hpp"
+
+namespace raptor::trace {
+
+// Exponent classification of a result value: the unbiased base-2 exponent of
+// the MSB (frexp convention minus one, so 1.0 -> 0, 0.5 -> -1), or one of
+// the sentinel classes below. Sentinels are ordered so that plain min/max
+// over classes is meaningful for a span: zero < any finite < inf < nan.
+inline constexpr i32 kExpZero = -0x7000;
+inline constexpr i32 kExpInf = 0x7000;
+inline constexpr i32 kExpNaN = 0x7001;
+
+[[nodiscard]] inline i32 exp_class(double v) {
+  if (std::isnan(v)) return kExpNaN;
+  if (std::isinf(v)) return kExpInf;
+  if (v == 0.0) return kExpZero;
+  int e;
+  std::frexp(v, &e);
+  return e - 1;
+}
+
+/// Human-readable form of an exponent class: the sentinel name or the
+/// decimal exponent (report/analyzer output).
+[[nodiscard]] inline std::string exp_class_str(i32 cls) {
+  if (cls == kExpZero) return "zero";
+  if (cls == kExpInf) return "inf";
+  if (cls == kExpNaN) return "nan";
+  return std::to_string(cls);
+}
+
+/// Deviation-bucket sentinel: the event carries no deviation information
+/// (op-mode events; mem-mode events store a DevHistogram bucket index).
+inline constexpr u8 kDevNone = 0xFF;
+
+/// Event flag bits.
+inline constexpr u8 kFlagTruncated = 1u << 0;  ///< executed in a target format
+inline constexpr u8 kFlagSpan = 1u << 1;       ///< one event for a whole batch span
+inline constexpr u8 kFlagMem = 1u << 2;        ///< mem-mode operation
+
+struct Event {
+  u8 kind = 0;             ///< producer's op-kind id (opaque to this layer)
+  u8 flags = 0;            ///< kFlag* bits
+  u16 region = 0;          ///< string-table slot of the innermost region
+  u8 fmt_exp = 0;          ///< target format exponent bits (0 when untruncated)
+  u8 fmt_man = 0;          ///< target format mantissa bits (0 when untruncated)
+  u8 dev_bucket = kDevNone;  ///< DevHistogram bucket of the result deviation
+  u8 reserved = 0;
+  i16 exp_min = 0;  ///< smallest result exponent class in the span
+  i16 exp_max = 0;  ///< largest result exponent class in the span
+  u32 count = 1;    ///< operations represented (1 scalar, n for a span)
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+static_assert(sizeof(Event) == 16, "trace events are packed to 16 bytes");
+
+}  // namespace raptor::trace

@@ -1,0 +1,165 @@
+// Per-region aggregate histograms behind the trace subsystem
+// (DESIGN.md §12): the dynamic exponent range of results (what determines a
+// safe exponent width) and the distribution of mem-mode deviations (what
+// informs a starting mantissa width). Collected per thread per region and
+// merged like CounterSnapshot — merge() is associative and commutative,
+// pinned by test_trace.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace raptor::trace {
+
+/// Histogram of result exponents: binned log2 |result| over the fp64 range
+/// plus dedicated zero / subnormal / inf / nan buckets and the exact
+/// observed min/max finite exponent. "Subnormal" means subnormal as an fp64
+/// value (exponent below -1022); subnormal values also contribute to the
+/// bins and the min/max range, since they are part of the dynamic range.
+struct ExpHistogram {
+  static constexpr int kBins = 68;
+  static constexpr i32 kBinBase = -1088;  ///< inclusive lower edge of bin 0
+  static constexpr i32 kBinWidth = 32;
+
+  u64 zero = 0;
+  u64 subnormal = 0;
+  u64 inf = 0;
+  u64 nan = 0;
+  u64 finite = 0;  ///< finite nonzero samples (bins + min/max population)
+  i32 min_exp = std::numeric_limits<i32>::max();  ///< smallest finite-nonzero exponent
+  i32 max_exp = std::numeric_limits<i32>::min();  ///< largest finite-nonzero exponent
+  std::array<u64, kBins> bins{};
+
+  static constexpr int bin_of(i32 cls) {
+    const i32 idx = (cls - kBinBase) / kBinWidth;
+    return idx < 0 ? 0 : idx >= kBins ? kBins - 1 : idx;
+  }
+
+  /// Record `n` samples whose exponent class (exp_class / event field) is
+  /// `cls`.
+  void add_class(i32 cls, u64 n = 1) {
+    if (cls == kExpZero) {
+      zero += n;
+    } else if (cls == kExpInf) {
+      inf += n;
+    } else if (cls == kExpNaN) {
+      nan += n;
+    } else {
+      finite += n;
+      if (cls < -1022) subnormal += n;
+      min_exp = std::min(min_exp, cls);
+      max_exp = std::max(max_exp, cls);
+      bins[static_cast<std::size_t>(bin_of(cls))] += n;
+    }
+  }
+
+  void add(double v) { add_class(exp_class(v)); }
+
+  [[nodiscard]] u64 total() const { return zero + inf + nan + finite; }
+  [[nodiscard]] bool has_range() const { return finite > 0; }
+
+  void merge(const ExpHistogram& o) {
+    zero += o.zero;
+    subnormal += o.subnormal;
+    inf += o.inf;
+    nan += o.nan;
+    finite += o.finite;
+    min_exp = std::min(min_exp, o.min_exp);
+    max_exp = std::max(max_exp, o.max_exp);
+    for (int i = 0; i < kBins; ++i) bins[static_cast<std::size_t>(i)] += o.bins[static_cast<std::size_t>(i)];
+  }
+
+  friend bool operator==(const ExpHistogram&, const ExpHistogram&) = default;
+};
+
+/// Histogram of relative mem-mode deviations on a log10 scale. Bucket 0 is
+/// exact agreement, bucket 1 is deviation >= 1 (catastrophic, including
+/// inf/NaN deviation), bucket b in [2, 18] covers [10^(1-b), 10^(2-b)), and
+/// bucket 19 collects everything below 1e-17. The bucket index is what
+/// mem-mode events carry (Event::dev_bucket).
+struct DevHistogram {
+  static constexpr int kBins = 20;
+
+  std::array<u64, kBins> bins{};
+
+  static u8 bucket_of(double dev) {
+    if (std::isnan(dev) || dev >= 1.0) return 1;
+    if (dev <= 0.0) return 0;
+    const int b = 1 + static_cast<int>(std::ceil(-std::log10(dev)));
+    return static_cast<u8>(std::clamp(b, 2, kBins - 1));
+  }
+
+  /// Inclusive upper bound of a bucket's deviation range (inf for bucket 1).
+  static double bucket_upper(int b) {
+    if (b <= 0) return 0.0;
+    if (b == 1) return std::numeric_limits<double>::infinity();
+    return std::pow(10.0, 2 - b);
+  }
+
+  void add(double dev) { ++bins[bucket_of(dev)]; }
+  void add_bucket(u8 b, u64 n = 1) { bins[b < kBins ? b : u8{1}] += n; }
+
+  [[nodiscard]] u64 total() const {
+    u64 t = 0;
+    for (const u64 b : bins) t += b;
+    return t;
+  }
+
+  /// Upper bound of the deviation not exceeded by fraction `q` of samples
+  /// (walks buckets in ascending deviation order). 0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    const u64 t = total();
+    if (t == 0) return 0.0;
+    const double target = q * static_cast<double>(t);
+    u64 cum = 0;
+    // Ascending deviation order: exact (0), then bucket 19 down to bucket 1.
+    cum += bins[0];
+    if (static_cast<double>(cum) >= target) return 0.0;
+    for (int b = kBins - 1; b >= 1; --b) {
+      cum += bins[static_cast<std::size_t>(b)];
+      if (static_cast<double>(cum) >= target) return bucket_upper(b);
+    }
+    return bucket_upper(1);
+  }
+
+  /// Upper bound of the worst observed deviation (0 when empty).
+  [[nodiscard]] double max_bound() const {
+    for (int b = 1; b < kBins; ++b) {
+      if (bins[static_cast<std::size_t>(b)] > 0) return bucket_upper(b);
+    }
+    return 0.0;
+  }
+
+  void merge(const DevHistogram& o) {
+    for (int i = 0; i < kBins; ++i) bins[static_cast<std::size_t>(i)] += o.bins[static_cast<std::size_t>(i)];
+  }
+
+  friend bool operator==(const DevHistogram&, const DevHistogram&) = default;
+};
+
+/// The per-(thread, region) aggregation unit; merged across threads on read
+/// and written to the .rtrace file per region at trace stop.
+struct RegionHist {
+  ExpHistogram exp;
+  DevHistogram dev;
+
+  void merge(const RegionHist& o) {
+    exp.merge(o.exp);
+    dev.merge(o.dev);
+  }
+
+  friend bool operator==(const RegionHist&, const RegionHist&) = default;
+};
+
+/// One labelled row of Runtime::trace_histograms().
+struct RegionHistEntry {
+  std::string label;
+  RegionHist hist;
+};
+
+}  // namespace raptor::trace

@@ -1,0 +1,71 @@
+// Single-producer / single-consumer ring buffer of trace events
+// (DESIGN.md §12). Each instrumented thread owns one ring as its producer;
+// the tracer's background drainer is the only consumer. The producer NEVER
+// blocks: when the consumer falls behind and the ring fills, try_push drops
+// the event and counts it, so tracing degrades to a lossy sample rather
+// than a stall of the instrumented hot path.
+//
+// Memory ordering: the producer publishes a slot with a release store of
+// tail_; the consumer acquires tail_ before reading slots and publishes
+// consumption with a release store of head_, which the producer acquires
+// before reusing a slot. This is the classic Lamport SPSC queue and is
+// ThreadSanitizer-clean (test_trace's producers-vs-drainer suite runs it
+// under TSan in CI).
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace raptor::trace {
+
+class SpscRing {
+ public:
+  /// `capacity` must be a power of two (>= 2).
+  explicit SpscRing(u32 capacity) : slots_(capacity), mask_(capacity - 1) {
+    RAPTOR_REQUIRE(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                   "SpscRing capacity must be a power of two");
+  }
+
+  /// Producer side. Returns false (and counts a drop) when the ring is full.
+  bool try_push(const Event& e) {
+    const u64 t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) > mask_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[t & mask_] = e;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: append every available event to `out`; returns how many.
+  std::size_t pop_into(std::vector<Event>& out) {
+    const u64 h = head_.load(std::memory_order_relaxed);
+    const u64 t = tail_.load(std::memory_order_acquire);
+    for (u64 i = h; i < t; ++i) out.push_back(slots_[i & mask_]);
+    head_.store(t, std::memory_order_release);
+    return static_cast<std::size_t>(t - h);
+  }
+
+  /// Events rejected because the ring was full (producer-counted).
+  [[nodiscard]] u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Approximate occupancy (exact only when producer and consumer are idle).
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  [[nodiscard]] u32 capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<Event> slots_;
+  u32 mask_;
+  alignas(64) std::atomic<u64> head_{0};  ///< consumer position
+  alignas(64) std::atomic<u64> tail_{0};  ///< producer position
+  std::atomic<u64> dropped_{0};
+};
+
+}  // namespace raptor::trace

@@ -1,0 +1,263 @@
+#include "trace/rtrace.hpp"
+
+#include <cstring>
+
+namespace raptor::trace {
+
+namespace {
+
+// Event presence-byte bits: which fields of this event differ from (or
+// extend) the previous event in the block.
+constexpr u8 kHasKind = 1u << 0;
+constexpr u8 kHasRegion = 1u << 1;
+constexpr u8 kHasFormat = 1u << 2;
+constexpr u8 kHasFlags = 1u << 3;
+constexpr u8 kHasDev = 1u << 4;      ///< dev_bucket present (!= kDevNone)
+constexpr u8 kHasCount = 1u << 5;    ///< count != 1
+constexpr u8 kHasExpSpan = 1u << 6;  ///< exp_max != exp_min
+
+constexpr u64 zigzag_encode(i64 v) {
+  return (static_cast<u64>(v) << 1) ^ static_cast<u64>(v >> 63);
+}
+
+constexpr i64 zigzag_decode(u64 v) {
+  return static_cast<i64>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+RtraceWriter::RtraceWriter(const std::string& path, u32 sample_stride, u32 ring_capacity)
+    : out_(path, std::ios::binary) {
+  RAPTOR_REQUIRE(out_.good(), "rtrace: cannot open output file");
+  out_.write("RTRC", 4);
+  byte(1);  // version
+  byte(1);  // little-endian
+  byte(0);
+  byte(0);
+  for (int shift = 0; shift < 32; shift += 8) byte(static_cast<u8>(sample_stride >> shift));
+  for (int shift = 0; shift < 32; shift += 8) byte(static_cast<u8>(ring_capacity >> shift));
+}
+
+void RtraceWriter::varint(u64 v) {
+  while (v >= 0x80) {
+    byte(static_cast<u8>(v) | 0x80);
+    v >>= 7;
+  }
+  byte(static_cast<u8>(v));
+}
+
+void RtraceWriter::zigzag(i64 v) { varint(zigzag_encode(v)); }
+
+void RtraceWriter::string_entry(u32 slot, std::string_view label) {
+  RAPTOR_ASSERT(!finished_);
+  byte('S');
+  varint(slot);
+  varint(label.size());
+  out_.write(label.data(), static_cast<std::streamsize>(label.size()));
+}
+
+void RtraceWriter::event_block(u32 thread, const Event* events, std::size_t n) {
+  RAPTOR_ASSERT(!finished_);
+  if (n == 0) return;
+  byte('E');
+  varint(thread);
+  varint(n);
+  Event prev{};  // deltas reset at each block boundary so blocks decode alone
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = events[i];
+    u8 hdr = 0;
+    if (e.kind != prev.kind) hdr |= kHasKind;
+    if (e.region != prev.region) hdr |= kHasRegion;
+    if (e.fmt_exp != prev.fmt_exp || e.fmt_man != prev.fmt_man) hdr |= kHasFormat;
+    if (e.flags != prev.flags) hdr |= kHasFlags;
+    if (e.dev_bucket != kDevNone) hdr |= kHasDev;
+    if (e.count != 1) hdr |= kHasCount;
+    if (e.exp_max != e.exp_min) hdr |= kHasExpSpan;
+    byte(hdr);
+    if (hdr & kHasKind) byte(e.kind);
+    if (hdr & kHasRegion) varint(e.region);
+    if (hdr & kHasFormat) {
+      byte(e.fmt_exp);
+      byte(e.fmt_man);
+    }
+    if (hdr & kHasFlags) byte(e.flags);
+    if (hdr & kHasDev) byte(e.dev_bucket);
+    zigzag(static_cast<i64>(e.exp_min) - static_cast<i64>(prev.exp_min));
+    if (hdr & kHasExpSpan) zigzag(static_cast<i64>(e.exp_max) - static_cast<i64>(e.exp_min));
+    if (hdr & kHasCount) varint(e.count);
+    prev = e;
+  }
+}
+
+void RtraceWriter::drop_block(u32 thread, u64 dropped) {
+  RAPTOR_ASSERT(!finished_);
+  byte('D');
+  varint(thread);
+  varint(dropped);
+}
+
+void RtraceWriter::hist_block(u32 slot, const RegionHist& hist) {
+  RAPTOR_ASSERT(!finished_);
+  byte('H');
+  varint(slot);
+  const ExpHistogram& e = hist.exp;
+  varint(e.zero);
+  varint(e.subnormal);
+  varint(e.inf);
+  varint(e.nan);
+  varint(e.finite);
+  // min/max are only meaningful when finite > 0; encode 0 deltas otherwise
+  // so an empty histogram round-trips to the default-constructed extremes.
+  zigzag(e.has_range() ? e.min_exp : 0);
+  zigzag(e.has_range() ? e.max_exp : 0);
+  for (const u64 b : e.bins) varint(b);
+  for (const u64 b : hist.dev.bins) varint(b);
+}
+
+void RtraceWriter::finish() {
+  if (finished_) return;
+  byte('X');
+  out_.flush();
+  finished_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : p_(data), end_(data + size) {}
+
+  [[nodiscard]] bool at_end() const { return p_ == end_; }
+
+  u8 byte() {
+    if (p_ == end_) fail("truncated input");
+    return static_cast<u8>(*p_++);
+  }
+
+  u64 varint() {
+    u64 v = 0;
+    int shift = 0;
+    for (;;) {
+      if (shift > 63) fail("varint overflow");
+      const u8 b = byte();
+      v |= static_cast<u64>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  i64 zigzag() { return zigzag_decode(varint()); }
+
+  std::string str(std::size_t n) {
+    if (static_cast<std::size_t>(end_ - p_) < n) fail("truncated string");
+    std::string s(p_, n);
+    p_ += n;
+    return s;
+  }
+
+  [[noreturn]] static void fail(const char* what) {
+    throw std::runtime_error(std::string("rtrace: ") + what);
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+TraceData read_rtrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) Cursor::fail("cannot open input file");
+  std::string buf((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  if (buf.size() < 16 || std::memcmp(buf.data(), "RTRC", 4) != 0) Cursor::fail("bad magic");
+  const u8 version = static_cast<u8>(buf[4]);
+  if (version != 1) Cursor::fail("unsupported version");
+  if (static_cast<u8>(buf[5]) != 1) Cursor::fail("unsupported endianness");
+
+  TraceData td;
+  for (int i = 0; i < 4; ++i) td.sample_stride |= static_cast<u32>(static_cast<u8>(buf[8 + i])) << (8 * i);
+  for (int i = 0; i < 4; ++i) td.ring_capacity |= static_cast<u32>(static_cast<u8>(buf[12 + i])) << (8 * i);
+
+  Cursor c(buf.data() + 16, buf.size() - 16);
+  bool ended = false;
+  while (!ended) {
+    if (c.at_end()) Cursor::fail("missing end marker");
+    const u8 tag = c.byte();
+    switch (tag) {
+      case 'S': {
+        const u64 slot = c.varint();
+        const u64 len = c.varint();
+        if (slot > 0xFFFF) Cursor::fail("string slot out of range");
+        if (td.regions.size() <= slot) td.regions.resize(slot + 1);
+        td.regions[slot] = c.str(len);
+        break;
+      }
+      case 'E': {
+        const u64 thread = c.varint();
+        const u64 n = c.varint();
+        DecodedEvent prev;
+        prev.exp_min = 0;
+        for (u64 i = 0; i < n; ++i) {
+          const u8 hdr = c.byte();
+          DecodedEvent e = prev;
+          e.thread = static_cast<u32>(thread);
+          if (hdr & kHasKind) e.kind = c.byte();
+          if (hdr & kHasRegion) e.region = static_cast<u16>(c.varint());
+          if (hdr & kHasFormat) {
+            e.fmt_exp = c.byte();
+            e.fmt_man = c.byte();
+          }
+          if (hdr & kHasFlags) e.flags = c.byte();
+          e.dev_bucket = (hdr & kHasDev) ? c.byte() : kDevNone;
+          e.exp_min = static_cast<i32>(prev.exp_min + c.zigzag());
+          e.exp_max = (hdr & kHasExpSpan) ? static_cast<i32>(e.exp_min + c.zigzag()) : e.exp_min;
+          e.count = (hdr & kHasCount) ? c.varint() : 1;
+          td.events.push_back(e);
+          prev = e;
+        }
+        break;
+      }
+      case 'D': {
+        const u32 thread = static_cast<u32>(c.varint());
+        const u64 dropped = c.varint();
+        td.drops.emplace_back(thread, dropped);
+        break;
+      }
+      case 'H': {
+        const u32 slot = static_cast<u32>(c.varint());
+        RegionHist h;
+        ExpHistogram& e = h.exp;
+        e.zero = c.varint();
+        e.subnormal = c.varint();
+        e.inf = c.varint();
+        e.nan = c.varint();
+        e.finite = c.varint();
+        const i64 mn = c.zigzag();
+        const i64 mx = c.zigzag();
+        if (e.finite > 0) {
+          e.min_exp = static_cast<i32>(mn);
+          e.max_exp = static_cast<i32>(mx);
+        }
+        for (u64& b : e.bins) b = c.varint();
+        for (u64& b : h.dev.bins) b = c.varint();
+        td.histograms.emplace_back(slot, h);
+        break;
+      }
+      case 'X': ended = true; break;
+      default: Cursor::fail("unknown block tag");
+    }
+  }
+  return td;
+}
+
+}  // namespace raptor::trace

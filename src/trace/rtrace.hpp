@@ -1,0 +1,107 @@
+// The `.rtrace` binary trace format (DESIGN.md §12): a compact little-endian
+// stream the background drainer appends to while producers keep running, and
+// the offline analyzer (`tools/raptor_trace`) reads back in one pass.
+//
+// Layout:
+//
+//   header (16 bytes):
+//     "RTRC"  magic
+//     u8      version (1)
+//     u8      endianness marker (1 = little)
+//     u16     reserved (0)
+//     u32     sample stride   (little-endian)
+//     u32     ring capacity   (little-endian)
+//
+//   then a sequence of tagged blocks until the end marker:
+//     'S' string-table entry:  varint slot, varint length, bytes
+//     'E' event block:         varint thread, varint n, n delta-encoded events
+//     'D' drop accounting:     varint thread, varint dropped-event count
+//     'H' region histograms:   varint slot, ExpHistogram, DevHistogram
+//     'X' end marker
+//
+// All integers are unsigned LEB128 varints; signed fields use zigzag
+// encoding. Within an event block, each event is encoded as a presence byte
+// naming which fields differ from the previous event in the block (the
+// block's first event deltas against a zeroed record), then only those
+// fields, then the result-exponent delta — consecutive events from one
+// thread usually share kind/region/format, so the common case is 3-4 bytes
+// per 16-byte event.
+//
+// Readers throw std::runtime_error("rtrace: ...") on malformed input.
+#pragma once
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/histogram.hpp"
+
+namespace raptor::trace {
+
+class RtraceWriter {
+ public:
+  RtraceWriter(const std::string& path, u32 sample_stride, u32 ring_capacity);
+
+  void string_entry(u32 slot, std::string_view label);
+  void event_block(u32 thread, const Event* events, std::size_t n);
+  void drop_block(u32 thread, u64 dropped);
+  void hist_block(u32 slot, const RegionHist& hist);
+  /// Write the end marker and flush. Further writes are invalid.
+  void finish();
+
+  [[nodiscard]] bool good() const { return out_.good(); }
+
+ private:
+  void byte(u8 b) { out_.put(static_cast<char>(b)); }
+  void varint(u64 v);
+  void zigzag(i64 v);
+
+  std::ofstream out_;
+  bool finished_ = false;
+};
+
+/// One decoded event, widened out of the delta encoding.
+struct DecodedEvent {
+  u32 thread = 0;
+  u8 kind = 0;
+  u8 flags = 0;
+  u16 region = 0;
+  u8 fmt_exp = 0;
+  u8 fmt_man = 0;
+  u8 dev_bucket = kDevNone;
+  i32 exp_min = 0;
+  i32 exp_max = 0;
+  u64 count = 1;
+
+  friend bool operator==(const DecodedEvent&, const DecodedEvent&) = default;
+};
+
+/// Everything in one `.rtrace` file.
+struct TraceData {
+  u32 sample_stride = 0;
+  u32 ring_capacity = 0;
+  std::vector<std::string> regions;  ///< string table, indexed by slot
+  std::vector<DecodedEvent> events;
+  std::vector<std::pair<u32, RegionHist>> histograms;  ///< slot -> merged hist
+  std::vector<std::pair<u32, u64>> drops;              ///< thread -> dropped
+
+  [[nodiscard]] u64 total_dropped() const {
+    u64 t = 0;
+    for (const auto& [thread, n] : drops) t += n;
+    return t;
+  }
+
+  [[nodiscard]] const std::string& region_name(u32 slot) const {
+    static const std::string unknown = "<unknown>";
+    return slot < regions.size() ? regions[slot] : unknown;
+  }
+};
+
+/// Parse a whole file. Throws std::runtime_error on I/O or format errors.
+[[nodiscard]] TraceData read_rtrace(const std::string& path);
+
+}  // namespace raptor::trace

@@ -1,0 +1,146 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+namespace raptor::trace {
+
+Tracer::~Tracer() {
+  if (active()) stop();
+}
+
+void Tracer::start(const TraceOptions& opts) {
+  RAPTOR_REQUIRE(!active(), "trace: start() while a session is active");
+  RAPTOR_REQUIRE(!opts.path.empty(), "trace: output path is empty");
+  RAPTOR_REQUIRE(opts.sample_stride > 0 &&
+                     (opts.sample_stride & (opts.sample_stride - 1)) == 0,
+                 "trace: sample stride must be a power of two");
+  RAPTOR_REQUIRE(opts.ring_capacity >= 2 &&
+                     (opts.ring_capacity & (opts.ring_capacity - 1)) == 0,
+                 "trace: ring capacity must be a power of two");
+  std::lock_guard lock(mu_);
+  // Previous session's buffers were kept alive for stragglers; now that a
+  // new session begins, every thread re-attaches via the session check, so
+  // the old buffers are finally unreachable.
+  buffers_.clear();
+  strings_.clear();
+  string_slots_.clear();
+  strings_written_ = 0;
+  retired_hists_.clear();
+  events_written_ = 0;
+  opts_ = opts;
+  writer_ = std::make_unique<RtraceWriter>(opts.path, opts.sample_stride, opts.ring_capacity);
+  stop_requested_ = false;
+  session_.fetch_add(1, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+  drainer_ = std::thread([this] { drain_loop(); });
+}
+
+TraceStats Tracer::stop() {
+  RAPTOR_REQUIRE(active(), "trace: stop() without an active session");
+  active_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  drainer_.join();
+
+  std::lock_guard lock(mu_);
+  drain_once_locked();  // the drainer has exited: we are the only consumer now
+  TraceStats stats;
+  stats.events = events_written_;
+  stats.threads = static_cast<u32>(buffers_.size());
+  for (const auto& tt : buffers_) {
+    const u64 dropped = tt->ring.dropped();
+    stats.dropped += dropped;
+    writer_->drop_block(tt->thread_index, dropped);
+  }
+  for (const auto& [slot, hist] : merged_hists_locked()) writer_->hist_block(slot, hist);
+  writer_->finish();
+  RAPTOR_REQUIRE(writer_->good(), "trace: writing the .rtrace file failed");
+  writer_.reset();
+  return stats;
+}
+
+u32 Tracer::intern(const char* label) {
+  std::lock_guard lock(mu_);
+  const auto [it, inserted] = string_slots_.try_emplace(label, static_cast<u32>(strings_.size()));
+  if (inserted) {
+    RAPTOR_REQUIRE(strings_.size() <= 0xFFFF, "trace: string table exhausted (65536 regions)");
+    strings_.emplace_back(label);
+  }
+  return it->second;
+}
+
+ThreadTrace* Tracer::attach() {
+  std::lock_guard lock(mu_);
+  buffers_.push_back(
+      std::make_unique<ThreadTrace>(opts_.ring_capacity, static_cast<u32>(buffers_.size())));
+  return buffers_.back().get();
+}
+
+void Tracer::detach(ThreadTrace* tt, u64 session) {
+  std::lock_guard lock(mu_);
+  // The session check must happen under mu_ and precede any dereference:
+  // start() frees the previous session's buffers and bumps session_ while
+  // holding mu_, so a straggler from a recycled session carries a dangling
+  // pointer — checked here, it is rejected before being touched, and a
+  // concurrent start() cannot slip between the check and the use.
+  if (session != session_.load(std::memory_order_relaxed)) return;
+  for (const auto& [slot, hist] : tt->hists) retired_hists_[slot].merge(hist);
+  tt->hists.clear();
+  tt->retired = true;
+  // The ring may still hold undrained events; the drainer (or the final
+  // drain in stop()) picks them up, so nothing is lost on retirement.
+}
+
+std::vector<RegionHistEntry> Tracer::histograms() const {
+  std::lock_guard lock(mu_);
+  std::vector<RegionHistEntry> out;
+  for (const auto& [slot, hist] : merged_hists_locked()) {
+    RegionHistEntry e;
+    e.label = slot < strings_.size() ? strings_[slot] : "<unknown>";
+    e.hist = hist;
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(), [](const RegionHistEntry& a, const RegionHistEntry& b) {
+    return a.hist.exp.total() > b.hist.exp.total();
+  });
+  return out;
+}
+
+std::map<u32, RegionHist> Tracer::merged_hists_locked() const {
+  std::map<u32, RegionHist> merged = retired_hists_;
+  for (const auto& tt : buffers_) {
+    for (const auto& [slot, hist] : tt->hists) merged[slot].merge(hist);
+  }
+  return merged;
+}
+
+void Tracer::drain_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, std::chrono::milliseconds(opts_.drain_interval_ms),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) return;  // stop() runs the final drain itself
+    drain_once_locked();
+  }
+}
+
+void Tracer::drain_once_locked() {
+  // New region labels first, so every event's slot is resolvable by a
+  // streaming reader at the point its block appears.
+  for (; strings_written_ < strings_.size(); ++strings_written_) {
+    writer_->string_entry(static_cast<u32>(strings_written_), strings_[strings_written_]);
+  }
+  for (const auto& tt : buffers_) {
+    scratch_.clear();
+    const std::size_t n = tt->ring.pop_into(scratch_);
+    if (n > 0) {
+      writer_->event_block(tt->thread_index, scratch_.data(), n);
+      events_written_ += n;
+    }
+  }
+}
+
+}  // namespace raptor::trace

@@ -1,0 +1,119 @@
+// Trace session management (DESIGN.md §12): owns the per-thread ring
+// buffers and histograms, the region string table, and the background
+// drainer thread that empties rings into the `.rtrace` writer.
+//
+// Producer / consumer split:
+//   * each instrumented thread is the single producer of its own
+//     ThreadTrace ring and the only writer of its histogram map;
+//   * the drainer thread is the single consumer of every ring and the only
+//     writer of the output file;
+//   * the registry mutex guards attachment, the string table and the
+//     writer — the per-op hot path takes it only on a region-slot cache
+//     miss (region change), never per event.
+//
+// Quiescence contract (mirrors Runtime::region_profiles): start(), stop()
+// and histograms() must be called while no instrumented code is executing.
+// The ring traffic itself is safe against the live drainer at any time —
+// that is the whole point — but the histogram maps are read unlocked.
+// A straggler thread retiring after stop() is tolerated: buffers of a
+// stopped session are kept until the next start(), and detach() ignores
+// stale sessions, so late detaches never touch freed memory.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/ring.hpp"
+#include "trace/rtrace.hpp"
+
+namespace raptor::trace {
+
+struct TraceOptions {
+  std::string path;             ///< output .rtrace file
+  u32 sample_stride = 64;       ///< power of two; 1 = trace every op/span
+  u32 ring_capacity = 1 << 14;  ///< power of two, events per thread
+  u32 drain_interval_ms = 5;    ///< drainer wake-up period
+};
+
+struct TraceStats {
+  u64 events = 0;   ///< events written to the file
+  u64 dropped = 0;  ///< events dropped on ring overflow
+  u32 threads = 0;  ///< threads that produced into this session
+};
+
+/// Per-thread capture state. The owning thread is the only producer of
+/// `ring` and the only writer of `hists`; everything else goes through the
+/// Tracer.
+struct ThreadTrace {
+  explicit ThreadTrace(u32 ring_capacity, u32 index)
+      : ring(ring_capacity), thread_index(index) {}
+
+  SpscRing ring;
+  std::map<u32, RegionHist> hists;  ///< region slot -> histograms (node-based:
+                                    ///< cached pointers survive growth)
+  u32 thread_index;
+  bool retired = false;  ///< guarded by the Tracer registry mutex
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  ~Tracer();
+
+  /// Open the sink and spawn the drainer. Requires !active().
+  void start(const TraceOptions& opts);
+  /// Stop the drainer, flush every ring, write histogram/drop blocks and
+  /// the end marker. Requires active(). Buffers survive until next start().
+  TraceStats stop();
+
+  [[nodiscard]] bool active() const { return active_.load(std::memory_order_relaxed); }
+  /// Bumped on every start(); thread-local caches revalidate against it.
+  [[nodiscard]] u64 session() const { return session_.load(std::memory_order_relaxed); }
+  [[nodiscard]] u32 stride() const { return opts_.sample_stride; }
+
+  /// String-table slot for a region label (inserting it on first use).
+  u32 intern(const char* label);
+
+  /// Register the calling thread with the current session.
+  ThreadTrace* attach();
+  /// Thread retirement: merge the thread's histograms into the retired
+  /// aggregate and mark the buffer. No-op when `session` is stale.
+  void detach(ThreadTrace* tt, u64 session);
+
+  /// Merged per-region histograms (live + retired threads), sorted by
+  /// total exponent samples descending. Quiescence contract above.
+  [[nodiscard]] std::vector<RegionHistEntry> histograms() const;
+
+ private:
+  void drain_loop();
+  /// Flush unwritten string-table entries and every ring. Caller holds mu_.
+  void drain_once_locked();
+  /// Merged slot -> histogram map over live + retired threads. Caller
+  /// holds mu_.
+  [[nodiscard]] std::map<u32, RegionHist> merged_hists_locked() const;
+
+  mutable std::mutex mu_;  ///< registry, string table, writer
+  std::vector<std::unique_ptr<ThreadTrace>> buffers_;
+  std::vector<std::string> strings_;
+  std::map<std::string, u32> string_slots_;
+  std::size_t strings_written_ = 0;
+  std::map<u32, RegionHist> retired_hists_;
+  std::unique_ptr<RtraceWriter> writer_;
+  std::vector<Event> scratch_;  ///< drain staging (drainer/stop only)
+  u64 events_written_ = 0;
+
+  std::thread drainer_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+
+  std::atomic<bool> active_{false};
+  std::atomic<u64> session_{0};
+  TraceOptions opts_;
+};
+
+}  // namespace raptor::trace

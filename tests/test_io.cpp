@@ -1,13 +1,17 @@
 // I/O tests: sfocu-style comparison (norms, cross-hierarchy sampling), PPM
-// writer, CSV writer.
+// writer, CSV writer, and the region-profile dump escaping round trip.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <sstream>
 
 #include "amr/grid.hpp"
 #include "io/csv.hpp"
 #include "io/ppm.hpp"
+#include "io/profile_dump.hpp"
 #include "io/sfocu.hpp"
 
 namespace raptor::io {
@@ -129,6 +133,141 @@ TEST(Csv, WritesHeaderAndRows) {
   std::getline(in, line);
   EXPECT_EQ(line, "x,y,z");
   std::remove(path.c_str());
+}
+
+// -- Region-profile dump escaping (round trip through real parsers) --------
+
+namespace {
+
+/// Minimal JSON string decoder for the escapes json_escape produces.
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        const int code = std::stoi(std::string(s.substr(i + 1, 4)), nullptr, 16);
+        out += static_cast<char>(code);
+        i += 4;
+        break;
+      }
+      default: ADD_FAILURE() << "unexpected escape \\" << s[i];
+    }
+  }
+  return out;
+}
+
+/// Extract the value of `"key": "<escaped>"` from a JSON line.
+std::string json_string_value(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t start = json.find(needle);
+  if (start == std::string::npos) return {};
+  std::size_t i = start + needle.size();
+  std::string escaped;
+  while (i < json.size() && !(json[i] == '"' && json[i - 1] != '\\')) escaped += json[i++];
+  return json_unescape(escaped);
+}
+
+/// RFC 4180 parse of one CSV record into fields.
+std::vector<std::string> csv_parse(const std::string& line) {
+  std::vector<std::string> fields(1);
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        fields.back() += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        fields.back() += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.emplace_back();
+    } else {
+      fields.back() += c;
+    }
+  }
+  return fields;
+}
+
+rt::RegionProfileEntry make_entry(std::string label, double max_dev) {
+  rt::RegionProfileEntry e;
+  e.label = std::move(label);
+  e.profile.counters.trunc_flops = 10;
+  e.profile.counters.full_flops = 5;
+  e.profile.max_deviation = max_dev;
+  e.profile.flagged = 2;
+  return e;
+}
+
+}  // namespace
+
+TEST(ProfileDump, JsonEscapesLabelsAndNonFiniteDeviations) {
+  // A label exercising every escape class, and the legitimately infinite
+  // max_deviation of a one-sided NaN divergence (JSON has no inf literal).
+  const std::string nasty = "mod \"quoted\"\\back\nline\ttab";
+  const std::vector<rt::RegionProfileEntry> entries = {
+      make_entry(nasty, std::numeric_limits<double>::infinity()),
+      make_entry("plain", std::nan("")),
+  };
+  std::ostringstream os;
+  write_region_profiles_json(os, entries);
+  const std::string json = os.str();
+
+  // The document must not contain bare inf/nan tokens (invalid JSON)...
+  EXPECT_EQ(json.find(": inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find(": nan"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_deviation\": \"inf\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_deviation\": \"nan\""), std::string::npos) << json;
+  // ...and no raw control characters or unescaped quotes inside strings.
+  EXPECT_EQ(json.find(nasty), std::string::npos) << json;
+  // Round trip: a real unescape of the first row's label recovers it.
+  std::istringstream is(json);
+  std::string line;
+  std::getline(is, line);  // "["
+  std::getline(is, line);  // first entry
+  EXPECT_EQ(json_string_value(line, "region"), nasty);
+}
+
+TEST(ProfileDump, CsvEscapesLabelsRfc4180) {
+  const std::string path = "/tmp/raptor_test_profile_dump.csv";
+  const std::string nasty = "mod \"q\",comma";
+  write_region_profiles_csv(path, {make_entry(nasty, 0.25), make_entry("plain", 1e300)});
+  std::ifstream in(path);
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  std::remove(path.c_str());
+
+  const auto fields1 = csv_parse(row1);
+  ASSERT_EQ(fields1.size(), 8u) << row1;  // quoting kept the comma inside one field
+  EXPECT_EQ(fields1.front(), nasty);      // round trip through a real RFC 4180 parser
+  const auto fields2 = csv_parse(row2);
+  ASSERT_EQ(fields2.size(), 8u);
+  EXPECT_EQ(fields2.front(), "plain");
+}
+
+TEST(ProfileDump, CsvFieldQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_field("plain/label"), "plain/label");
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_field("two\nlines"), "\"two\nlines\"");
 }
 
 }  // namespace

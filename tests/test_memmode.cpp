@@ -163,6 +163,22 @@ TEST_F(MemModeTest, RefcountingFreesEntries) {
   EXPECT_EQ(R.mem_live(), 0u);
 }
 
+TEST_F(MemModeTest, MemClearReportsLeakedHandles) {
+  // The upstream runtime's gc_dump_status role: mem_clear() returns how many
+  // entries were still live, so leaked handles are visible at experiment
+  // boundaries instead of silently discarded.
+  TruncScope scope(8, 10);
+  const double a = R.mem_make(1.0);
+  const double b = R.mem_make(2.0);
+  const double c = R.mem_make(3.0);
+  R.mem_release(b);
+  (void)a;
+  (void)c;
+  EXPECT_EQ(R.mem_clear(), 2u);  // a and c were never released
+  EXPECT_EQ(R.mem_clear(), 0u);  // table already empty: clean
+  EXPECT_EQ(R.mem_live(), 0u);
+}
+
 TEST_F(MemModeTest, RealFrontEndManagesLifetimesAutomatically) {
   TruncScope scope(8, 10);
   {

@@ -1,0 +1,490 @@
+// Trace subsystem tests (DESIGN.md §12): SPSC ring wrap/overflow/drop
+// accounting, histogram merge associativity, the `.rtrace` write -> read
+// round trip (string table, delta-encoded events, histograms, drops),
+// runtime sampling semantics (scalar countdown, one event per batch span,
+// mem-mode deviation buckets), and an 8-thread producers-vs-drainer stress
+// that runs under ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "support/rng.hpp"
+#include "trace/analysis.hpp"
+#include "trace/ring.hpp"
+#include "trunc/scope.hpp"
+
+namespace raptor {
+namespace {
+
+using rt::OpKind;
+using rt::Runtime;
+
+trace::Event make_event(int i) {
+  trace::Event e;
+  e.kind = static_cast<u8>(i % 7);
+  e.region = static_cast<u16>(i % 3);
+  e.exp_min = e.exp_max = static_cast<i16>(i - 50);
+  e.count = static_cast<u32>(1 + i % 4);
+  return e;
+}
+
+// -- SpscRing ---------------------------------------------------------------
+
+TEST(SpscRing, FifoOrderAcrossWrap) {
+  trace::SpscRing ring(8);
+  std::vector<trace::Event> drained;
+  int produced = 0;
+  // Repeatedly fill and drain so head/tail wrap the capacity several times.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.try_push(make_event(produced++)));
+    ring.pop_into(drained);
+  }
+  ASSERT_EQ(drained.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(drained[static_cast<std::size_t>(i)], make_event(i));
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SpscRing, OverflowDropsAndCounts) {
+  trace::SpscRing ring(8);
+  int accepted = 0;
+  for (int i = 0; i < 20; ++i) accepted += ring.try_push(make_event(i)) ? 1 : 0;
+  EXPECT_EQ(accepted, 8);
+  EXPECT_EQ(ring.dropped(), 12u);
+  EXPECT_EQ(ring.size(), 8u);
+  // The drop left the first 8 events intact (no overwrite), and draining
+  // reopens capacity.
+  std::vector<trace::Event> drained;
+  EXPECT_EQ(ring.pop_into(drained), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(drained[static_cast<std::size_t>(i)], make_event(i));
+  EXPECT_TRUE(ring.try_push(make_event(99)));
+  // The drop counter is cumulative (the stop()-time accounting reads it once).
+  EXPECT_EQ(ring.dropped(), 12u);
+}
+
+TEST(SpscRing, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_DEATH(trace::SpscRing ring(12), "power of two");
+}
+
+// -- Histograms -------------------------------------------------------------
+
+TEST(ExpHistogram, ClassifiesSentinelsAndBins) {
+  trace::ExpHistogram h;
+  h.add(0.0);
+  h.add(-0.0);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(std::nan(""));
+  h.add(1.0);      // exponent 0
+  h.add(0.75);     // exponent -1
+  h.add(5e-310);   // fp64 subnormal
+  EXPECT_EQ(h.zero, 2u);
+  EXPECT_EQ(h.inf, 1u);
+  EXPECT_EQ(h.nan, 1u);
+  EXPECT_EQ(h.finite, 3u);
+  EXPECT_EQ(h.subnormal, 1u);
+  EXPECT_EQ(h.max_exp, 0);
+  EXPECT_LT(h.min_exp, -1022);  // the subnormal's true exponent
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(DevHistogram, BucketBoundaries) {
+  using DH = trace::DevHistogram;
+  EXPECT_EQ(DH::bucket_of(0.0), 0);
+  EXPECT_EQ(DH::bucket_of(1.0), 1);
+  EXPECT_EQ(DH::bucket_of(std::numeric_limits<double>::infinity()), 1);
+  EXPECT_EQ(DH::bucket_of(std::nan("")), 1);
+  EXPECT_EQ(DH::bucket_of(0.5), 2);    // [0.1, 1)
+  EXPECT_EQ(DH::bucket_of(0.05), 3);   // [0.01, 0.1)
+  EXPECT_EQ(DH::bucket_of(1e-6), 7);
+  EXPECT_EQ(DH::bucket_of(1e-30), DH::kBins - 1);
+  // Quantiles walk ascending deviation: with 99 tiny + 1 huge sample, p50
+  // is tiny and max_bound reflects the worst bucket.
+  DH h;
+  for (int i = 0; i < 99; ++i) h.add(1e-8);
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1e-7);  // bucket upper bound of 1e-8
+  EXPECT_DOUBLE_EQ(h.max_bound(), 1.0);     // bucket upper bound of 0.5
+}
+
+TEST(Histograms, MergeIsAssociativeAndMatchesDirect) {
+  // Three random streams; ((A+B)+C) == (A+(B+C)) == direct accumulation.
+  Rng rng(7);
+  const auto sample = [&](trace::RegionHist& h, int n) {
+    for (int i = 0; i < n; ++i) {
+      const int pick = static_cast<int>(rng.next_u64() % 8);
+      double v;
+      switch (pick) {
+        case 0: v = 0.0; break;
+        case 1: v = std::numeric_limits<double>::infinity(); break;
+        case 2: v = std::nan(""); break;
+        case 3: v = 1e-312; break;
+        default: v = std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.next_u64() % 600) - 300);
+      }
+      h.exp.add(v);
+      h.dev.add(rng.uniform(0.0, 1e-3));
+    }
+  };
+  trace::RegionHist a, b, c, direct;
+  sample(a, 301);
+  sample(b, 173);
+  sample(c, 97);
+  // Direct: replay the same values (reset the generator).
+  Rng rng2(7);
+  std::swap(rng, rng2);
+  sample(direct, 301 + 173 + 97);
+
+  trace::RegionHist left = a;
+  left.merge(b);
+  left.merge(c);
+  trace::RegionHist bc = b;
+  bc.merge(c);
+  trace::RegionHist right = a;
+  right.merge(bc);
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left, direct);
+  // Merging an empty histogram is the identity.
+  trace::RegionHist with_empty = left;
+  with_empty.merge(trace::RegionHist{});
+  EXPECT_EQ(with_empty, left);
+}
+
+// -- .rtrace round trip -----------------------------------------------------
+
+TEST(Rtrace, WriteReadRoundTripIncludingStringTable) {
+  const std::string path = "test_trace_roundtrip.rtrace";
+  std::vector<trace::Event> t0, t1;
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    trace::Event e;
+    e.kind = static_cast<u8>(rng.next_u64() % 19);
+    e.flags = static_cast<u8>(rng.next_u64() % 8);
+    e.region = static_cast<u16>(rng.next_u64() % 4);
+    if (e.flags & trace::kFlagTruncated) {
+      e.fmt_exp = static_cast<u8>(2 + rng.next_u64() % 10);
+      e.fmt_man = static_cast<u8>(4 + rng.next_u64() % 48);
+    }
+    if (e.flags & trace::kFlagMem) {
+      e.dev_bucket = static_cast<u8>(rng.next_u64() % trace::DevHistogram::kBins);
+    }
+    e.exp_min = static_cast<i16>(static_cast<int>(rng.next_u64() % 2000) - 1000);
+    e.exp_max = static_cast<i16>(e.exp_min + static_cast<int>(rng.next_u64() % 10));
+    e.count = (e.flags & trace::kFlagSpan) ? static_cast<u32>(1 + rng.next_u64() % 10000) : 1;
+    (i % 2 == 0 ? t0 : t1).push_back(e);
+  }
+  trace::RegionHist h;
+  for (int i = 0; i < 500; ++i) h.exp.add(std::ldexp(1.0, i % 64 - 32));
+  for (int i = 0; i < 50; ++i) h.dev.add(1e-9);
+
+  {
+    trace::RtraceWriter w(path, 16, 1 << 10);
+    w.string_entry(0, "alpha");
+    w.string_entry(1, "beta/gamma");
+    w.string_entry(2, "");  // empty label survives
+    w.string_entry(3, "d\xC3\xA9j\xC3\xA0 vu");  // UTF-8 bytes pass through
+    // Interleaved blocks, as the drainer produces them.
+    w.event_block(0, t0.data(), 40);
+    w.event_block(1, t1.data(), t1.size());
+    w.event_block(0, t0.data() + 40, t0.size() - 40);
+    w.hist_block(1, h);
+    w.drop_block(0, 7);
+    w.drop_block(1, 0);
+    w.finish();
+    ASSERT_TRUE(w.good());
+  }
+
+  const trace::TraceData td = trace::read_rtrace(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(td.sample_stride, 16u);
+  EXPECT_EQ(td.ring_capacity, 1u << 10);
+  ASSERT_EQ(td.regions.size(), 4u);
+  EXPECT_EQ(td.regions[1], "beta/gamma");
+  EXPECT_EQ(td.regions[2], "");
+  EXPECT_EQ(td.regions[3], "d\xC3\xA9j\xC3\xA0 vu");
+  ASSERT_EQ(td.events.size(), t0.size() + t1.size());
+  // Reassemble per-thread streams and compare field by field.
+  std::vector<trace::DecodedEvent> d0, d1;
+  for (const auto& d : td.events) (d.thread == 0 ? d0 : d1).push_back(d);
+  ASSERT_EQ(d0.size(), t0.size());
+  ASSERT_EQ(d1.size(), t1.size());
+  const auto same = [](const trace::Event& e, const trace::DecodedEvent& d) {
+    return d.kind == e.kind && d.flags == e.flags && d.region == e.region &&
+           d.fmt_exp == e.fmt_exp && d.fmt_man == e.fmt_man && d.dev_bucket == e.dev_bucket &&
+           d.exp_min == e.exp_min && d.exp_max == e.exp_max && d.count == e.count;
+  };
+  for (std::size_t i = 0; i < t0.size(); ++i) ASSERT_TRUE(same(t0[i], d0[i])) << "t0 event " << i;
+  for (std::size_t i = 0; i < t1.size(); ++i) ASSERT_TRUE(same(t1[i], d1[i])) << "t1 event " << i;
+  ASSERT_EQ(td.histograms.size(), 1u);
+  EXPECT_EQ(td.histograms[0].first, 1u);
+  EXPECT_EQ(td.histograms[0].second, h);
+  EXPECT_EQ(td.total_dropped(), 7u);
+}
+
+TEST(Rtrace, ReaderRejectsGarbage) {
+  const std::string path = "test_trace_garbage.rtrace";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a trace at all";
+  }
+  EXPECT_THROW(trace::read_rtrace(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(trace::read_rtrace("does_not_exist.rtrace"), std::runtime_error);
+  // Valid header but missing end marker: truncated capture must be loud.
+  {
+    trace::RtraceWriter w(path, 8, 16);
+    w.string_entry(0, "x");  // no finish()
+  }
+  EXPECT_THROW(trace::read_rtrace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// -- Runtime integration ----------------------------------------------------
+
+class TraceRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::instance().reset_all(); }
+  void TearDown() override {
+    Runtime::instance().reset_all();
+    std::remove(kPath);
+  }
+  static constexpr const char* kPath = "test_trace_runtime.rtrace";
+  Runtime& R = Runtime::instance();
+};
+
+trace::TraceOptions opts_for(const char* path, u32 stride, u32 ring = 1 << 14) {
+  trace::TraceOptions o;
+  o.path = path;
+  o.sample_stride = stride;
+  o.ring_capacity = ring;
+  return o;
+}
+
+TEST_F(TraceRuntimeTest, ScalarSamplingStrideAndRegionLabels) {
+  R.trace_start(opts_for(kPath, 4));
+  {
+    TruncScope scope(8, 12);
+    Region region("demo/kernel");
+    for (int i = 0; i < 100; ++i) (void)R.op2(OpKind::Mul, 1.5, 1.25, 64);
+  }
+  for (int i = 0; i < 8; ++i) (void)R.op1(OpKind::Sqrt, 2.0, 64);  // outside any region
+  const trace::TraceStats stats = R.trace_stop();
+  EXPECT_EQ(stats.events, 100u / 4 + 8 / 4);
+  EXPECT_EQ(stats.dropped, 0u);
+
+  const trace::TraceData td = trace::read_rtrace(kPath);
+  ASSERT_EQ(td.events.size(), 27u);
+  u64 in_region = 0, toplevel = 0;
+  for (const auto& e : td.events) {
+    EXPECT_EQ(e.count, 1u);
+    if (td.region_name(e.region) == "demo/kernel") {
+      ++in_region;
+      EXPECT_EQ(e.kind, static_cast<u8>(OpKind::Mul));
+      EXPECT_EQ(e.flags & trace::kFlagTruncated, trace::kFlagTruncated);
+      EXPECT_EQ(e.fmt_exp, 8);
+      EXPECT_EQ(e.fmt_man, 12);
+      EXPECT_EQ(e.exp_min, 0);  // 1.5 * 1.25 = 1.875 -> exponent 0
+      EXPECT_EQ(e.dev_bucket, trace::kDevNone);
+    } else {
+      EXPECT_EQ(td.region_name(e.region), "<toplevel>");
+      ++toplevel;
+      EXPECT_EQ(e.kind, static_cast<u8>(OpKind::Sqrt));
+      EXPECT_EQ(e.flags & trace::kFlagTruncated, 0);
+    }
+  }
+  EXPECT_EQ(in_region, 25u);
+  EXPECT_EQ(toplevel, 2u);
+}
+
+TEST_F(TraceRuntimeTest, BatchSpanEventAndPerElementHistogram) {
+  constexpr std::size_t kN = 1000;
+  std::vector<double> a(kN), b(kN, 1.0), out(kN);
+  for (std::size_t i = 0; i < kN; ++i) a[i] = std::ldexp(1.0, static_cast<int>(i % 40) - 20);
+  a[0] = 0.0;  // one zero flows into the zero bucket
+
+  R.trace_start(opts_for(kPath, 1));  // every span sampled
+  {
+    TruncScope scope(8, 12);
+    Region region("demo/batch");
+    R.op2_batch(OpKind::Mul, a.data(), b.data(), out.data(), kN, 64);
+  }
+  const auto hists = R.trace_histograms();  // live query before stop
+  const trace::TraceStats stats = R.trace_stop();
+  EXPECT_EQ(stats.events, 1u);  // one event for the whole span
+
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].label, "demo/batch");
+  EXPECT_EQ(hists[0].hist.exp.total(), kN);  // per-element updates
+  EXPECT_EQ(hists[0].hist.exp.zero, 1u);
+  EXPECT_EQ(hists[0].hist.exp.finite, kN - 1);
+  EXPECT_EQ(hists[0].hist.exp.min_exp, -20);
+  EXPECT_EQ(hists[0].hist.exp.max_exp, 19);
+
+  const trace::TraceData td = trace::read_rtrace(kPath);
+  ASSERT_EQ(td.events.size(), 1u);
+  const trace::DecodedEvent& e = td.events[0];
+  EXPECT_EQ(e.count, kN);
+  EXPECT_EQ(e.flags & trace::kFlagSpan, trace::kFlagSpan);
+  EXPECT_EQ(e.exp_min, trace::kExpZero);  // span min/max covers the zero class
+  EXPECT_EQ(e.exp_max, 19);
+  // The persisted histogram matches the live query.
+  ASSERT_EQ(td.histograms.size(), 1u);
+  EXPECT_EQ(td.histograms[0].second, hists[0].hist);
+}
+
+TEST_F(TraceRuntimeTest, BatchCountdownIsPerSpanNotPerElement) {
+  // At stride 4, three spans decrement the countdown three times: no event
+  // yet; the fourth span samples. Element count must not influence pacing.
+  std::vector<double> a(512, 1.0), out(512);
+  R.trace_start(opts_for(kPath, 4));
+  TruncScope scope(8, 12);
+  for (int span = 0; span < 7; ++span) {
+    R.op1_batch(OpKind::Sqrt, a.data(), out.data(), a.size(), 64);
+  }
+  const trace::TraceStats stats = R.trace_stop();
+  EXPECT_EQ(stats.events, 1u);  // 7 spans / stride 4 -> one sample
+}
+
+TEST_F(TraceRuntimeTest, MemModeEventsCarryDeviationBuckets) {
+  R.set_mode(rt::Mode::Mem);
+  R.trace_start(opts_for(kPath, 1));
+  {
+    TruncScope scope(8, 4);  // coarse: visible deviation
+    Region region("demo/mem");
+    double acc = R.mem_make(1.0);
+    for (int i = 0; i < 50; ++i) {
+      const double next = R.op2(OpKind::Mul, acc, 1.01, 64);
+      R.mem_release(acc);
+      acc = next;
+    }
+    R.mem_release(acc);
+  }
+  const trace::TraceStats stats = R.trace_stop();
+  EXPECT_EQ(stats.events, 50u);
+
+  const trace::TraceData td = trace::read_rtrace(kPath);
+  ASSERT_EQ(td.events.size(), 50u);
+  u64 with_dev = 0;
+  for (const auto& e : td.events) {
+    EXPECT_EQ(e.flags & trace::kFlagMem, trace::kFlagMem);
+    EXPECT_EQ(td.region_name(e.region), "demo/mem");
+    if (e.dev_bucket != trace::kDevNone && e.dev_bucket != 0) ++with_dev;
+  }
+  // (8,4) multiplication error accumulates: most results deviate.
+  EXPECT_GT(with_dev, 25u);
+  // The deviation histogram aggregated the same buckets.
+  trace::RegionHist merged;
+  for (const auto& [slot, hist] : td.histograms) merged.merge(hist);
+  EXPECT_EQ(merged.dev.total(), 50u);
+  EXPECT_GT(merged.dev.quantile(0.99), 0.0);
+}
+
+TEST_F(TraceRuntimeTest, RestartedSessionResyncsThreads) {
+  R.trace_start(opts_for(kPath, 1));
+  (void)R.op2(OpKind::Add, 1.0, 2.0, 64);
+  EXPECT_EQ(R.trace_stop().events, 1u);
+  // Ops between sessions are not traced and cost only the off flag check.
+  (void)R.op2(OpKind::Add, 1.0, 2.0, 64);
+  const std::string path2 = "test_trace_runtime2.rtrace";
+  R.trace_start(opts_for(path2.c_str(), 1));
+  (void)R.op2(OpKind::Sub, 5.0, 2.0, 64);
+  (void)R.op2(OpKind::Sub, 5.0, 2.0, 64);
+  const trace::TraceStats stats = R.trace_stop();
+  EXPECT_EQ(stats.events, 2u);
+  const trace::TraceData td = trace::read_rtrace(path2);
+  std::remove(path2.c_str());
+  ASSERT_EQ(td.events.size(), 2u);
+  EXPECT_EQ(td.events[0].kind, static_cast<u8>(OpKind::Sub));
+}
+
+TEST_F(TraceRuntimeTest, EightProducersVersusDrainer) {
+  // 8 std::threads hammer scalar + batch ops through tiny rings while the
+  // drainer runs, forcing concurrent pop_into against live try_push and
+  // real overflow drops. Invariant: every sample was either written to the
+  // file or counted as dropped — nothing is lost or double-counted. Runs
+  // under TSan in CI (the Lamport SPSC ordering is what's being checked).
+  constexpr int kThreads = 8;
+  constexpr int kScalarOps = 20000;
+  constexpr int kSpans = 512;
+  constexpr u32 kStride = 8;
+  trace::TraceOptions o = opts_for(kPath, kStride, /*ring=*/256);
+  o.drain_interval_ms = 1;
+  R.trace_start(o);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, this] {
+      TruncScope scope(8, 12);
+      Region region(t % 2 == 0 ? "stress/even" : "stress/odd");
+      std::vector<double> a(64, 1.5), out(64);
+      for (int i = 0; i < kScalarOps; ++i) (void)R.op2(OpKind::Add, 1.0 + i, 2.0, 64);
+      for (int i = 0; i < kSpans; ++i) {
+        R.op2_batch(OpKind::Mul, a.data(), a.data(), out.data(), a.size(), 64);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const trace::TraceStats stats = R.trace_stop();
+
+  constexpr u64 kSamplesPerThread = (kScalarOps + kSpans) / kStride;
+  EXPECT_EQ(stats.threads, kThreads);
+  EXPECT_EQ(stats.events + stats.dropped, kThreads * kSamplesPerThread);
+  EXPECT_GT(stats.events, 0u);
+
+  const trace::TraceData td = trace::read_rtrace(kPath);
+  EXPECT_EQ(td.events.size(), stats.events);
+  EXPECT_EQ(td.total_dropped(), stats.dropped);
+  // Histogram updates happen on every sample regardless of ring drops, so
+  // the merged element totals are exact: per sampled span 64 elements, per
+  // sampled scalar 1.
+  trace::ExpHistogram all;
+  for (const auto& [slot, hist] : td.histograms) all.merge(hist.exp);
+  u64 expected_elements = 0;
+  // Per thread: sampling interleaves scalars then spans in one stream. The
+  // first kScalarOps ticks are scalar ops (kScalarOps/kStride samples of 1
+  // element); span ticks continue the same countdown (kSpans/kStride
+  // samples of 64 elements). kScalarOps and kSpans are both multiples of
+  // kStride, so the split is exact.
+  expected_elements = static_cast<u64>(kThreads) *
+                      (kScalarOps / kStride * 1 + kSpans / kStride * 64);
+  EXPECT_EQ(all.total(), expected_elements);
+  EXPECT_EQ(td.regions.size(), 2u);  // stress/even, stress/odd
+}
+
+TEST_F(TraceRuntimeTest, ResetAllStopsTracing) {
+  R.trace_start(opts_for(kPath, 1));
+  EXPECT_TRUE(R.trace_active());
+  R.reset_all();
+  EXPECT_FALSE(R.trace_active());
+  // The file was finalized by the implicit stop: it must parse.
+  (void)trace::read_rtrace(kPath);
+}
+
+// -- Recommendation math ----------------------------------------------------
+
+TEST(TraceAnalysis, MinExpBitsCoversObservedRange) {
+  EXPECT_EQ(trace::min_exp_bits(0, 0), 2);
+  EXPECT_EQ(trace::min_exp_bits(-14, 15), 5);    // fp16 range
+  EXPECT_EQ(trace::min_exp_bits(-126, 127), 8);  // fp32 range
+  EXPECT_EQ(trace::min_exp_bits(-127, 127), 9);  // just past fp32's emin
+  EXPECT_EQ(trace::min_exp_bits(-1022, 1023), 11);
+  EXPECT_EQ(trace::min_exp_bits(-2000, 2000), 11);  // clamped at fp64's width
+}
+
+TEST(TraceAnalysis, ManBitsHintTracksDeviationQuantile) {
+  trace::DevHistogram empty;
+  EXPECT_EQ(trace::man_bits_hint(empty, 52), 52);
+  EXPECT_EQ(trace::man_bits_hint(empty, 23), 23);
+  trace::DevHistogram tiny;
+  for (int i = 0; i < 100; ++i) tiny.add(1e-9);
+  // p99 upper bound 1e-8 -> ~27 bits + 2 guard bits.
+  EXPECT_EQ(trace::man_bits_hint(tiny, 52), 29);
+  trace::DevHistogram coarse;
+  for (int i = 0; i < 100; ++i) coarse.add(2.0);  // catastrophic
+  EXPECT_EQ(trace::man_bits_hint(coarse, 52), 52);
+}
+
+}  // namespace
+}  // namespace raptor

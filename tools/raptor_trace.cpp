@@ -1,0 +1,291 @@
+// Offline analyzer for `.rtrace` numerical traces (DESIGN.md §12).
+//
+//   raptor_trace <file.rtrace>                 per-region report to stdout
+//   raptor_trace <file> --csv=out.csv          per-region rows as CSV
+//   raptor_trace <file> --json=out.json        per-region rows as JSON
+//   raptor_trace <file> --recommend[=out.cfg]  profile-config recommendation
+//                                              (exp bits from the observed
+//                                              dynamic range; parseable by
+//                                              rt::parse_profile)
+//   raptor_trace --selftest                    write/read/verify round trip
+//
+// The report aggregates the sampled event stream (op mix, truncated share)
+// with the persisted per-region histograms (exact exponent range, deviation
+// quantiles) and prints drop accounting so a lossy capture is visible.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "io/profile_dump.hpp"
+#include "runtime/opkind.hpp"
+#include "runtime/profile_config.hpp"
+#include "support/cli.hpp"
+#include "trace/analysis.hpp"
+
+using namespace raptor;
+
+namespace {
+
+std::string kind_name(u8 kind) {
+  if (kind >= static_cast<u8>(rt::kNumOpKinds)) return "op" + std::to_string(kind);
+  return rt::op_name(static_cast<rt::OpKind>(kind));
+}
+
+/// Top-3 op kinds by sampled count, e.g. "fmul 42% fadd 31% fdiv 11%".
+std::string op_mix(const trace::RegionReport& r) {
+  std::vector<std::pair<u64, u8>> ranked;
+  for (const auto& [kind, n] : r.ops_by_kind) ranked.emplace_back(n, kind);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::string out;
+  for (std::size_t i = 0; i < ranked.size() && i < 3; ++i) {
+    if (i > 0) out += ' ';
+    out += kind_name(ranked[i].second);
+    out += ' ';
+    out += std::to_string(r.ops > 0 ? 100 * ranked[i].first / r.ops : 0);
+    out += '%';
+  }
+  return out;
+}
+
+void print_report(const trace::TraceData& td, const std::vector<trace::RegionReport>& reports) {
+  std::printf("sample stride 1/%u, %zu event records, %llu dropped\n\n", td.sample_stride,
+              td.events.size(), static_cast<unsigned long long>(td.total_dropped()));
+  std::printf("%-18s %10s %12s %8s %9s %9s %8s %10s %10s  %s\n", "region", "events",
+              "sampled_ops", "trunc%", "exp_min", "exp_max", "subnrm", "dev_p99", "dev_max",
+              "op mix");
+  for (const auto& r : reports) {
+    const double trunc_pct =
+        r.ops > 0 ? 100.0 * static_cast<double>(r.trunc_ops) / static_cast<double>(r.ops) : 0.0;
+    std::printf("%-18s %10llu %12llu %7.1f%% %9s %9s %8llu %10.2e %10.2e  %s\n", r.label.c_str(),
+                static_cast<unsigned long long>(r.events),
+                static_cast<unsigned long long>(r.ops), trunc_pct,
+                r.exp.has_range() ? trace::exp_class_str(r.exp.min_exp).c_str() : "-",
+                r.exp.has_range() ? trace::exp_class_str(r.exp.max_exp).c_str() : "-",
+                static_cast<unsigned long long>(r.exp.subnormal), r.dev.quantile(0.99),
+                r.dev.max_bound(), op_mix(r).c_str());
+  }
+  if (!td.drops.empty()) {
+    std::printf("\nper-thread ring drops:");
+    for (const auto& [thread, n] : td.drops) {
+      if (n > 0) std::printf(" t%u:%llu", thread, static_cast<unsigned long long>(n));
+    }
+    std::printf("\n");
+  }
+}
+
+void write_csv(const std::string& path, const std::vector<trace::RegionReport>& reports) {
+  io::CsvWriter csv(path, {"region", "events", "sampled_ops", "trunc_ops", "mem_ops", "exp_min",
+                           "exp_max", "zero", "subnormal", "inf", "nan", "dev_p50", "dev_p99",
+                           "dev_max"});
+  for (const auto& r : reports) {
+    csv.row_strings({io::csv_field(r.label), std::to_string(r.events), std::to_string(r.ops),
+                     std::to_string(r.trunc_ops), std::to_string(r.mem_ops),
+                     r.exp.has_range() ? std::to_string(r.exp.min_exp) : "",
+                     r.exp.has_range() ? std::to_string(r.exp.max_exp) : "",
+                     std::to_string(r.exp.zero), std::to_string(r.exp.subnormal),
+                     std::to_string(r.exp.inf), std::to_string(r.exp.nan),
+                     std::to_string(r.dev.quantile(0.5)), std::to_string(r.dev.quantile(0.99)),
+                     std::to_string(r.dev.max_bound())});
+  }
+}
+
+void write_json(const std::string& path, const trace::TraceData& td,
+                const std::vector<trace::RegionReport>& reports) {
+  std::ofstream out(path);
+  if (!out.good()) throw CliError("cannot open --json output file");
+  out << "{\"sample_stride\": " << td.sample_stride
+      << ", \"dropped\": " << td.total_dropped() << ", \"regions\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    out << "  {\"region\": \"" << io::json_escape(r.label) << "\", \"events\": " << r.events
+        << ", \"sampled_ops\": " << r.ops << ", \"trunc_ops\": " << r.trunc_ops
+        << ", \"mem_ops\": " << r.mem_ops;
+    if (r.exp.has_range()) {
+      out << ", \"exp_min\": " << r.exp.min_exp << ", \"exp_max\": " << r.exp.max_exp;
+    }
+    out << ", \"zero\": " << r.exp.zero << ", \"subnormal\": " << r.exp.subnormal
+        << ", \"inf\": " << r.exp.inf << ", \"nan\": " << r.exp.nan
+        << ", \"dev_p99\": " << io::json_number(r.dev.quantile(0.99))
+        << ", \"dev_max\": " << io::json_number(r.dev.max_bound()) << "}"
+        << (i + 1 < reports.size() ? ",\n" : "\n");
+  }
+  out << "]}\n";
+}
+
+// -- --selftest: exercise the writer/reader and the recommendation math ----
+
+int selftest() {
+  const std::string path = "raptor_trace_selftest.rtrace";
+  int failures = 0;
+  const auto check = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "selftest FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+
+  // Synthetic capture: two threads, three regions, span + scalar + mem
+  // events with every field class exercised (format changes, dev buckets,
+  // exponent span deltas, count > 1).
+  std::vector<trace::Event> t0, t1;
+  for (int i = 0; i < 64; ++i) {
+    trace::Event e;
+    e.kind = static_cast<u8>(i % 5);
+    e.flags = trace::kFlagTruncated | ((i % 3 == 0) ? trace::kFlagSpan : 0);
+    e.region = static_cast<u16>(i % 3);
+    e.fmt_exp = 8;
+    e.fmt_man = static_cast<u8>(10 + i % 4);
+    e.exp_min = static_cast<i16>(-40 + i);
+    e.exp_max = static_cast<i16>(-40 + i + (i % 7));
+    e.count = (i % 3 == 0) ? 4096 : 1;
+    t0.push_back(e);
+    e.flags = trace::kFlagMem;
+    e.dev_bucket = static_cast<u8>(i % trace::DevHistogram::kBins);
+    e.exp_min = e.exp_max = static_cast<i16>(trace::kExpZero);
+    e.count = 1;
+    t1.push_back(e);
+  }
+  trace::RegionHist h0;
+  for (int i = 0; i < 1000; ++i) h0.exp.add(std::ldexp(1.5, -i % 30));
+  h0.exp.add(0.0);
+  h0.exp.add(std::numeric_limits<double>::infinity());
+  h0.exp.add(5e-310);  // subnormal
+  for (int i = 0; i < 100; ++i) h0.dev.add(1e-6);
+  trace::RegionHist h1;
+  h1.exp.add(1e8);
+  h1.exp.add(1e-8);
+
+  {
+    trace::RtraceWriter w(path, 64, 1 << 14);
+    w.string_entry(0, "demo/alpha");
+    w.string_entry(1, "demo/beta with space");
+    w.string_entry(2, "<toplevel>");
+    w.event_block(0, t0.data(), t0.size());
+    w.event_block(1, t1.data(), t1.size());
+    w.drop_block(0, 0);
+    w.drop_block(1, 123);
+    w.hist_block(0, h0);
+    w.hist_block(1, h1);
+    w.finish();
+    check(w.good(), "writer stream state");
+  }
+
+  const trace::TraceData td = trace::read_rtrace(path);
+  check(td.sample_stride == 64, "sample stride round trip");
+  check(td.ring_capacity == (1u << 14), "ring capacity round trip");
+  check(td.regions.size() == 3 && td.regions[1] == "demo/beta with space",
+        "string table round trip");
+  check(td.events.size() == t0.size() + t1.size(), "event count round trip");
+  for (std::size_t i = 0; i < t0.size() && i < td.events.size(); ++i) {
+    const trace::Event& e = t0[i];
+    const trace::DecodedEvent& d = td.events[i];
+    const bool same = d.thread == 0 && d.kind == e.kind && d.flags == e.flags &&
+                      d.region == e.region && d.fmt_exp == e.fmt_exp && d.fmt_man == e.fmt_man &&
+                      d.dev_bucket == e.dev_bucket && d.exp_min == e.exp_min &&
+                      d.exp_max == e.exp_max && d.count == e.count;
+    if (!same) {
+      check(false, "thread-0 event round trip");
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < t1.size() && t0.size() + i < td.events.size(); ++i) {
+    const trace::Event& e = t1[i];
+    const trace::DecodedEvent& d = td.events[t0.size() + i];
+    const bool same = d.thread == 1 && d.kind == e.kind && d.flags == e.flags &&
+                      d.dev_bucket == e.dev_bucket && d.exp_min == e.exp_min &&
+                      d.exp_max == e.exp_max && d.count == e.count;
+    if (!same) {
+      check(false, "thread-1 event round trip");
+      break;
+    }
+  }
+  check(td.total_dropped() == 123, "drop accounting round trip");
+  check(td.histograms.size() == 2 && td.histograms[0].second == h0 &&
+            td.histograms[1].second == h1,
+        "histogram round trip");
+
+  // Recommendation math: h1 observed exponents -27..26 (1e±8) need bias
+  // >= 27 -> 6 exponent bits.
+  check(trace::min_exp_bits(-27, 26) == 6, "min_exp_bits(1e±8)");
+  check(trace::min_exp_bits(0, 1) == 2, "min_exp_bits(unit range)");
+  check(trace::min_exp_bits(-1, 1) == 3, "min_exp_bits just below e=2's emin");
+  check(trace::min_exp_bits(-1000, 1000) == 11, "min_exp_bits(full fp64)");
+  const auto recs = trace::recommend(td);
+  check(recs.size() == 2, "one recommendation per histogram region");
+  const std::string cfg_text = trace::recommendations_to_profile(recs);
+  try {
+    const rt::ProfileConfig cfg = rt::parse_profile(cfg_text);
+    // "demo/beta with space" is unexpressible in the config grammar and is
+    // skipped with a comment; "demo/alpha" must survive with its subnormal
+    // tail forcing the full 11-bit exponent.
+    check(cfg.region_formats.size() == 1 && cfg.region_formats[0].region == "demo/alpha" &&
+              cfg.region_formats[0].spec.for64 && cfg.region_formats[0].spec.for64->exp_bits == 11,
+          "recommendation survives parse_profile");
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "selftest: parse_profile rejected recommendation: %s\n", ex.what());
+    ++failures;
+  }
+
+  std::remove(path.c_str());
+  if (failures == 0) std::printf("raptor_trace selftest: all checks passed\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  if (cli.has("selftest")) return selftest();
+
+  if (cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <file.rtrace> [--csv=PATH] [--json=PATH] [--recommend[=PATH]] "
+                 "[--selftest]\n",
+                 cli.program().c_str());
+    return 2;
+  }
+  trace::TraceData td;
+  try {
+    td = trace::read_rtrace(cli.positional().front());
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "%s\n", ex.what());
+    return 1;
+  }
+  const std::vector<trace::RegionReport> reports = trace::build_reports(td);
+  print_report(td, reports);
+
+  if (cli.has("csv")) write_csv(cli.get("csv", "trace_report.csv"), reports);
+  if (cli.has("json")) write_json(cli.get("json", "trace_report.json"), td, reports);
+
+  if (cli.has("recommend")) {
+    const auto recs = trace::recommend(td);
+    const std::string text = trace::recommendations_to_profile(recs);
+    // The recommendation must stay consumable by the profile-config loader.
+    try {
+      (void)rt::parse_profile(text);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "recommendation failed to round-trip parse_profile: %s\n", ex.what());
+      return 1;
+    }
+    // Bare "--recommend" parses as value "1" (flag convention): print to
+    // stdout; "--recommend=PATH" writes a file.
+    std::string path = cli.get("recommend", "");
+    if (path == "1") path.clear();
+    if (path.empty()) {
+      std::printf("\n%s", text.c_str());
+    } else {
+      std::ofstream out(path);
+      if (!out.good()) throw CliError("cannot open --recommend output file");
+      out << text;
+      std::printf("\nwrote recommendation (%zu regions) to %s\n", recs.size(), path.c_str());
+    }
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }
