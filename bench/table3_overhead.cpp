@@ -24,7 +24,15 @@
 // naive by 2-3x; counting adds measurable cost; mem-mode is the most
 // expensive; the batched loops beat scalar dispatch by >= 3x overhead.
 //
-// Options: --level=N, --steps=N, --csv=..., --json=....
+// The two loop benches additionally re-measure the batched phase once per
+// supported SIMD dispatch path (DESIGN.md §13) — the forced-portable run is
+// the pre-SIMD per-element loop body, so batch_portable_s / batch_<best>_s
+// is the SIMD speedup — and write the per-path numbers to BENCH_simd.json.
+//
+// Options: --level=N, --steps=N, --csv=..., --json=..., --simd-json=...,
+//   --loops-only (skip the Sedov table; CI), --gate-simd=N (exit nonzero
+//   unless the best SIMD path is >= N times the portable path on both
+//   loops; no-op when only the portable path is supported).
 #include <cmath>
 #include <string>
 #include <vector>
@@ -51,11 +59,26 @@ struct Row {
   double naive_s = 0.0, opt_s = 0.0, naive_x = 0.0, opt_x = 0.0, trunc_frac = -1.0;
 };
 
+constexpr sf::simd::Path kAllPaths[3] = {sf::simd::Path::Portable, sf::simd::Path::Avx2,
+                                         sf::simd::Path::Avx512};
+
 struct LoopBench {
   double native_s = 0.0, scalar_s = 0.0, batch_s = 0.0;
+  /// Batched phase re-measured under each supported forced SIMD path,
+  /// indexed by Path; -1 marks paths this binary/CPU cannot run. The
+  /// portable entry is the pre-SIMD per-element loop body, so
+  /// batch_path_s[Portable] / batch_path_s[best] is the SIMD speedup.
+  double batch_path_s[3] = {-1.0, -1.0, -1.0};
   [[nodiscard]] double overhead_ratio() const {
     const double denom = batch_s - native_s;
     return denom > 0.0 ? (scalar_s - native_s) / denom : 0.0;
+  }
+  [[nodiscard]] double simd_speedup() const {
+    double best = batch_path_s[0];
+    for (const double s : batch_path_s) {
+      if (s > 0.0 && s < best) best = s;
+    }
+    return best > 0.0 ? batch_path_s[0] / best : 0.0;
   }
 };
 
@@ -97,8 +120,9 @@ LoopBench bench_weno_row(int n, int reps) {
     out.scalar_s = t.seconds();
   }
 
-  R.reset_all();
-  {
+  const auto run_batch = [&](sf::simd::Path p) {
+    R.reset_all();
+    R.force_simd_path(p);
     volatile double sink = 0.0;
     Timer t;
     for (int r = 0; r < reps; ++r) {
@@ -117,9 +141,16 @@ LoopBench bench_weno_row(int n, int reps) {
       const batch::Vec dv = incomp::weno5<batch::Vec>(v1, v2, v3, v4, v5);
       sink = sink + dv[0];
     }
-    out.batch_s = t.seconds();
+    const double s = t.seconds();
+    R.reset_all();
+    return s;
+  };
+  for (const sf::simd::Path p : kAllPaths) {
+    if (sf::simd::path_supported(p)) {
+      out.batch_path_s[static_cast<int>(p)] = run_batch(p);
+    }
   }
-  R.reset_all();
+  out.batch_s = out.batch_path_s[static_cast<int>(sf::simd::default_path())];
   return out;
 }
 
@@ -162,8 +193,9 @@ LoopBench bench_plm_pencil(int n, int reps) {
     out.scalar_s = t.seconds();
   }
 
-  R.reset_all();
-  {
+  const auto run_batch = [&](sf::simd::Path p) {
+    R.reset_all();
+    R.force_simd_path(p);
     std::vector<hydro::PrimState<Real>> w(n + 2 * ng), wl(n + 1), wr(n + 1);
     fill(w);
     hydro::PlmBatchScratch scratch;
@@ -172,9 +204,16 @@ LoopBench bench_plm_pencil(int n, int reps) {
     for (int r = 0; r < reps; ++r) {
       hydro::plm_pencil_batch(w, wl, wr, n, ng, 1e-10, 1e-14, scratch);
     }
-    out.batch_s = t.seconds();
+    const double s = t.seconds();
+    R.reset_all();
+    return s;
+  };
+  for (const sf::simd::Path p : kAllPaths) {
+    if (sf::simd::path_supported(p)) {
+      out.batch_path_s[static_cast<int>(p)] = run_batch(p);
+    }
   }
-  R.reset_all();
+  out.batch_s = out.batch_path_s[static_cast<int>(sf::simd::default_path())];
   return out;
 }
 
@@ -186,6 +225,58 @@ void json_loop(std::FILE* f, const char* name, const LoopBench& lb, bool trailin
                trailing_comma ? "," : "");
 }
 
+void json_simd_loop(std::FILE* f, const char* name, const LoopBench& lb, bool trailing_comma) {
+  std::fprintf(f, "    \"%s\": {\"native_s\": %.6g, \"scalar_s\": %.6g", name, lb.native_s,
+               lb.scalar_s);
+  for (const sf::simd::Path p : kAllPaths) {
+    const double s = lb.batch_path_s[static_cast<int>(p)];
+    if (s >= 0.0) std::fprintf(f, ", \"batch_%s_s\": %.6g", sf::simd::path_name(p), s);
+  }
+  std::fprintf(f, ", \"simd_speedup\": %.3f}%s\n", lb.simd_speedup(), trailing_comma ? "," : "");
+}
+
+/// Per-path loop-bench measurement + BENCH_simd.json + the CI speedup gate.
+/// Returns nonzero when gating is requested and the best SIMD path is not at
+/// least `gate_simd` times the portable path on both loops (skipped — with a
+/// note — when only the portable path exists, e.g. non-x86 runners).
+int simd_bench_and_gate(const LoopBench& weno, const LoopBench& plm, const std::string& path,
+                        int gate_simd) {
+  std::printf("\n# SIMD batch kernels, format e8m12 (forced per-path batch timings):\n");
+  for (const auto& [name, lb] : {std::pair<const char*, const LoopBench&>{"weno row", weno},
+                                 {"plm pencil", plm}}) {
+    std::printf("%-16s", name);
+    for (const sf::simd::Path p : kAllPaths) {
+      const double s = lb.batch_path_s[static_cast<int>(p)];
+      if (s >= 0.0) std::printf("  %s %.4fs", sf::simd::path_name(p), s);
+    }
+    std::printf("  speedup %.2fx\n", lb.simd_speedup());
+  }
+
+  const bool vector_paths = sf::simd::best_path() != sf::simd::Path::Portable;
+  const bool pass = !vector_paths || std::min(weno.simd_speedup(), plm.simd_speedup()) >=
+                                         static_cast<double>(gate_simd);
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"simd_batch_kernels\",\n  \"format\": \"e8m12\",\n");
+    std::fprintf(f, "  \"default_path\": \"%s\",\n", sf::simd::path_name(sf::simd::default_path()));
+    std::fprintf(f, "  \"loops\": {\n");
+    json_simd_loop(f, "weno_row", weno, true);
+    json_simd_loop(f, "plm_pencil", plm, false);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"gate\": {\"min_speedup\": %d, \"pass\": %s}\n}\n", gate_simd,
+                 pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+  }
+  if (gate_simd <= 0) return 0;
+  if (!vector_paths) {
+    std::printf("# gate-simd skipped: only the portable path is supported here\n");
+    return 0;
+  }
+  std::printf("# gate-simd=%d: %s (weno %.2fx, plm %.2fx)\n", gate_simd,
+              pass ? "PASS" : "FAIL", weno.simd_speedup(), plm.simd_speedup());
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int run(int argc, char** argv) {
@@ -193,6 +284,21 @@ int run(int argc, char** argv) {
   const int max_level = cli.get_int("level", 3);
   const int steps = cli.get_int("steps", 12);
   const int mantissa = 12;
+  const bool loops_only = cli.has("loops-only");
+  const int gate_simd = cli.get_int("gate-simd", 0);
+
+  // -- Batched op-mode dispatch on the wired inner loops (DESIGN.md §8/§13),
+  // measured first so --loops-only (CI) can skip the Sedov table entirely.
+  const LoopBench weno = bench_weno_row(4096, 200);
+  const LoopBench plm = bench_plm_pencil(4096, 200);
+  std::printf("# batched dispatch, format e8m12 (overhead vs native, scalar/batched):\n");
+  std::printf("%-16s native %.4fs  scalar %.4fs  batch %.4fs  overhead ratio %.1fx\n",
+              "weno row", weno.native_s, weno.scalar_s, weno.batch_s, weno.overhead_ratio());
+  std::printf("%-16s native %.4fs  scalar %.4fs  batch %.4fs  overhead ratio %.1fx\n",
+              "plm pencil", plm.native_s, plm.scalar_s, plm.batch_s, plm.overhead_ratio());
+  const int gate_rc =
+      simd_bench_and_gate(weno, plm, cli.get("simd-json", "BENCH_simd.json"), gate_simd);
+  if (loops_only) return gate_rc;
 
   hydro::SedovParams sp;
   const auto grid_cfg = hydro::sedov_grid_config(max_level);
@@ -341,15 +447,6 @@ int run(int argc, char** argv) {
     R.reset_all();
   }
 
-  // -- Batched op-mode dispatch on the wired inner loops (DESIGN.md §8) ----
-  const LoopBench weno = bench_weno_row(4096, 200);
-  const LoopBench plm = bench_plm_pencil(4096, 200);
-  std::printf("\n# batched dispatch, format e8m12 (overhead vs native, scalar/batched):\n");
-  std::printf("%-16s native %.4fs  scalar %.4fs  batch %.4fs  overhead ratio %.1fx\n",
-              "weno row", weno.native_s, weno.scalar_s, weno.batch_s, weno.overhead_ratio());
-  std::printf("%-16s native %.4fs  scalar %.4fs  batch %.4fs  overhead ratio %.1fx\n",
-              "plm pencil", plm.native_s, plm.scalar_s, plm.batch_s, plm.overhead_ratio());
-
   // -- BENCH_table3.json: the recorded perf trajectory ---------------------
   const std::string json_path = cli.get("json", "BENCH_table3.json");
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
@@ -368,6 +465,8 @@ int run(int argc, char** argv) {
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"batch_dispatch\": {\n    \"format\": \"e8m12\",\n");
+    std::fprintf(f, "    \"simd_path\": \"%s\",\n",
+                 sf::simd::path_name(sf::simd::default_path()));
     json_loop(f, "weno_row", weno, true);
     json_loop(f, "plm_pencil", plm, true);
     std::fprintf(f,
@@ -378,7 +477,7 @@ int run(int argc, char** argv) {
     std::fclose(f);
     std::printf("# wrote %s\n", json_path.c_str());
   }
-  return 0;
+  return gate_rc;
 }
 
 int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }

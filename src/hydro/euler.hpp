@@ -122,7 +122,9 @@ inline void plm_pencil_batch(const std::vector<PrimState<Real>>& w,
   const std::size_t wlen = static_cast<std::size_t>(n_interior) + 2 * ng;
   s.m.resize(wlen);
   for (auto* v : {&s.dlm, &s.dlp, &s.drp, &s.sl, &s.sr, &s.t, &s.rl, &s.rr}) v->resize(len);
-  s.half.assign(len, 0.5);
+  // The 0.5 operand vector only ever holds 0.5: refill on growth, not per
+  // call (the scratch is reused across every pencil of a solve).
+  if (s.half.size() < len) s.half.assign(len, 0.5);
 
   constexpr Real PrimState<Real>::* kMembers[4] = {&PrimState<Real>::rho, &PrimState<Real>::un,
                                                    &PrimState<Real>::ut, &PrimState<Real>::p};

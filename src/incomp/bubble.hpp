@@ -58,7 +58,9 @@ struct BubbleConfig {
   /// (DESIGN.md §8) when running op-mode with S = Real: rows are split into
   /// runs of equal truncation gate, the scope is pushed once per run, and
   /// weno5<batch::Vec> executes the same expression tree as weno5<Real> —
-  /// bit-identical results and counters, batched dispatch.
+  /// bit-identical results and counters, batched dispatch. The batch calls
+  /// land on the SIMD truncation kernels (DESIGN.md §13), so a row is
+  /// consumed as full vectors on AVX2/AVX-512 hosts.
   bool batch = true;
 };
 

@@ -682,6 +682,11 @@ void Runtime::count_scalar(ThreadState& ts, OpKind k, bool trunc) {
 
 void Runtime::count_batch(ThreadState& ts, OpKind k, bool trunc, u64 n) {
   if (!counting_) return;
+  // Per-vector bulk-bump audit (DESIGN.md §13): bump_ops takes the element
+  // count directly, so one call here accounts the whole span regardless of
+  // how the loop body chops it into vectors and scalar tail — `ops counted
+  // == elements processed` holds exactly for every lane width. Pinned by
+  // test_simd_parity's CounterConservation suite.
   ts.counters.bump_ops(k, trunc, n);
   if (RegionProfile* rp = region_prof(ts)) rp->counters.bump_ops(k, trunc, n);
 }
@@ -705,6 +710,15 @@ inline double fast2(OpKind k, double a, double b, const sf::Format& f) {
     case OpKind::Sub: return sf::fast_sub(a, b, f);
     case OpKind::Mul: return sf::fast_mul(a, b, f);
     default: return sf::fast_div(a, b, f);
+  }
+}
+
+inline sf::simd::SpanOp span2_op(OpKind k) {
+  switch (k) {
+    case OpKind::Add: return sf::simd::SpanOp::Add;
+    case OpKind::Sub: return sf::simd::SpanOp::Sub;
+    case OpKind::Mul: return sf::simd::SpanOp::Mul;
+    default: return sf::simd::SpanOp::Div;
   }
 }
 }  // namespace
@@ -737,6 +751,11 @@ void Runtime::trace_event(ThreadState& ts, OpKind k, const double* vals, std::si
     ts.trace_hist = &ts.trace_buf->hists[ts.trace_slot];
     ts.trace_slot_cached = true;
   }
+  // Span-event audit (DESIGN.md §13): batch callers pass the whole result
+  // span here AFTER the loop body ran, so SIMD vectorization inside the body
+  // cannot change what is recorded — still exactly one event per sampled
+  // span (ev.count = n) with one histogram update per element, independent
+  // of lane width. Pinned by test_simd_parity's trace-conservation tests.
   trace::ExpHistogram& eh = ts.trace_hist->exp;
   i32 mn = std::numeric_limits<i32>::max();
   i32 mx = std::numeric_limits<i32>::min();
@@ -912,11 +931,9 @@ void Runtime::op1_batch_op(ThreadState& ts, OpKind k, const double* a, double* o
   }
   if (fast1_kind(k) && sf::fast_op_supports(*f)) {
     const sf::RoundSpec fmt(*f);
-    if (k == OpKind::Neg) {
-      for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_neg(a[i], fmt);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_sqrt(a[i], fmt);
-    }
+    sf::simd::span_exec(simd_path_,
+                        k == OpKind::Neg ? sf::simd::SpanOp::Neg : sf::simd::SpanOp::Sqrt, a,
+                        nullptr, nullptr, out, n, fmt);
     return;
   }
   for (std::size_t i = 0; i < n; ++i) out[i] = emulate1(ts, k, a[i], *f);
@@ -969,20 +986,7 @@ void Runtime::op2_batch_op(ThreadState& ts, OpKind k, const double* a, const dou
   }
   if (fast2_kind(k) && sf::fast_op_supports(*f)) {
     const sf::RoundSpec fmt(*f);  // hoisted format constants for the hot loop
-    switch (k) {
-      case OpKind::Add:
-        for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_add(a[i], b[i], fmt);
-        break;
-      case OpKind::Sub:
-        for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_sub(a[i], b[i], fmt);
-        break;
-      case OpKind::Mul:
-        for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_mul(a[i], b[i], fmt);
-        break;
-      default:
-        for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_div(a[i], b[i], fmt);
-        break;
-    }
+    sf::simd::span_exec(simd_path_, span2_op(k), a, b, nullptr, out, n, fmt);
     return;
   }
   for (std::size_t i = 0; i < n; ++i) out[i] = emulate2(ts, k, a[i], b[i], *f);
@@ -1019,7 +1023,7 @@ void Runtime::op3_batch_op(ThreadState& ts, OpKind k, const double* a, const dou
   }
   if (sf::fast_fma_supports(*f)) {
     const sf::RoundSpec fmt(*f);
-    for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_fma(a[i], b[i], c[i], fmt);
+    sf::simd::span_exec(simd_path_, sf::simd::SpanOp::Fma, a, b, c, out, n, fmt);
     return;
   }
   for (std::size_t i = 0; i < n; ++i) out[i] = emulate3(ts, k, a[i], b[i], c[i], *f);
@@ -1042,8 +1046,11 @@ void Runtime::trunc_array(const double* in, double* out, std::size_t n, int widt
     return;
   }
   if (sf::fast_round_supports(*f)) {
+    // Wider envelope than the arithmetic ops: pure rounding is exact for
+    // every format representable in double, including exp_bits == 11
+    // formats whose outputs land in double's subnormal range.
     const sf::RoundSpec fmt(*f);
-    for (std::size_t i = 0; i < n; ++i) out[i] = sf::fast_round(in[i], fmt);
+    sf::simd::span_exec(simd_path_, sf::simd::SpanOp::Round, in, nullptr, nullptr, out, n, fmt);
     return;
   }
   for (std::size_t i = 0; i < n; ++i) out[i] = sf::quantize(in[i], *f);
@@ -1139,6 +1146,10 @@ void Runtime::reset_all() {
   set_hw_fastpath(false);
   set_counting(true);
   set_deviation_threshold(1e-4);
+  // Restore the startup default (CPUID or RAPTOR_SIMD), not Portable: the
+  // CI forced-portable pass pins the path for a whole test binary via the
+  // environment and must survive per-test reset_all() calls.
+  force_simd_path(std::nullopt);
 }
 
 }  // namespace raptor::rt

@@ -44,6 +44,7 @@
 #include "runtime/counters.hpp"
 #include "runtime/shadow_table.hpp"
 #include "softfloat/bigfloat.hpp"
+#include "softfloat/fast_round_simd.hpp"
 #include "trace/tracer.hpp"
 
 namespace raptor::rt {
@@ -73,6 +74,22 @@ class Runtime {
   /// Mem-mode deviation threshold (relative to the FP64 shadow).
   void set_deviation_threshold(double t) { dev_threshold_ = t; }
   [[nodiscard]] double deviation_threshold() const { return dev_threshold_; }
+
+  // -- SIMD kernel dispatch (DESIGN.md §13) -------------------------------
+  //
+  // The batch entry points' fast sections run on sf::simd::span_exec; the
+  // path is resolved once at startup (CPUID, overridable via RAPTOR_SIMD)
+  // and held here so tests and benchmarks can pin any path. Every path is
+  // bit-identical (test_simd_parity), so forcing affects speed only.
+
+  /// The SIMD kernel path batch fast sections currently execute on.
+  [[nodiscard]] sf::simd::Path simd_path() const { return simd_path_; }
+  /// Force a specific path, or restore the startup default with nullopt.
+  /// Forcing a path this binary/CPU cannot execute falls back to the
+  /// default instead of faulting. Configuration quiescence contract.
+  void force_simd_path(std::optional<sf::simd::Path> p) {
+    simd_path_ = sf::simd::resolve_path(p);
+  }
 
   /// Program-scope truncation (the --raptor-truncate-all flag).
   void set_truncate_all(const TruncationSpec& spec);
@@ -304,6 +321,7 @@ class Runtime {
   bool hw_fastpath_ = false;
   bool counting_ = true;
   double dev_threshold_ = 1e-4;
+  sf::simd::Path simd_path_ = sf::simd::default_path();
 
   mutable std::mutex config_mu_;
   bool have_global_ = false;

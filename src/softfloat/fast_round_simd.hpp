@@ -1,0 +1,400 @@
+// SIMD-vectorized batch truncation kernels (DESIGN.md §13).
+//
+// fast_round (fast_round.hpp) retires one element per call; the batch
+// pipeline's four loop bodies used to walk spans with it one element at a
+// time. This header turns the kernel into a *width-agnostic* lane algorithm:
+// the RNE round + sticky-bit logic is written once, templated on an ISA
+// trait (`lanes::vround` below), and instantiated per vector extension in
+// dedicated translation units compiled with the matching target flags
+// (fast_round_simd_avx2.cpp at 4 × u64 lanes, fast_round_simd_avx512.cpp at
+// 8 lanes). A portable scalar fallback — per-element calls into the proven
+// sf::fast_* kernels, i.e. exactly the pre-SIMD batch loop bodies — is
+// always built, so non-x86 targets and toolchains without AVX support keep
+// working unchanged.
+//
+// Dispatch: the preferred path is detected once by CPUID (best_path) and can
+// be overridden by the RAPTOR_SIMD environment variable or programmatically
+// (Runtime::force_simd_path). Forcing a path the binary or the CPU does not
+// support falls back cleanly to the default path instead of executing
+// illegal instructions; resolve_path() centralizes that rule and
+// Runtime::simd_path() reports the kernel actually selected.
+//
+// Bit-exactness contract: every path produces results bit-identical to the
+// scalar sf::fast_round / fast_add / ... kernels (and therefore to the
+// BigFloat reference) for every input, including NaN canonicalization,
+// signed zero, gradual underflow into double subnormals, and
+// overflow-to-inf. tests/test_simd_parity.cpp pins this with exhaustive
+// fp16-pattern sweeps and >= 1M random fp64 inputs per format on every
+// available path. Envelopes are the caller's job, exactly as for the scalar
+// kernels: SpanOp::Round requires fast_round_supports(fmt); the arithmetic
+// ops require fast_op_supports / fast_fma_supports.
+//
+// Tail strategy: each span kernel streams full vectors and finishes the
+// remaining n % width elements through the scalar sf::fast_* kernels, which
+// are bit-identical by construction — so span results never depend on where
+// the vector/tail boundary falls (pinned by the edge-span tests).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "softfloat/fast_round.hpp"
+
+namespace raptor::sf::simd {
+
+/// Dispatchable kernel implementations, ordered by preference. Portable is
+/// always available; the vector paths exist only when the compiler could
+/// build them AND the CPU reports the extension at runtime.
+enum class Path : u8 { Portable = 0, Avx2 = 1, Avx512 = 2 };
+
+/// Element-wise span operations backing the four batch loop bodies.
+/// Operand use: Round/Neg/Sqrt read `a`; Add/Sub/Mul/Div read `a`,`b`;
+/// Fma reads `a`,`b`,`c`. Unused operand pointers may be null.
+enum class SpanOp : u8 { Round, Add, Sub, Mul, Div, Neg, Sqrt, Fma };
+
+/// True if `p` can execute on this binary and this CPU (compile-time target
+/// support and runtime CPUID both checked). Portable is always true.
+[[nodiscard]] bool path_supported(Path p);
+
+/// The fastest supported path (CPUID detection, cached).
+[[nodiscard]] Path best_path();
+
+/// best_path() unless the RAPTOR_SIMD environment variable names a
+/// supported path ("portable" / "avx2" / "avx512", case-insensitive; an
+/// unsupported or unparsable value logs a warning once and is ignored).
+/// Read once and cached: the CI forced-portable pass and non-x86 users rely
+/// on this being sticky across Runtime::reset_all().
+[[nodiscard]] Path default_path();
+
+/// Resolve a force request against what is actually executable: the
+/// requested path if supported, otherwise default_path() — never a path
+/// whose instructions would fault.
+[[nodiscard]] Path resolve_path(std::optional<Path> requested);
+
+[[nodiscard]] const char* path_name(Path p);
+[[nodiscard]] std::optional<Path> parse_path(std::string_view s);
+
+/// Execute `op` element-wise over [0, n) on path `p`, writing out[i]. Spans
+/// may alias exactly (out == a etc.); partial overlap is undefined, as for
+/// the Runtime batch entry points. Defensive: an unsupported `p` (e.g. a
+/// stale forced value on foreign hardware) silently falls back to
+/// default_path().
+void span_exec(Path p, SpanOp op, const double* a, const double* b, const double* c,
+               double* out, std::size_t n, const RoundSpec& spec);
+
+// ===========================================================================
+// lanes:: — the width-agnostic kernel, templated on an ISA trait
+// ===========================================================================
+//
+// The ISA trait supplies u64-lane integer ops, double-lane FP ops and a lane
+// mask type:
+//
+//   static constexpr std::size_t width;       // lanes per vector
+//   using vf;  using vi;  using vb;           // f64 / u64 / mask vectors
+//   vf  loadu(const double*);  void storeu(double*, vf);
+//   vi  b64(i64);                             // broadcast
+//   vi  cast_i(vf);  vf cast_f(vi);           // bitcasts
+//   vi  and_/or_/xor_(vi, vi);  vi andnot(vi a, vi b);       // andnot = ~a & b
+//   vi  add/sub(vi, vi);                      // 64-bit lanes
+//   template <int N> vi srl/sll(vi);          // immediate shifts
+//   vi  srlv/sllv(vi, vi);                    // per-lane; count > 63 -> 0
+//   vb  eq/gt(vi, vi);                        // gt is SIGNED 64-bit
+//   vb  andm/orm(vb, vb);  vb notm(vb);
+//   bool all(vb);                             // every lane set?
+//   vi  blend(vb m, vi t, vi f);              // m ? t : f, per lane
+//   vf  addf/subf/mulf/divf(vf, vf);  vf sqrtf_(vf);
+//   vi  floor_log2(vi v);                     // exact for 1 <= v <= 2^52;
+//                                             // v == 0 may return anything
+//
+// The srlv/sllv zero-for-large-counts rule (matching the AVX VPSRLVQ /
+// VPSLLVQ semantics) is load-bearing: the branchless algorithm deliberately
+// lets out-of-range shift counts produce zero lanes that the final blends
+// discard, so a scalar emulation of the trait must implement it explicitly
+// rather than using C++ shifts (which would be UB there).
+//
+// The algorithm is the fast_round.hpp bit manipulation with every branch
+// converted to a lane mask; the comments there carry the numerical
+// justification, the notes here only map branches to blends.
+
+namespace lanes {
+
+/// RoundSpec and the kernel's bit-manipulation constants pre-broadcast to
+/// lanes, hoisted out of the per-vector kernel (one VSpec per span call).
+template <class I>
+struct VSpec {
+  using vi = typename I::vi;
+  vi sign;      ///< 1 << 63
+  vi frac;      ///< (1 << 52) - 1
+  vi hidden;    ///< 1 << 52
+  vi expf;      ///< 0x7FF
+  vi inf;       ///< 0x7FF << 52
+  vi qnan;      ///< canonical positive quiet NaN (== bits of std::nan(""))
+  vi zero, one, minus_one;
+  vi c52, c1023, c1075;
+  vi m1022, m1074;  ///< -1022, -1074
+  vi man_bits, emax, emin_sub;
+
+  // Common-case constants (see the fast branch in vround): for a NORMAL lane
+  // whose exponent e_msb lies in [emin, emax], lsb = e_msb - man_bits and
+  // q = e_msb - 52, so drop = 52 - man_bits — the same for every such lane.
+  // That turns RNE into the constant-shift significand trick and makes the
+  // whole general chain skippable when a vector is all common-case.
+  int cdrop;        ///< 52 - man_bits
+  vi cdrop_v;       ///< broadcast of cdrop (srlv count)
+  vi fast_lo_m1;    ///< emin + 1023 - 1: exclusive lower biased-exponent bound
+  vi fast_hi;       ///< emax + 1023: largest biased exponent of a fast lane
+  vi fast_hi_p1;    ///< emax + 1023 + 1: exclusive upper bound
+  vi fast_half_m1;  ///< (1 << (cdrop - 1)) - 1 (cdrop >= 1 only)
+  vi fast_keep;     ///< ~((1 << cdrop) - 1)
+
+  explicit VSpec(const RoundSpec& s)
+      : sign(I::b64(static_cast<i64>(u64{1} << 63))),
+        frac(I::b64(static_cast<i64>((u64{1} << 52) - 1))),
+        hidden(I::b64(i64{1} << 52)),
+        expf(I::b64(0x7FF)),
+        inf(I::b64(static_cast<i64>(u64{0x7FF} << 52))),
+        qnan(I::b64(static_cast<i64>(u64{0x7FF8} << 48))),
+        zero(I::b64(0)),
+        one(I::b64(1)),
+        minus_one(I::b64(-1)),
+        c52(I::b64(52)),
+        c1023(I::b64(1023)),
+        c1075(I::b64(1075)),
+        m1022(I::b64(-1022)),
+        m1074(I::b64(-1074)),
+        man_bits(I::b64(s.man_bits)),
+        emax(I::b64(s.emax)),
+        emin_sub(I::b64(s.emin_sub)),
+        cdrop(52 - s.man_bits),
+        cdrop_v(I::b64(cdrop)),
+        // emin = emin_sub + man_bits (Format::emin_subnormal definition).
+        fast_lo_m1(I::b64(s.emin_sub + s.man_bits + 1023 - 1)),
+        fast_hi(I::b64(s.emax + 1023)),
+        fast_hi_p1(I::b64(s.emax + 1023 + 1)),
+        fast_half_m1(I::b64(cdrop >= 1 ? (i64{1} << (cdrop - 1)) - 1 : 0)),
+        fast_keep(I::b64(static_cast<i64>(~((u64{1} << cdrop) - 1)))) {}
+};
+
+/// fast_round across lanes: RNE round of each lane into the format described
+/// by `S`, widened back to double. Bit-identical to sf::fast_round per lane
+/// over the full fast_round_supports envelope (exp <= 11, man <= 52),
+/// including double-subnormal inputs AND outputs.
+template <class I>
+[[nodiscard]] inline typename I::vf vround(typename I::vf x, const VSpec<I>& S) {
+  using vi = typename I::vi;
+  using vb = typename I::vb;
+
+  const vi bits = I::cast_i(x);
+  const vi ef = I::and_(I::template srl<52>(bits), S.expf);
+
+  // Common-case branch: every lane normal with e_msb in [emin, emax] —
+  // excludes zeros, double subnormals, inf/NaN, gradual underflow into the
+  // format's subnormal range, and inputs beyond emax. For these lanes the
+  // drop count is the per-span constant 52 - man_bits, so RNE collapses to
+  // the significand bump bits + ((bits >> drop) & 1) + (half - 1) with the
+  // low bits masked off: a mantissa carry ripples into the exponent field
+  // exactly as rounding demands, and the one case that needs fixing up —
+  // carry past emax — is caught by re-reading the exponent (it can only
+  // land at emax + 1, where the mantissa field is all zero, so for an
+  // 11-bit-exponent format the carried pattern already IS the infinity).
+  // Real spans are overwhelmingly homogeneous, so the whole-vector test
+  // predicts well; any odd lane falls through to the general chain below.
+  const vb in_range = I::andm(I::gt(ef, S.fast_lo_m1), I::gt(S.fast_hi_p1, ef));
+  if (I::all(in_range)) [[likely]] {
+    if (S.cdrop == 0) return x;  // man_bits == 52: every fast lane is exact
+    const vi bump = I::add(I::and_(I::srlv(bits, S.cdrop_v), S.one), S.fast_half_m1);
+    vi r = I::and_(I::add(bits, bump), S.fast_keep);
+    const vi ref = I::and_(I::template srl<52>(r), S.expf);
+    r = I::blend(I::gt(ref, S.fast_hi), I::or_(I::and_(bits, S.sign), S.inf), r);
+    return I::cast_f(r);
+  }
+
+  const vi sign = I::and_(bits, S.sign);
+  const vi mag = I::andnot(S.sign, bits);
+  const vi frac = I::and_(bits, S.frac);
+
+  const vb special = I::eq(ef, S.expf);  // inf or NaN
+  const vb zero = I::eq(mag, S.zero);
+  const vb norm = I::notm(I::eq(ef, S.zero));
+
+  // Decompose into m * 2^q with the unbiased MSB exponent e_msb; subnormal
+  // lanes locate their MSB with floor_log2 instead of countl_zero.
+  const vi m = I::blend(norm, I::or_(frac, S.hidden), frac);
+  const vi q = I::blend(norm, I::sub(ef, S.c1075), S.m1074);
+  const vi e_msb =
+      I::blend(norm, I::sub(ef, S.c1023), I::add(I::floor_log2(frac), S.m1074));
+
+  // lsb = max(e_msb - man_bits, emin_sub); drop = lsb - q.
+  const vi lsb0 = I::sub(e_msb, S.man_bits);
+  const vi lsb = I::blend(I::gt(lsb0, S.emin_sub), lsb0, S.emin_sub);
+  const vi drop = I::sub(lsb, q);
+  const vb has_drop = I::gt(drop, S.zero);
+
+  // Exact lanes (scalar branches "drop <= 0" and "dropped == 0"): for
+  // drop <= 0 the mask computes as all-ones and dropped == m != 0, so the
+  // has_drop clause alone selects them; for drop > 63 sllv yields 0 and
+  // dropped == m != 0 keeps the lane on the rounding path, where kept
+  // collapses to 0 (the scalar "underflow to zero" early-out).
+  const vi drop_mask = I::sub(I::sllv(S.one, drop), S.one);
+  const vi dropped = I::and_(m, drop_mask);
+  const vb exact = I::orm(I::notm(has_drop), I::eq(dropped, S.zero));
+
+  // RNE on the integer significand: round up on the half bit when sticky
+  // bits remain below it or the kept LSB is odd.
+  const vi half = I::sllv(S.one, I::sub(drop, S.one));
+  const vi kept0 = I::srlv(m, drop);
+  const vi below = I::and_(m, I::sub(half, S.one));
+  const vb hit_half = I::notm(I::eq(I::and_(m, half), S.zero));
+  const vb sticky = I::orm(I::notm(I::eq(below, S.zero)),
+                           I::notm(I::eq(I::and_(kept0, S.one), S.zero)));
+  const vb round_up = I::andm(hit_half, sticky);
+  const vi kept = I::add(kept0, I::blend(round_up, S.one, S.zero));
+  const vb kzero = I::eq(kept, S.zero);
+
+  // Reassemble: kept <= 2^52, so floor_log2 is exact and the result MSB
+  // position nm gives e2 = lsb + nm.
+  const vi nm = I::floor_log2(kept);
+  const vi e2 = I::add(lsb, nm);
+  const vb r_over = I::gt(e2, S.emax);
+  const vb r_sub = I::gt(S.m1022, e2);  // e2 < -1022: double-subnormal result
+
+  const vi norm_bits =
+      I::or_(sign, I::or_(I::template sll<52>(I::add(e2, S.c1023)),
+                          I::and_(I::sllv(kept, I::sub(S.c52, nm)), S.frac)));
+  const vi sub_bits = I::or_(sign, I::sllv(kept, I::sub(lsb, S.m1074)));
+  vi rounded = I::blend(r_sub, sub_bits, norm_bits);
+  rounded = I::blend(r_over, I::or_(sign, S.inf), rounded);
+  rounded = I::blend(kzero, sign, rounded);
+
+  // Exact lanes still overflow when e_msb > emax (scalar branch order).
+  const vi exact_bits = I::blend(I::gt(e_msb, S.emax), I::or_(sign, S.inf), bits);
+
+  vi out = I::blend(exact, exact_bits, rounded);
+  out = I::blend(zero, bits, out);
+  const vb is_nan = I::andm(special, I::notm(I::eq(frac, S.zero)));
+  out = I::blend(special, bits, out);  // +-inf passes through
+  out = I::blend(is_nan, S.qnan, out);
+  return I::cast_f(out);
+}
+
+/// fast_fma across lanes: exact product + TwoSum error recovery + round of
+/// the 53-bit intermediate to odd, mirroring sf::fast_fma lane for lane.
+/// The scalar kernel's nextafter(s, +-inf) is the IEEE bit-ordering step:
+/// +1 ulp away from zero when sign(s) == sign(e), -1 ulp toward zero
+/// otherwise (s != 0 whenever e != 0, so the zero crossing never happens).
+template <class I>
+[[nodiscard]] inline typename I::vf vfma(typename I::vf a, typename I::vf b,
+                                         typename I::vf c, const VSpec<I>& S) {
+  using vi = typename I::vi;
+  using vb = typename I::vb;
+
+  const typename I::vf af = vround<I>(a, S);
+  const typename I::vf bf = vround<I>(b, S);
+  const typename I::vf cf = vround<I>(c, S);
+  const typename I::vf p = I::mulf(af, bf);  // exact: 2 * precision <= 50 bits
+  const typename I::vf s = I::addf(p, cf);
+
+  const vi sbits = I::cast_i(s);
+  const vb fin = I::notm(I::eq(I::and_(I::template srl<52>(sbits), S.expf), S.expf));
+  // Knuth TwoSum error of the 53-bit addition (finite lanes only; non-finite
+  // lanes compute garbage that `fin` discards).
+  const typename I::vf bv = I::subf(s, p);
+  const typename I::vf av = I::subf(s, bv);
+  const typename I::vf e = I::addf(I::subf(p, av), I::subf(cf, bv));
+  const vi ebits = I::cast_i(e);
+  const vb enz = I::notm(I::eq(I::andnot(S.sign, ebits), S.zero));  // e != +-0.0
+  const vb even = I::eq(I::and_(sbits, S.one), S.zero);
+  const vb adjust = I::andm(fin, I::andm(enz, even));
+
+  const vb away = I::eq(I::and_(sbits, S.sign), I::and_(ebits, S.sign));
+  const vi delta = I::blend(away, S.one, S.minus_one);
+  const vi s2 = I::blend(adjust, I::add(sbits, delta), sbits);
+  return vround<I>(I::cast_f(s2), S);
+}
+
+/// Span driver shared by the per-ISA translation units: full vectors through
+/// the lane kernels, scalar sf::fast_* for the n % width tail.
+template <class I>
+inline void span_impl(SpanOp op, const double* a, const double* b, const double* c,
+                      double* out, std::size_t n, const RoundSpec& sp) {
+  const VSpec<I> S(sp);
+  constexpr std::size_t W = I::width;
+  std::size_t i = 0;
+  switch (op) {
+    case SpanOp::Round:
+      for (; i + W <= n; i += W) I::storeu(out + i, vround<I>(I::loadu(a + i), S));
+      for (; i < n; ++i) out[i] = fast_round(a[i], sp);
+      break;
+    case SpanOp::Add:
+      for (; i + W <= n; i += W) {
+        I::storeu(out + i, vround<I>(I::addf(vround<I>(I::loadu(a + i), S),
+                                             vround<I>(I::loadu(b + i), S)),
+                                     S));
+      }
+      for (; i < n; ++i) out[i] = fast_add(a[i], b[i], sp);
+      break;
+    case SpanOp::Sub:
+      for (; i + W <= n; i += W) {
+        I::storeu(out + i, vround<I>(I::subf(vround<I>(I::loadu(a + i), S),
+                                             vround<I>(I::loadu(b + i), S)),
+                                     S));
+      }
+      for (; i < n; ++i) out[i] = fast_sub(a[i], b[i], sp);
+      break;
+    case SpanOp::Mul:
+      for (; i + W <= n; i += W) {
+        I::storeu(out + i, vround<I>(I::mulf(vround<I>(I::loadu(a + i), S),
+                                             vround<I>(I::loadu(b + i), S)),
+                                     S));
+      }
+      for (; i < n; ++i) out[i] = fast_mul(a[i], b[i], sp);
+      break;
+    case SpanOp::Div:
+      for (; i + W <= n; i += W) {
+        I::storeu(out + i, vround<I>(I::divf(vround<I>(I::loadu(a + i), S),
+                                             vround<I>(I::loadu(b + i), S)),
+                                     S));
+      }
+      for (; i < n; ++i) out[i] = fast_div(a[i], b[i], sp);
+      break;
+    case SpanOp::Neg:
+      // Negation is the sign-bit flip (also on NaN), as the scalar kernel's
+      // `-fast_round(a)`; the outer round only re-canonicalizes NaN.
+      for (; i + W <= n; i += W) {
+        const typename I::vi r = I::cast_i(vround<I>(I::loadu(a + i), S));
+        I::storeu(out + i, vround<I>(I::cast_f(I::xor_(r, S.sign)), S));
+      }
+      for (; i < n; ++i) out[i] = fast_neg(a[i], sp);
+      break;
+    case SpanOp::Sqrt:
+      for (; i + W <= n; i += W) {
+        I::storeu(out + i, vround<I>(I::sqrtf_(vround<I>(I::loadu(a + i), S)), S));
+      }
+      for (; i < n; ++i) out[i] = fast_sqrt(a[i], sp);
+      break;
+    case SpanOp::Fma:
+      for (; i + W <= n; i += W) {
+        I::storeu(out + i, vfma<I>(I::loadu(a + i), I::loadu(b + i), I::loadu(c + i), S));
+      }
+      for (; i < n; ++i) out[i] = fast_fma(a[i], b[i], c[i], sp);
+      break;
+  }
+}
+
+}  // namespace lanes
+
+namespace detail {
+
+// Per-ISA instantiations of lanes::span_impl, each defined in a translation
+// unit compiled with the matching target flags (and only when CMake found
+// the compiler supports them — see RAPTOR_SIMD_HAVE_AVX2 / _AVX512).
+// Referenced exclusively through span_exec after path_supported() gating.
+void span_avx2(SpanOp op, const double* a, const double* b, const double* c, double* out,
+               std::size_t n, const RoundSpec& spec);
+void span_avx512(SpanOp op, const double* a, const double* b, const double* c, double* out,
+                 std::size_t n, const RoundSpec& spec);
+
+}  // namespace detail
+
+}  // namespace raptor::sf::simd

@@ -1,0 +1,72 @@
+// AVX-512 instantiation of the width-agnostic truncation kernel: 8 x u64
+// lanes with native __mmask8 predication. Requires only the F (64-bit lane
+// arithmetic, masks, blends) and CD (VPLZCNTQ for floor_log2) subsets —
+// deliberately not DQ/BW/VL, so the kernel runs on every AVX-512 core back
+// to Skylake-SP; mask logic uses plain integer operators on __mmask8 rather
+// than the DQ k-register intrinsics for the same reason.
+//
+// Compiled with -mavx512f -mavx512cd in this TU only; reached exclusively
+// through simd::span_exec after the CPUID gate (fast_round_simd.cpp).
+#include "softfloat/fast_round_simd.hpp"
+
+#include <immintrin.h>
+
+namespace raptor::sf::simd::detail {
+
+namespace {
+
+struct IsaAvx512 {
+  static constexpr std::size_t width = 8;
+  using vf = __m512d;
+  using vi = __m512i;
+  using vb = __mmask8;
+
+  static vf loadu(const double* p) { return _mm512_loadu_pd(p); }
+  static void storeu(double* p, vf v) { _mm512_storeu_pd(p, v); }
+  static vi b64(i64 x) { return _mm512_set1_epi64(x); }
+  static vi cast_i(vf v) { return _mm512_castpd_si512(v); }
+  static vf cast_f(vi v) { return _mm512_castsi512_pd(v); }
+
+  static vi and_(vi a, vi b) { return _mm512_and_epi64(a, b); }
+  static vi or_(vi a, vi b) { return _mm512_or_epi64(a, b); }
+  static vi xor_(vi a, vi b) { return _mm512_xor_epi64(a, b); }
+  static vi andnot(vi a, vi b) { return _mm512_andnot_epi64(a, b); }  // ~a & b
+  static vi add(vi a, vi b) { return _mm512_add_epi64(a, b); }
+  static vi sub(vi a, vi b) { return _mm512_sub_epi64(a, b); }
+  template <int N>
+  static vi srl(vi v) {
+    return _mm512_srli_epi64(v, N);
+  }
+  template <int N>
+  static vi sll(vi v) {
+    return _mm512_slli_epi64(v, N);
+  }
+  // VPSRLVQ/VPSLLVQ semantics as on AVX2: counts above 63 yield zero.
+  static vi srlv(vi v, vi c) { return _mm512_srlv_epi64(v, c); }
+  static vi sllv(vi v, vi c) { return _mm512_sllv_epi64(v, c); }
+
+  static vb eq(vi a, vi b) { return _mm512_cmpeq_epi64_mask(a, b); }
+  static vb gt(vi a, vi b) { return _mm512_cmpgt_epi64_mask(a, b); }  // signed
+  static vb andm(vb a, vb b) { return static_cast<vb>(a & b); }
+  static vb orm(vb a, vb b) { return static_cast<vb>(a | b); }
+  static vb notm(vb a) { return static_cast<vb>(~a); }
+  static bool all(vb m) { return m == 0xFF; }
+  static vi blend(vb m, vi t, vi f) { return _mm512_mask_blend_epi64(m, f, t); }
+
+  static vf addf(vf a, vf b) { return _mm512_add_pd(a, b); }
+  static vf subf(vf a, vf b) { return _mm512_sub_pd(a, b); }
+  static vf mulf(vf a, vf b) { return _mm512_mul_pd(a, b); }
+  static vf divf(vf a, vf b) { return _mm512_div_pd(a, b); }
+  static vf sqrtf_(vf a) { return _mm512_sqrt_pd(a); }
+
+  static vi floor_log2(vi v) { return sub(b64(63), _mm512_lzcnt_epi64(v)); }
+};
+
+}  // namespace
+
+void span_avx512(SpanOp op, const double* a, const double* b, const double* c, double* out,
+                 std::size_t n, const RoundSpec& spec) {
+  lanes::span_impl<IsaAvx512>(op, a, b, c, out, n, spec);
+}
+
+}  // namespace raptor::sf::simd::detail

@@ -1,4 +1,8 @@
-// Array front-end for the batched op-mode dispatch (DESIGN.md §8).
+// Array front-end for the batched op-mode dispatch (DESIGN.md §8). The
+// runtime batch entry points these reach execute on the SIMD truncation
+// kernels (DESIGN.md §13) — contiguous spans assembled here are consumed as
+// full AVX2/AVX-512 vectors when the host supports them, bit-identically to
+// the scalar kernels on every path.
 //
 // Two layers, both reaching Runtime::op*_batch / trunc_array:
 //

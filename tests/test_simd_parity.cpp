@@ -1,0 +1,519 @@
+// Differential tests pinning the SIMD batch truncation kernels (DESIGN.md
+// §13) bit-for-bit against the scalar sf::fast_* kernels AND the BigFloat
+// reference, on every dispatch path the build and the host CPU support:
+//
+//  * Exhaustive fp16-pattern sweeps plus >= 1M random fp64 inputs per format
+//    through SpanOp::Round on portable/AVX2/AVX-512, with mismatches
+//    reporting the element index, its lane index within the vector, and the
+//    input/output bit patterns.
+//  * Arithmetic span ops (add/sub/mul/div/neg/sqrt/fma) against the scalar
+//    fast_* kernels over random operands, plus a BigFloat cross-check.
+//  * Edge spans through all four Runtime batch entry points: lengths 0, 1,
+//    and non-multiples of the lane width (tail handling), NaN / inf /
+//    subnormal / signed-zero planted at every lane position — pinned for
+//    results, counters, and trace events.
+//  * Dispatch introspection: Runtime::simd_path(), force-path override wins,
+//    forcing an unsupported path falls back cleanly, reset_all() restores
+//    the CPUID/environment default.
+//  * Counter conservation: ops counted == elements processed on every path
+//    and lane width, per kind, for truncated and full-precision spans alike.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "softfloat/bigfloat.hpp"
+#include "softfloat/fast_round.hpp"
+#include "softfloat/fast_round_simd.hpp"
+#include "trace/analysis.hpp"
+#include "trunc/scope.hpp"
+
+namespace raptor {
+namespace {
+
+using rt::OpKind;
+using rt::Runtime;
+using sf::simd::Path;
+using sf::simd::SpanOp;
+
+u64 bits_of(double d) { return std::bit_cast<u64>(d); }
+double from_bits(u64 b) { return std::bit_cast<double>(b); }
+
+std::vector<Path> available_paths() {
+  std::vector<Path> v;
+  for (const Path p : {Path::Portable, Path::Avx2, Path::Avx512}) {
+    if (sf::simd::path_supported(p)) v.push_back(p);
+  }
+  return v;
+}
+
+constexpr std::size_t lane_width(Path p) {
+  return p == Path::Avx512 ? 8 : p == Path::Avx2 ? 4 : 1;
+}
+
+/// Decode an IEEE binary16 bit pattern to double (exact).
+double fp16_to_double(std::uint16_t h) {
+  const int sign = (h >> 15) & 1;
+  const int expf = (h >> 10) & 0x1F;
+  const int frac = h & 0x3FF;
+  double mag;
+  if (expf == 0x1F) {
+    mag = frac != 0 ? std::numeric_limits<double>::quiet_NaN()
+                    : std::numeric_limits<double>::infinity();
+  } else if (expf == 0) {
+    mag = std::ldexp(frac, -24);
+  } else {
+    mag = std::ldexp(1024 + frac, expf - 25);
+  }
+  return sign != 0 ? -mag : mag;
+}
+
+/// Run `op` over the whole span on `path` and compare element-by-element
+/// against the expected bits; failures carry the element index, the lane
+/// index inside its vector, and the full bit patterns.
+::testing::AssertionResult SpanMatches(Path path, SpanOp op, const std::vector<double>& a,
+                                       const double* b, const double* c,
+                                       const std::vector<u64>& expect, const sf::RoundSpec& spec,
+                                       const char* what) {
+  std::vector<double> out(a.size(), 0.0);
+  sf::simd::span_exec(path, op, a.data(), b, c, out.data(), a.size(), spec);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (bits_of(out[i]) == expect[i]) continue;
+    const std::size_t w = lane_width(path);
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s path=%s elem=%zu lane=%zu/%zu a=0x%016llx got=0x%016llx want=0x%016llx",
+                  what, sf::simd::path_name(path), i, i % w, w,
+                  static_cast<unsigned long long>(bits_of(a[i])),
+                  static_cast<unsigned long long>(bits_of(out[i])),
+                  static_cast<unsigned long long>(expect[i]));
+    return ::testing::AssertionFailure() << buf;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch introspection
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, PathSupportAndResolution) {
+  // The portable fallback exists in every build on every CPU.
+  EXPECT_TRUE(sf::simd::path_supported(Path::Portable));
+  EXPECT_TRUE(sf::simd::path_supported(sf::simd::best_path()));
+  EXPECT_TRUE(sf::simd::path_supported(sf::simd::default_path()));
+
+  // resolve_path: no request -> default; supported request wins; an
+  // unsupported request falls back to the default instead of crashing later.
+  EXPECT_EQ(sf::simd::resolve_path(std::nullopt), sf::simd::default_path());
+  for (const Path p : {Path::Portable, Path::Avx2, Path::Avx512}) {
+    const Path r = sf::simd::resolve_path(p);
+    if (sf::simd::path_supported(p)) {
+      EXPECT_EQ(r, p) << sf::simd::path_name(p);
+    } else {
+      EXPECT_EQ(r, sf::simd::default_path()) << sf::simd::path_name(p);
+    }
+  }
+}
+
+TEST(SimdDispatch, ParsePathSpellings) {
+  EXPECT_EQ(sf::simd::parse_path("portable"), Path::Portable);
+  EXPECT_EQ(sf::simd::parse_path("scalar"), Path::Portable);
+  EXPECT_EQ(sf::simd::parse_path("AVX2"), Path::Avx2);
+  EXPECT_EQ(sf::simd::parse_path("avx512"), Path::Avx512);
+  EXPECT_EQ(sf::simd::parse_path("AVX-512"), Path::Avx512);
+  EXPECT_EQ(sf::simd::parse_path("neon"), std::nullopt);
+  EXPECT_EQ(sf::simd::parse_path(""), std::nullopt);
+}
+
+TEST(SimdDispatch, PathNamesRoundTrip) {
+  for (const Path p : {Path::Portable, Path::Avx2, Path::Avx512}) {
+    EXPECT_EQ(sf::simd::parse_path(sf::simd::path_name(p)), p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpanOp::Round parity: exhaustive fp16 sweep + 1M random inputs per format
+// ---------------------------------------------------------------------------
+
+const std::vector<sf::Format> kRoundFormats = {
+    {5, 10}, {8, 7}, {4, 3}, {8, 12}, {8, 23}, {9, 24}, {11, 4}, {10, 30}, {11, 52},
+};
+
+TEST(SimdRoundParity, ExhaustiveFp16PatternsEveryPath) {
+  std::vector<double> in(65536);
+  for (std::uint32_t h = 0; h <= 0xFFFF; ++h) {
+    in[h] = fp16_to_double(static_cast<std::uint16_t>(h));
+  }
+  for (const sf::Format& fmt : kRoundFormats) {
+    const sf::RoundSpec spec(fmt);
+    std::vector<u64> expect(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const double ref = sf::fast_round(in[i], spec);
+      // The scalar kernel is itself pinned against BigFloat; re-assert here
+      // so a parity failure can't hide behind a stale scalar reference.
+      ASSERT_EQ(bits_of(ref), bits_of(sf::quantize(in[i], fmt)))
+          << "scalar/BigFloat disagree: fmt " << fmt.to_string() << " input 0x" << std::hex
+          << bits_of(in[i]);
+      expect[i] = bits_of(ref);
+    }
+    for (const Path p : available_paths()) {
+      ASSERT_TRUE(SpanMatches(p, SpanOp::Round, in, nullptr, nullptr, expect, spec, "fp16"))
+          << "fmt " << fmt.to_string();
+    }
+  }
+}
+
+TEST(SimdRoundParity, MillionRandomInputsPerFormatEveryPath) {
+  constexpr std::size_t kN = 1u << 20;  // >= 1M per format per path
+  std::vector<double> in(kN);
+  std::vector<u64> expect(kN);
+  for (std::size_t fi = 0; fi < kRoundFormats.size(); ++fi) {
+    const sf::Format& fmt = kRoundFormats[fi];
+    const sf::RoundSpec spec(fmt);
+    std::mt19937_64 rng(0x51D0 + fi);
+    std::uniform_int_distribution<int> exp_dist(fmt.emin_subnormal() - 3, fmt.emax() + 3);
+    for (std::size_t i = 0; i < kN; ++i) {
+      if ((i & 1) != 0) {
+        in[i] = from_bits(rng());  // arbitrary patterns: NaN, inf, extremes
+      } else {
+        // Exponent-targeted: normal band, underflow fringe, overflow edge.
+        const int biased = std::clamp(exp_dist(rng) + 1023, 0, 2046);
+        in[i] = from_bits(((rng() & 1) << 63) | (static_cast<u64>(biased) << 52) |
+                          (rng() & ((u64{1} << 52) - 1)));
+      }
+      expect[i] = bits_of(sf::fast_round(in[i], spec));
+    }
+    // BigFloat cross-check on a deterministic subsample (the full 1M-vs-
+    // BigFloat sweep lives in test_fast_round; here it guards the reference).
+    for (std::size_t i = 0; i < kN; i += 97) {
+      ASSERT_EQ(expect[i], bits_of(sf::quantize(in[i], fmt)))
+          << "scalar/BigFloat disagree: fmt " << fmt.to_string() << " input 0x" << std::hex
+          << bits_of(in[i]);
+    }
+    for (const Path p : available_paths()) {
+      ASSERT_TRUE(SpanMatches(p, SpanOp::Round, in, nullptr, nullptr, expect, spec, "rand"))
+          << "fmt " << fmt.to_string();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic span ops vs scalar fast_* and BigFloat
+// ---------------------------------------------------------------------------
+
+const std::vector<sf::Format> kOpFormats = {{5, 10}, {8, 7}, {4, 3}, {8, 12}, {9, 24}, {2, 1}};
+
+TEST(SimdOpParity, ArithmeticSpansEveryPath) {
+  constexpr std::size_t kN = 1u << 16;
+  std::vector<double> a(kN), b(kN), c(kN);
+  std::vector<u64> expect(kN);
+  for (std::size_t fi = 0; fi < kOpFormats.size(); ++fi) {
+    const sf::Format& fmt = kOpFormats[fi];
+    ASSERT_TRUE(sf::fast_op_supports(fmt));
+    ASSERT_TRUE(sf::fast_fma_supports(fmt));
+    const sf::RoundSpec spec(fmt);
+    std::mt19937_64 rng(0x0BAD + fi);
+    std::uniform_int_distribution<int> exp_dist(fmt.emin_subnormal() - 2, fmt.emax() + 2);
+    const auto draw = [&] {
+      if ((rng() & 7) == 0) return from_bits(rng());  // NaN/inf/raw patterns
+      const int biased = std::clamp(exp_dist(rng) + 1023, 0, 2046);
+      return from_bits(((rng() & 1) << 63) | (static_cast<u64>(biased) << 52) |
+                       (rng() & ((u64{1} << 52) - 1)));
+    };
+    for (std::size_t i = 0; i < kN; ++i) {
+      a[i] = draw();
+      b[i] = draw();
+      c[i] = draw();
+    }
+    struct Case {
+      SpanOp op;
+      const char* name;
+    };
+    for (const Case cs : {Case{SpanOp::Add, "add"}, Case{SpanOp::Sub, "sub"},
+                          Case{SpanOp::Mul, "mul"}, Case{SpanOp::Div, "div"},
+                          Case{SpanOp::Neg, "neg"}, Case{SpanOp::Sqrt, "sqrt"},
+                          Case{SpanOp::Fma, "fma"}}) {
+      for (std::size_t i = 0; i < kN; ++i) {
+        switch (cs.op) {
+          case SpanOp::Add: expect[i] = bits_of(sf::fast_add(a[i], b[i], spec)); break;
+          case SpanOp::Sub: expect[i] = bits_of(sf::fast_sub(a[i], b[i], spec)); break;
+          case SpanOp::Mul: expect[i] = bits_of(sf::fast_mul(a[i], b[i], spec)); break;
+          case SpanOp::Div: expect[i] = bits_of(sf::fast_div(a[i], b[i], spec)); break;
+          case SpanOp::Neg: expect[i] = bits_of(sf::fast_neg(a[i], spec)); break;
+          case SpanOp::Sqrt: expect[i] = bits_of(sf::fast_sqrt(a[i], spec)); break;
+          default: expect[i] = bits_of(sf::fast_fma(a[i], b[i], c[i], spec)); break;
+        }
+      }
+      // BigFloat cross-check on a subsample (full sweeps live in
+      // test_fast_round's op differentials).
+      for (std::size_t i = 0; i < kN; i += 211) {
+        u64 ref;
+        switch (cs.op) {
+          case SpanOp::Add: ref = bits_of(sf::trunc_add(a[i], b[i], fmt)); break;
+          case SpanOp::Sub: ref = bits_of(sf::trunc_sub(a[i], b[i], fmt)); break;
+          case SpanOp::Mul: ref = bits_of(sf::trunc_mul(a[i], b[i], fmt)); break;
+          case SpanOp::Div: ref = bits_of(sf::trunc_div(a[i], b[i], fmt)); break;
+          // No trunc_neg in the BigFloat API: negation is round, sign flip,
+          // re-round (the re-round only canonicalizes NaN), same as fast_neg.
+          case SpanOp::Neg: ref = bits_of(sf::quantize(-sf::quantize(a[i], fmt), fmt)); break;
+          case SpanOp::Sqrt: ref = bits_of(sf::trunc_sqrt(a[i], fmt)); break;
+          default: ref = bits_of(sf::trunc_fma(a[i], b[i], c[i], fmt)); break;
+        }
+        ASSERT_EQ(expect[i], ref) << "scalar/BigFloat disagree: " << cs.name << " fmt "
+                                  << fmt.to_string() << " i=" << i;
+      }
+      for (const Path p : available_paths()) {
+        ASSERT_TRUE(SpanMatches(p, cs.op, a, b.data(), c.data(), expect, spec, cs.name))
+            << "fmt " << fmt.to_string();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge spans: lengths around the lane width, specials at every position
+// ---------------------------------------------------------------------------
+
+const std::vector<double> kSpecials = {
+    0.0,
+    -0.0,
+    std::numeric_limits<double>::quiet_NaN(),
+    -std::numeric_limits<double>::quiet_NaN(),
+    std::numeric_limits<double>::infinity(),
+    -std::numeric_limits<double>::infinity(),
+    0x1p-1074,           // smallest double subnormal
+    -0x1p-1074,
+    0x1p-1030,           // double subnormal range for wide-exponent formats
+    0x1.fffffffffffffp1023,
+    1e300,
+    -1e300,
+};
+
+TEST(SimdSpanEdges, TailLengthsAndSpecialLanePositions) {
+  const sf::Format fmt{8, 12};
+  const sf::RoundSpec spec(fmt);
+  std::mt19937_64 rng(0xED6E);
+  for (const Path p : available_paths()) {
+    const std::size_t w = lane_width(p);
+    // Lengths straddling 0, 1, the lane width, and non-multiples (tails).
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3}, w - 1, w, w + 1,
+          2 * w + 3, std::size_t{37}}) {
+      std::vector<double> a(n), b(n), c(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = std::ldexp(1.0 + static_cast<double>(rng() % 4096) / 4096.0,
+                          static_cast<int>(rng() % 40) - 20);
+        b[i] = std::ldexp(1.0 + static_cast<double>(rng() % 4096) / 4096.0,
+                          static_cast<int>(rng() % 40) - 20);
+        c[i] = a[i] - b[i];
+      }
+      // Plant every special at every position (one at a time, so each lane
+      // of each vector sees each class at least once across the sweep).
+      for (std::size_t pos = 0; pos < std::max<std::size_t>(n, 1); ++pos) {
+        if (n != 0) a[pos % n] = kSpecials[(pos + n) % kSpecials.size()];
+        std::vector<u64> expect(n);
+        for (const SpanOp op : {SpanOp::Round, SpanOp::Add, SpanOp::Mul, SpanOp::Div,
+                                SpanOp::Neg, SpanOp::Sqrt, SpanOp::Fma}) {
+          for (std::size_t i = 0; i < n; ++i) {
+            switch (op) {
+              case SpanOp::Round: expect[i] = bits_of(sf::fast_round(a[i], spec)); break;
+              case SpanOp::Add: expect[i] = bits_of(sf::fast_add(a[i], b[i], spec)); break;
+              case SpanOp::Mul: expect[i] = bits_of(sf::fast_mul(a[i], b[i], spec)); break;
+              case SpanOp::Div: expect[i] = bits_of(sf::fast_div(a[i], b[i], spec)); break;
+              case SpanOp::Neg: expect[i] = bits_of(sf::fast_neg(a[i], spec)); break;
+              case SpanOp::Sqrt: expect[i] = bits_of(sf::fast_sqrt(a[i], spec)); break;
+              default: expect[i] = bits_of(sf::fast_fma(a[i], b[i], c[i], spec)); break;
+            }
+          }
+          ASSERT_TRUE(SpanMatches(p, op, a, b.data(), c.data(), expect, spec, "edge"))
+              << "n=" << n << " special_pos=" << (n ? pos % n : 0);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime integration: the four batch entry points, counters, trace events
+// ---------------------------------------------------------------------------
+
+class SimdRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::instance().reset_all(); }
+  void TearDown() override {
+    Runtime::instance().reset_all();
+    std::remove(kTracePath);
+  }
+  static constexpr const char* kTracePath = "test_simd_parity.rtrace";
+  Runtime& R = Runtime::instance();
+};
+
+TEST_F(SimdRuntimeTest, RuntimePathIntrospectionAndForce) {
+  // Fresh runtime reports the CPUID/environment default.
+  EXPECT_EQ(R.simd_path(), sf::simd::default_path());
+
+  // A forced supported path wins; forcing an unsupported path falls back
+  // cleanly to the default instead of dispatching illegal instructions.
+  for (const Path p : {Path::Portable, Path::Avx2, Path::Avx512}) {
+    R.force_simd_path(p);
+    if (sf::simd::path_supported(p)) {
+      EXPECT_EQ(R.simd_path(), p) << sf::simd::path_name(p);
+    } else {
+      EXPECT_EQ(R.simd_path(), sf::simd::default_path()) << sf::simd::path_name(p);
+    }
+    // The forced path must actually execute work correctly.
+    std::vector<double> a(19, 1.0 / 3.0), out(19);
+    {
+      TruncScope scope(8, 12);
+      R.trunc_array(a.data(), out.data(), a.size());
+    }
+    const u64 want = bits_of(sf::fast_round(1.0 / 3.0, sf::Format{8, 12}));
+    for (double v : out) EXPECT_EQ(bits_of(v), want);
+  }
+
+  // Clearing the override and reset_all() both restore the default.
+  R.force_simd_path(Path::Portable);
+  R.force_simd_path(std::nullopt);
+  EXPECT_EQ(R.simd_path(), sf::simd::default_path());
+  R.force_simd_path(Path::Portable);
+  R.reset_all();
+  EXPECT_EQ(R.simd_path(), sf::simd::default_path());
+}
+
+TEST_F(SimdRuntimeTest, BatchEntryPointsBitIdenticalAcrossPaths) {
+  constexpr std::size_t kN = 1013;  // prime: exercises every tail remainder
+  std::vector<double> a(kN), b(kN), c(kN);
+  std::mt19937_64 rng(0xABCD);
+  for (std::size_t i = 0; i < kN; ++i) {
+    a[i] = std::ldexp(1.0 + static_cast<double>(rng() % 4096) / 4096.0,
+                      static_cast<int>(rng() % 60) - 30);
+    b[i] = std::ldexp(1.0 + static_cast<double>(rng() % 4096) / 4096.0,
+                      static_cast<int>(rng() % 60) - 30);
+    c[i] = -a[i];
+  }
+  a[3] = std::numeric_limits<double>::quiet_NaN();
+  b[11] = std::numeric_limits<double>::infinity();
+  a[17] = -0.0;
+
+  // Reference results on the portable path, then identical bits everywhere.
+  std::vector<std::vector<double>> ref;
+  for (const Path p : available_paths()) {
+    R.force_simd_path(p);
+    TruncScope scope(8, 12);
+    std::vector<std::vector<double>> got;
+    for (const OpKind k : {OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Div}) {
+      std::vector<double> out(kN);
+      R.op2_batch(k, a.data(), b.data(), out.data(), kN);
+      got.push_back(std::move(out));
+    }
+    for (const OpKind k : {OpKind::Neg, OpKind::Sqrt}) {
+      std::vector<double> out(kN);
+      R.op1_batch(k, a.data(), out.data(), kN);
+      got.push_back(std::move(out));
+    }
+    {
+      std::vector<double> out(kN);
+      R.op3_batch(OpKind::Fma, a.data(), b.data(), c.data(), out.data(), kN);
+      got.push_back(std::move(out));
+    }
+    {
+      std::vector<double> out(kN);
+      R.trunc_array(a.data(), out.data(), kN);
+      got.push_back(std::move(out));
+    }
+    if (ref.empty()) {
+      ref = std::move(got);
+      continue;
+    }
+    for (std::size_t g = 0; g < ref.size(); ++g) {
+      for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(bits_of(got[g][i]), bits_of(ref[g][i]))
+            << "entry " << g << " path " << sf::simd::path_name(p) << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST_F(SimdRuntimeTest, CounterConservationAcrossPathsAndLaneWidths) {
+  // ops counted == elements processed, per kind, whatever the lane width —
+  // including length-0 spans (no count) and tail-only spans.
+  const std::vector<std::size_t> lens = {0, 1, 3, 4, 7, 8, 9, 16, 31, 257};
+  std::vector<double> buf(257, 1.5), out(257);
+  for (const Path p : available_paths()) {
+    R.reset_all();
+    R.force_simd_path(p);
+    u64 expected = 0;
+    {
+      TruncScope scope(8, 12);
+      for (const std::size_t n : lens) {
+        R.op2_batch(OpKind::Add, buf.data(), buf.data(), out.data(), n);
+        R.op2_batch(OpKind::Mul, buf.data(), buf.data(), out.data(), n);
+        R.op1_batch(OpKind::Sqrt, buf.data(), out.data(), n);
+        R.op3_batch(OpKind::Fma, buf.data(), buf.data(), buf.data(), out.data(), n);
+        expected += 4 * n;
+      }
+    }
+    const rt::CounterSnapshot ct = R.counters();
+    EXPECT_EQ(ct.trunc_flops, expected) << sf::simd::path_name(p);
+    u64 per_kind = 0;
+    for (const std::size_t n : lens) per_kind += n;
+    EXPECT_EQ(ct.trunc_by_kind[static_cast<int>(OpKind::Add)], per_kind);
+    EXPECT_EQ(ct.trunc_by_kind[static_cast<int>(OpKind::Mul)], per_kind);
+    EXPECT_EQ(ct.trunc_by_kind[static_cast<int>(OpKind::Sqrt)], per_kind);
+    EXPECT_EQ(ct.trunc_by_kind[static_cast<int>(OpKind::Fma)], per_kind);
+    EXPECT_EQ(ct.full_flops, 0u);
+
+    // Full-precision spans (no scope) conserve on the full_flops side.
+    R.reset_counters();
+    R.op2_batch(OpKind::Add, buf.data(), buf.data(), out.data(), 129);
+    EXPECT_EQ(R.counters().full_flops, 129u);
+    EXPECT_EQ(R.counters().trunc_flops, 0u);
+  }
+}
+
+TEST_F(SimdRuntimeTest, TraceOneEventPerSpanOnEveryPath) {
+  // The SIMD rewrite must not change trace cardinality: one event per span
+  // with count == n, and per-element histogram updates (total == n).
+  constexpr std::size_t kN = 173;  // tail on every lane width
+  std::vector<double> a(kN), out(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    a[i] = std::ldexp(1.0, static_cast<int>(i % 30) - 15);
+  }
+  for (const Path p : available_paths()) {
+    R.reset_all();
+    R.force_simd_path(p);
+    trace::TraceOptions opts;
+    opts.path = kTracePath;
+    opts.sample_stride = 1;  // sample every span
+    R.trace_start(opts);
+    {
+      TruncScope scope(8, 12);
+      Region region("simd/span");
+      R.op2_batch(OpKind::Mul, a.data(), a.data(), out.data(), kN);
+      R.op1_batch(OpKind::Sqrt, a.data(), out.data(), kN);
+      R.op2_batch(OpKind::Add, a.data(), a.data(), out.data(), 0);  // no event
+    }
+    const auto hists = R.trace_histograms();
+    const trace::TraceStats stats = R.trace_stop();
+    EXPECT_EQ(stats.events, 2u) << sf::simd::path_name(p);
+    ASSERT_EQ(hists.size(), 1u);
+    EXPECT_EQ(hists[0].hist.exp.total(), 2 * kN) << sf::simd::path_name(p);
+
+    const trace::TraceData td = trace::read_rtrace(kTracePath);
+    ASSERT_EQ(td.events.size(), 2u);
+    for (const auto& e : td.events) {
+      EXPECT_EQ(e.count, kN) << sf::simd::path_name(p);
+      EXPECT_EQ(e.flags & trace::kFlagSpan, trace::kFlagSpan);
+    }
+    std::remove(kTracePath);
+  }
+}
+
+}  // namespace
+}  // namespace raptor
