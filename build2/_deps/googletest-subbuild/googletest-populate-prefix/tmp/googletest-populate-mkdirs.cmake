@@ -1,0 +1,22 @@
+# Distributed under the OSI-approved BSD 3-Clause License.  See accompanying
+# file Copyright.txt or https://cmake.org/licensing for details.
+
+cmake_minimum_required(VERSION 3.5)
+
+file(MAKE_DIRECTORY
+  "/usr/src/googletest"
+  "/root/repo/build2/_deps/googletest-build"
+  "/root/repo/build2/_deps/googletest-subbuild/googletest-populate-prefix"
+  "/root/repo/build2/_deps/googletest-subbuild/googletest-populate-prefix/tmp"
+  "/root/repo/build2/_deps/googletest-subbuild/googletest-populate-prefix/src/googletest-populate-stamp"
+  "/root/repo/build2/_deps/googletest-subbuild/googletest-populate-prefix/src"
+  "/root/repo/build2/_deps/googletest-subbuild/googletest-populate-prefix/src/googletest-populate-stamp"
+)
+
+set(configSubDirs )
+foreach(subDir IN LISTS configSubDirs)
+    file(MAKE_DIRECTORY "/root/repo/build2/_deps/googletest-subbuild/googletest-populate-prefix/src/googletest-populate-stamp/${subDir}")
+endforeach()
+if(cfgdir)
+  file(MAKE_DIRECTORY "/root/repo/build2/_deps/googletest-subbuild/googletest-populate-prefix/src/googletest-populate-stamp${cfgdir}") # cfgdir has leading slash
+endif()
