@@ -1,0 +1,181 @@
+#include "ir/analysis/auto_instrument.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "ir/analysis/callgraph.hpp"
+#include "ir/analysis/verifier.hpp"
+
+namespace raptor::ir::analysis {
+
+AutoInstrumentOptions parse_auto_config(const std::string& text) {
+  AutoInstrumentOptions opts;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  const auto fail = [&](const std::string& msg) {
+    throw std::runtime_error("auto config line " + std::to_string(lineno) + ": " + msg);
+  };
+  const auto to_int = [&](const std::string& tok, const char* what) {
+    try {
+      std::size_t used = 0;
+      const int v = std::stoi(tok, &used);
+      if (used != tok.size()) fail(std::string("bad ") + what + " '" + tok + "'");
+      return v;
+    } catch (const std::runtime_error&) {
+      throw;
+    } catch (...) {
+      fail(std::string("bad ") + what + " '" + tok + "'");
+    }
+    return 0;
+  };
+  const auto to_switch = [&](const std::string& tok, const char* what) {
+    if (tok == "on") return true;
+    if (tok == "off") return false;
+    fail(std::string(what) + " expects on|off, got '" + tok + "'");
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::vector<std::string> toks;
+    for (std::string t; ls >> t;) toks.push_back(t);
+    if (toks.empty()) continue;
+    const std::string& kw = toks[0];
+    if (kw == "root") {
+      if (toks.size() != 2 && toks.size() != 4) {
+        fail("root expects a name and optionally <exp_bits> <man_bits>");
+      }
+      RootSpec spec;
+      spec.name = toks[1];
+      if (toks.size() == 4) {
+        spec.to_exp = to_int(toks[2], "exp_bits");
+        spec.to_man = to_int(toks[3], "man_bits");
+      }
+      opts.roots.push_back(std::move(spec));
+    } else if (kw == "default") {
+      if (toks.size() != 3) fail("default expects <exp_bits> <man_bits>");
+      opts.to_exp = to_int(toks[1], "exp_bits");
+      opts.to_man = to_int(toks[2], "man_bits");
+    } else if (kw == "scratch") {
+      if (toks.size() != 2) fail("scratch expects on|off");
+      opts.scratch_opt = to_switch(toks[1], "scratch");
+    } else if (kw == "hints") {
+      if (toks.size() != 2) fail("hints expects on|off");
+      opts.use_static_hints = to_switch(toks[1], "hints");
+    } else if (kw == "verify") {
+      if (toks.size() != 2) fail("verify expects on|off");
+      opts.verify = to_switch(toks[1], "verify");
+    } else {
+      fail("unknown directive '" + kw + "'");
+    }
+  }
+  return opts;
+}
+
+AutoInstrumentResult auto_instrument(const Module& m, const AutoInstrumentOptions& opts) {
+  AutoInstrumentResult out;
+  out.module = m;
+
+  const CallGraph cg = build_call_graph(m);
+
+  std::vector<RootSpec> roots = opts.roots;
+  if (roots.empty()) {
+    for (const int r : cg.roots()) {
+      const std::string& name = cg.names[static_cast<std::size_t>(r)];
+      if (parse_clone_name(name)) continue;  // never instrument a clone
+      roots.push_back(RootSpec{name, -1, -1});
+    }
+  }
+
+  ModuleExpAnalysis ranges;
+  if (opts.use_static_hints) {
+    ranges = analyze_exp_ranges(m);
+    out.hints = exp_hints(ranges);
+  }
+
+  for (const RootSpec& spec : roots) {
+    const auto skip = [&](std::string reason) {
+      out.skipped.push_back(AutoInstrumentResult::Skipped{spec.name, std::move(reason)});
+    };
+    const Function* root_fn = m.find(spec.name);
+    if (root_fn == nullptr) {
+      skip("no such function");
+      continue;
+    }
+    if (parse_clone_name(spec.name)) {
+      skip("already a truncation clone");
+      continue;
+    }
+
+    int to_exp = spec.to_exp >= 0 ? spec.to_exp : opts.to_exp;
+    const int to_man = spec.to_man >= 0 ? spec.to_man : opts.to_man;
+    if (spec.to_exp < 0 && opts.use_static_hints) {
+      // Function-scope hint: widest need over the root's whole closure.
+      ExpInterval closure = ExpInterval::bottom();
+      for (const int f : cg.reachable_from({cg.index_of(spec.name)})) {
+        const FunctionExpSummary& s = ranges.funcs[static_cast<std::size_t>(f)];
+        if (s.analyzed) closure = closure.join(s.all_fp);
+      }
+      if (!closure.empty()) {
+        to_exp = closure.non_finite ? 11 : trace::min_exp_bits(closure.lo, closure.hi);
+      }
+    }
+
+    TruncPassOptions popts;
+    popts.root = spec.name;
+    popts.to_exp = to_exp;
+    popts.to_man = to_man;
+    popts.scratch_opt = opts.scratch_opt;
+    TruncPassResult pass;
+    try {
+      pass = run_trunc_pass(m, popts);
+    } catch (const std::exception& e) {
+      skip(std::string("pass failed: ") + e.what());
+      continue;
+    }
+
+    if (opts.verify) {
+      VerifyResult vr;
+      VerifyOptions vopts;
+      vopts.infer_clones = false;  // instrumentation rules run explicitly below
+      vopts.flag_unreachable = false;
+      for (const std::string& name : pass.transformed) {
+        if (const Function* f = pass.module.find(name)) {
+          vr.merge(verify_function(pass.module, *f, vopts));
+        }
+      }
+      InstrumentationInfo info;
+      info.transformed = pass.transformed;
+      info.to_exp = to_exp;
+      info.to_man = to_man;
+      info.scratch_opt = opts.scratch_opt;
+      vr.merge(verify_instrumentation(pass.module, info));
+      if (!vr.ok()) {
+        std::string first;
+        for (const Diag& d : vr.diags) {
+          if (d.severity == Severity::Error) {
+            first = d.to_string();
+            break;
+          }
+        }
+        skip("verifier rejected the clone set: " + first);
+        continue;
+      }
+    }
+
+    // Merge the new clones; a shared callee instrumented at the same format
+    // by an earlier root produced an identical clone — keep the first copy.
+    for (const Function& f : pass.module.funcs) {
+      if (out.module.find(f.name) == nullptr) out.module.funcs.push_back(f);
+    }
+    for (const std::string& w : pass.warnings) out.warnings.push_back(w);
+    out.entries.push_back(AutoInstrumentResult::Entry{spec.name, pass.entry, to_exp, to_man});
+  }
+  return out;
+}
+
+}  // namespace raptor::ir::analysis

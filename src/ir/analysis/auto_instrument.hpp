@@ -1,0 +1,75 @@
+// Auto-instrumentation driver (DESIGN.md §14.4): picks function-scope
+// truncation roots from a config (or from the call graph when none is
+// given), chooses each root's target format from static exponent-range
+// analysis when enabled, runs `run_trunc_pass` per root, and refuses any
+// root whose clone set the verifier rejects. This is the static-analysis
+// counterpart of tracing a run first: the output module plus hints can
+// seed `PrecisionSearch` before the program has ever executed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/analysis/exp_range.hpp"
+#include "ir/instrument.hpp"
+#include "ir/ir.hpp"
+
+namespace raptor::ir::analysis {
+
+struct RootSpec {
+  std::string name;
+  int to_exp = -1;  ///< -1 = use the default (or hinted) format
+  int to_man = -1;
+};
+
+struct AutoInstrumentOptions {
+  /// Explicit roots; empty = every call-graph root that is not itself a
+  /// clone or runtime shim.
+  std::vector<RootSpec> roots;
+  int to_exp = 8;  ///< default target format
+  int to_man = 23;
+  bool scratch_opt = true;
+  /// Derive each unhinted root's exponent width from static exponent-range
+  /// analysis (to_man stays at the default — statically unknowable).
+  bool use_static_hints = false;
+  /// Gate every clone set through the verifier; rejected roots land in
+  /// `skipped` instead of the output module.
+  bool verify = true;
+};
+
+/// Parse the text config format:
+///   # comment
+///   root <name> [<exp_bits> <man_bits>]
+///   default <exp_bits> <man_bits>
+///   scratch on|off
+///   hints on|off
+///   verify on|off
+/// Throws std::runtime_error with the offending line number.
+[[nodiscard]] AutoInstrumentOptions parse_auto_config(const std::string& text);
+
+struct AutoInstrumentResult {
+  Module module;  ///< originals plus every accepted clone set
+
+  struct Entry {
+    std::string root;   ///< original function name
+    std::string entry;  ///< its clone (call this instead of the original)
+    int to_exp = 0;
+    int to_man = 0;
+  };
+  std::vector<Entry> entries;
+
+  struct Skipped {
+    std::string root;
+    std::string reason;
+  };
+  std::vector<Skipped> skipped;
+
+  std::vector<std::string> warnings;  ///< pass warnings (external calls etc.)
+  /// Static recommendations (function + per-loc) when use_static_hints.
+  std::vector<trace::Recommendation> hints;
+};
+
+[[nodiscard]] AutoInstrumentResult auto_instrument(const Module& m,
+                                                   const AutoInstrumentOptions& opts = {});
+
+}  // namespace raptor::ir::analysis

@@ -1,0 +1,50 @@
+// Module-level call graph for the RIR static-analysis layer (DESIGN.md
+// §14): direct-call edges between defined functions, external callees
+// collected per caller, Tarjan SCC decomposition (so recursion is a
+// first-class fact and bottom-up interprocedural passes get a ready-made
+// callees-before-callers order), plus root and reachability queries the
+// auto-instrumentation driver uses to pick function-scope truncation roots.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace raptor::ir::analysis {
+
+struct CallGraph {
+  /// Function names in module order; indices below refer into this.
+  std::vector<std::string> names;
+  /// Deduplicated direct in-module callees per function.
+  std::vector<std::vector<int>> callees;
+  std::vector<std::vector<int>> callers;
+  /// Called-but-undefined names per function (runtime `_raptor_*` shims are
+  /// not considered external — they are the instrumentation target).
+  std::vector<std::vector<std::string>> externals;
+  /// SCC id per function. Ids are assigned in reverse topological order:
+  /// scc_id of a callee is <= scc_id of its caller (equality inside a
+  /// cycle), so iterating ids ascending visits callees before callers.
+  std::vector<int> scc_id;
+  std::vector<std::vector<int>> scc_members;  ///< scc id -> member functions
+  /// True when the SCC is a genuine cycle (>1 member, or a self-call).
+  std::vector<bool> scc_recursive;
+
+  [[nodiscard]] int num_funcs() const { return static_cast<int>(names.size()); }
+  [[nodiscard]] int num_sccs() const { return static_cast<int>(scc_members.size()); }
+  [[nodiscard]] int index_of(std::string_view name) const;
+  [[nodiscard]] bool recursive(int func) const {
+    return scc_recursive[static_cast<std::size_t>(scc_id[static_cast<std::size_t>(func)])];
+  }
+  /// Functions with no in-module callers — the natural function-scope
+  /// truncation roots (every function is reachable from this set except
+  /// members of caller-less cycles, which are returned too, one per SCC).
+  [[nodiscard]] std::vector<int> roots() const;
+  /// Functions reachable from `from` (inclusive), ascending indices.
+  [[nodiscard]] std::vector<int> reachable_from(const std::vector<int>& from) const;
+};
+
+[[nodiscard]] CallGraph build_call_graph(const Module& m);
+
+}  // namespace raptor::ir::analysis

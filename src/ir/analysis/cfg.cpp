@@ -1,0 +1,205 @@
+#include "ir/analysis/cfg.hpp"
+
+#include <algorithm>
+
+namespace raptor::ir::analysis {
+
+bool is_terminator(Opcode op) {
+  return op == Opcode::Ret || op == Opcode::Br || op == Opcode::BrCond;
+}
+
+int def_of(const Inst& in) {
+  // Branch opcodes never define; everything else uses `result` (-1 = none).
+  if (in.op == Opcode::Ret || in.op == Opcode::Br || in.op == Opcode::BrCond) return -1;
+  return in.result;
+}
+
+std::vector<int> uses_of(const Inst& in) {
+  std::vector<int> out;
+  switch (in.op) {
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+    case Opcode::FCmp:
+      out.push_back(in.a);
+      out.push_back(in.b);
+      break;
+    case Opcode::FSqrt:
+    case Opcode::FNeg:
+    case Opcode::FExp:
+    case Opcode::FLog:
+    case Opcode::FSin:
+    case Opcode::FCos:
+    case Opcode::Set:
+    case Opcode::BrCond:
+      out.push_back(in.a);
+      break;
+    case Opcode::Ret:
+      if (in.a >= 0) out.push_back(in.a);
+      break;
+    case Opcode::Call:
+      for (const Arg& a : in.call_args) {
+        if (a.kind == Arg::Kind::Reg) out.push_back(a.reg);
+      }
+      break;
+    case Opcode::Const:
+    case Opcode::Br:
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+/// Postorder DFS from the entry block (iterative: fixture functions are
+/// small, but hand-built chains should not be able to blow the stack).
+void postorder(const Cfg& cfg, std::vector<int>& out) {
+  const int n = cfg.num_blocks();
+  if (n == 0) return;
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  // (block, next successor index) stack frames.
+  std::vector<std::pair<int, std::size_t>> stack;
+  stack.emplace_back(0, 0);
+  visited[0] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    const auto& ss = cfg.succ[static_cast<std::size_t>(b)];
+    if (next < ss.size()) {
+      const int s = ss[next++];
+      if (visited[static_cast<std::size_t>(s)] == 0) {
+        visited[static_cast<std::size_t>(s)] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      out.push_back(b);
+      stack.pop_back();
+    }
+  }
+}
+
+int intersect(const Cfg& cfg, int a, int b) {
+  // Walk up the (partially built) dominator tree; rpo_index orders blocks so
+  // the deeper node steps first (Cooper–Harvey–Kennedy).
+  while (a != b) {
+    while (cfg.rpo_index[static_cast<std::size_t>(a)] > cfg.rpo_index[static_cast<std::size_t>(b)]) {
+      a = cfg.idom[static_cast<std::size_t>(a)];
+    }
+    while (cfg.rpo_index[static_cast<std::size_t>(b)] > cfg.rpo_index[static_cast<std::size_t>(a)]) {
+      b = cfg.idom[static_cast<std::size_t>(b)];
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+bool Cfg::dominates(int a, int b) const {
+  if (!reachable(a) || !reachable(b)) return false;
+  // Follow idom links from b toward the entry; a dominates b iff it appears.
+  int cur = b;
+  while (true) {
+    if (cur == a) return true;
+    const int up = idom[static_cast<std::size_t>(cur)];
+    if (up == cur || up < 0) return false;  // reached the entry
+    cur = up;
+  }
+}
+
+std::vector<int> Cfg::loop_headers() const {
+  std::vector<int> heads;
+  for (int b = 0; b < num_blocks(); ++b) {
+    if (!reachable(b)) continue;
+    for (const int s : succ[static_cast<std::size_t>(b)]) {
+      if (is_back_edge(b, s) && std::find(heads.begin(), heads.end(), s) == heads.end()) {
+        heads.push_back(s);
+      }
+    }
+  }
+  std::sort(heads.begin(), heads.end());
+  return heads;
+}
+
+Cfg build_cfg(const Function& f) {
+  Cfg cfg;
+  cfg.func = &f;
+  const int n = static_cast<int>(f.blocks.size());
+  cfg.succ.resize(static_cast<std::size_t>(n));
+  cfg.pred.resize(static_cast<std::size_t>(n));
+  cfg.rpo_index.assign(static_cast<std::size_t>(n), -1);
+  cfg.idom.assign(static_cast<std::size_t>(n), -1);
+
+  const auto in_range = [n](int b) { return b >= 0 && b < n; };
+  for (int b = 0; b < n; ++b) {
+    const auto& insts = f.blocks[static_cast<std::size_t>(b)].insts;
+    if (insts.empty()) continue;
+    const Inst& last = insts.back();
+    const auto add_edge = [&](int to) {
+      if (!in_range(to)) return;  // verifier `target` rule reports this
+      auto& ss = cfg.succ[static_cast<std::size_t>(b)];
+      if (std::find(ss.begin(), ss.end(), to) == ss.end()) {
+        ss.push_back(to);
+        cfg.pred[static_cast<std::size_t>(to)].push_back(b);
+      }
+    };
+    if (last.op == Opcode::Br) {
+      add_edge(last.t0);
+    } else if (last.op == Opcode::BrCond) {
+      add_edge(last.t0);
+      add_edge(last.t1);
+    }
+    // Ret / missing terminator: no successors.
+  }
+
+  std::vector<int> post;
+  postorder(cfg, post);
+  cfg.rpo.assign(post.rbegin(), post.rend());
+  for (std::size_t i = 0; i < cfg.rpo.size(); ++i) {
+    cfg.rpo_index[static_cast<std::size_t>(cfg.rpo[i])] = static_cast<int>(i);
+  }
+
+  if (!cfg.rpo.empty()) {
+    // Cooper–Harvey–Kennedy iterative dominators over RPO.
+    const int entry = cfg.rpo.front();
+    cfg.idom[static_cast<std::size_t>(entry)] = entry;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const int b : cfg.rpo) {
+        if (b == entry) continue;
+        int new_idom = -1;
+        for (const int p : cfg.pred[static_cast<std::size_t>(b)]) {
+          if (cfg.idom[static_cast<std::size_t>(p)] < 0) continue;  // not yet processed
+          new_idom = new_idom < 0 ? p : intersect(cfg, p, new_idom);
+        }
+        if (new_idom >= 0 && cfg.idom[static_cast<std::size_t>(b)] != new_idom) {
+          cfg.idom[static_cast<std::size_t>(b)] = new_idom;
+          changed = true;
+        }
+      }
+    }
+  }
+  return cfg;
+}
+
+DefUse build_def_use(const Function& f) {
+  DefUse du;
+  const int nregs = f.num_regs();
+  du.defs.resize(static_cast<std::size_t>(nregs));
+  du.uses.resize(static_cast<std::size_t>(nregs));
+  const auto in_range = [nregs](int r) { return r >= 0 && r < nregs; };
+  for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+    const auto& insts = f.blocks[b].insts;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      const InstRef ref{static_cast<int>(b), static_cast<int>(i)};
+      const int d = def_of(insts[i]);
+      if (in_range(d)) du.defs[static_cast<std::size_t>(d)].push_back(ref);
+      for (const int u : uses_of(insts[i])) {
+        if (in_range(u)) du.uses[static_cast<std::size_t>(u)].push_back(ref);
+      }
+    }
+  }
+  return du;
+}
+
+}  // namespace raptor::ir::analysis

@@ -1,0 +1,77 @@
+// Per-function control-flow infrastructure for the RIR static-analysis
+// layer (DESIGN.md §14): explicit CFG with successor/predecessor edges,
+// reverse-postorder iteration, a dominator tree (Cooper–Harvey–Kennedy over
+// RPO), back-edge/loop-head detection, and def-use chains. Everything in
+// this header tolerates *malformed* functions — unterminated blocks,
+// out-of-range branch targets and register indices — because the verifier
+// (verifier.hpp) is itself a client: a block with no terminator simply has
+// no successors, and bad indices contribute no edges or chain entries. The
+// rules that reject them live in the verifier, not here.
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace raptor::ir::analysis {
+
+/// Position of one instruction: block index + instruction index within it.
+struct InstRef {
+  int block = -1;
+  int inst = -1;
+
+  friend bool operator==(const InstRef&, const InstRef&) = default;
+};
+
+/// True for ret/br/brcond — the opcodes that may (and must) end a block.
+[[nodiscard]] bool is_terminator(Opcode op);
+
+/// Destination register of an instruction, or -1 when it defines nothing.
+[[nodiscard]] int def_of(const Inst& in);
+
+/// Registers an instruction reads, in operand order (a, b, reg call args).
+[[nodiscard]] std::vector<int> uses_of(const Inst& in);
+
+struct Cfg {
+  const Function* func = nullptr;
+  std::vector<std::vector<int>> succ;  ///< per-block successor block indices
+  std::vector<std::vector<int>> pred;  ///< per-block predecessor block indices
+  /// Reachable blocks in reverse postorder (entry first).
+  std::vector<int> rpo;
+  /// Block index -> position in `rpo`; -1 for unreachable blocks.
+  std::vector<int> rpo_index;
+  /// Immediate dominator per block; entry's idom is itself, -1 unreachable.
+  std::vector<int> idom;
+
+  [[nodiscard]] int num_blocks() const { return static_cast<int>(succ.size()); }
+  [[nodiscard]] bool reachable(int b) const {
+    return b >= 0 && b < num_blocks() && rpo_index[static_cast<std::size_t>(b)] >= 0;
+  }
+  /// Dominance (reflexive). False when either block is unreachable.
+  [[nodiscard]] bool dominates(int a, int b) const;
+  /// Heads of back edges (targets b of edges a->b where b dominates a):
+  /// the function's natural-loop headers, deduplicated in block order.
+  [[nodiscard]] std::vector<int> loop_headers() const;
+  /// True when edge from->to is a back edge (to dominates from).
+  [[nodiscard]] bool is_back_edge(int from, int to) const { return dominates(to, from); }
+};
+
+/// Build the CFG + dominator tree for one function. Successors come from
+/// the final instruction of each block when it is a terminator with
+/// in-range targets; anything else contributes no edges (see file comment).
+[[nodiscard]] Cfg build_cfg(const Function& f);
+
+/// Def-use chains over a function's registers, in block/instruction order.
+/// Parameters are considered defined at function entry (no InstRef).
+struct DefUse {
+  std::vector<std::vector<InstRef>> defs;  ///< per register: definition sites
+  std::vector<std::vector<InstRef>> uses;  ///< per register: use sites
+
+  [[nodiscard]] int num_regs() const { return static_cast<int>(defs.size()); }
+};
+
+/// Build def-use chains. Out-of-range register indices are skipped (the
+/// verifier's reg-bounds rule reports them).
+[[nodiscard]] DefUse build_def_use(const Function& f);
+
+}  // namespace raptor::ir::analysis

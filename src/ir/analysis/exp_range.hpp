@@ -1,0 +1,119 @@
+// Static exponent-range inference (DESIGN.md §14.3): abstract
+// interpretation of RIR over per-register intervals of floor(log2|x|),
+// with threshold widening at loop heads and interprocedural propagation
+// over call-graph SCCs. The output mirrors the PR-5 trace layer's
+// `trace::Recommendation` shape — one per function and one per FP call
+// site (labelled with the instruction's `ir:<line>` loc, exactly the
+// region labels the runtime shims push) — so `PrecisionSearch` can be
+// seeded via `SearchOptions::exp_hints` without ever running the program.
+//
+// The add/sub lower bound is deliberately optimistic: cancellation can
+// produce results far smaller than min(lo_a, lo_b), but a sound bound
+// would be -inf for every subtraction and the hints would degenerate to
+// exp_bits=11 everywhere. Hints feed a *validating* search (the search
+// re-checks every format against the quality gate), so optimism costs
+// retries, never correctness. See DESIGN.md §14.3.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "trace/analysis.hpp"
+
+namespace raptor::ir::analysis {
+
+/// Extremes of floor(log2|x|) for finite nonzero doubles.
+inline constexpr int kExpMin = -1074;
+inline constexpr int kExpMax = 1024;
+
+/// Interval of floor(log2|x|) over the nonzero finite values a register may
+/// hold, plus flags for the values the exponent lattice cannot express.
+struct ExpInterval {
+  int lo = kExpMax;  ///< lo > hi encodes bottom (no nonzero finite value yet)
+  int hi = kExpMin;
+  bool zero = false;        ///< may be exactly +-0
+  bool non_finite = false;  ///< may be inf/nan
+
+  [[nodiscard]] static ExpInterval bottom() { return {}; }
+  [[nodiscard]] static ExpInterval top() { return {kExpMin, kExpMax, true, true}; }
+  /// Interval for one concrete value.
+  [[nodiscard]] static ExpInterval of(double v);
+  /// [lo, hi] with no zero/non-finite possibility.
+  [[nodiscard]] static ExpInterval range(int lo, int hi);
+
+  /// True when no nonzero finite value is possible (flags may still be set:
+  /// a register known to be exactly 0 is empty() but zero).
+  [[nodiscard]] bool empty() const { return lo > hi; }
+  [[nodiscard]] bool is_bottom() const { return empty() && !zero && !non_finite; }
+  [[nodiscard]] bool operator==(const ExpInterval& o) const {
+    return lo == o.lo && hi == o.hi && zero == o.zero && non_finite == o.non_finite;
+  }
+
+  [[nodiscard]] ExpInterval join(const ExpInterval& o) const;
+  /// Threshold widening: bounds that grew since `old` jump to the next
+  /// magnitude threshold (binade of common format limits) instead of
+  /// creeping one binade per loop iteration.
+  [[nodiscard]] ExpInterval widen(const ExpInterval& old) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Transfer function for one FP opcode (Call shims route through this too).
+[[nodiscard]] ExpInterval exp_transfer(Opcode op, const ExpInterval& a, const ExpInterval& b);
+
+/// Clamp through a Format{exp_bits=e, man_bits} truncation: exponents below
+/// the format's min normal flush to zero, above its max saturate to
+/// non-finite (mirrors trunc/softfloat semantics).
+[[nodiscard]] ExpInterval exp_clamp_to_format(const ExpInterval& x, int exp_bits);
+
+struct FunctionExpSummary {
+  std::string name;
+  ExpInterval params;  ///< join of all argument intervals seen at call sites
+  ExpInterval ret;
+  /// FP result interval per call-site label (inst.loc, "ir:<line>"); one
+  /// entry per distinct loc, joined across paths and contexts.
+  std::vector<std::pair<std::string, ExpInterval>> at_loc;
+  ExpInterval all_fp;  ///< join over at_loc — the function-scope range
+  bool analyzed = false;
+
+  [[nodiscard]] const ExpInterval* find_loc(std::string_view loc) const;
+};
+
+struct ExpRangeOptions {
+  /// Per-entry parameter intervals. Functions not listed that have no
+  /// in-module callers are analyzed with every parameter = top(); listed
+  /// functions are forced to be analysis entries with the given intervals
+  /// (missing trailing params default to top()).
+  std::vector<std::pair<std::string, std::vector<ExpInterval>>> entry_params;
+  /// Joins tolerated at a loop head (and at recursive-SCC boundaries)
+  /// before widening kicks in.
+  int widen_after = 2;
+  /// Hard cap on function (re-)analyses, as a termination backstop.
+  int max_passes = 1000;
+};
+
+struct ModuleExpAnalysis {
+  std::vector<FunctionExpSummary> funcs;  ///< module order
+
+  [[nodiscard]] const FunctionExpSummary* find(std::string_view name) const;
+};
+
+[[nodiscard]] ModuleExpAnalysis analyze_exp_ranges(const Module& m,
+                                                   const ExpRangeOptions& opts = {});
+
+/// Recommendations in the PR-5 trace shape: one per analyzed function
+/// (label = function name) and, when `per_loc`, one per FP call-site label.
+/// exp_bits = trace::min_exp_bits over the static interval (11 when the
+/// interval may be non-finite), man_bits left at the f64 default for the
+/// search to bisect.
+[[nodiscard]] std::vector<trace::Recommendation> exp_hints(const ModuleExpAnalysis& a,
+                                                           bool per_loc = true);
+
+/// The same hints as `SearchOptions::exp_hints` pairs (label -> exp_bits).
+[[nodiscard]] std::vector<std::pair<std::string, int>> to_search_hints(
+    const std::vector<trace::Recommendation>& recs);
+
+}  // namespace raptor::ir::analysis

@@ -3,11 +3,50 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ir/analysis/verifier.hpp"
 #include "softfloat/format.hpp"
 
 namespace raptor::ir {
 
 namespace {
+
+/// Structural check of the functions the pass is about to rewrite; feeding
+/// the pass broken IR is a caller error.
+void verify_pass_input(const Module& m, const std::vector<std::string>& names) {
+  analysis::VerifyOptions vo;
+  vo.infer_clones = false;
+  vo.flag_unreachable = false;
+  analysis::VerifyResult vr;
+  for (const auto& name : names) {
+    if (const Function* f = m.find(name)) vr.merge(analysis::verify_function(m, *f, vo));
+  }
+  if (!vr.ok()) {
+    throw std::invalid_argument("trunc pass: input IR is invalid:\n" + vr.to_string());
+  }
+}
+
+/// Structural + instrumentation-invariant check of the pass output; a
+/// violation here is a bug in the pass itself, not in the caller.
+void verify_pass_output(const Module& m, const std::vector<std::string>& transformed,
+                        const TruncPassOptions& opts, bool whole_module) {
+  analysis::VerifyOptions vo;
+  vo.infer_clones = false;
+  vo.flag_unreachable = false;
+  analysis::VerifyResult vr;
+  for (const auto& name : transformed) {
+    if (const Function* f = m.find(name)) vr.merge(analysis::verify_function(m, *f, vo));
+  }
+  analysis::InstrumentationInfo info;
+  info.transformed = transformed;
+  info.to_exp = opts.to_exp;
+  info.to_man = opts.to_man;
+  info.scratch_opt = opts.scratch_opt;
+  info.whole_module = whole_module;
+  vr.merge(analysis::verify_instrumentation(m, info));
+  if (!vr.ok()) {
+    throw std::logic_error("trunc pass produced invalid IR:\n" + vr.to_string());
+  }
+}
 
 const char* shim_name(Opcode op) {
   switch (op) {
@@ -174,10 +213,14 @@ TruncPassResult run_trunc_pass(const Module& input, const TruncPassOptions& opts
     std::vector<std::string> all_names;
     all_names.reserve(input.funcs.size());
     for (const auto& f : input.funcs) all_names.push_back(f.name);
+    if (opts.verify) verify_pass_input(input, all_names);
     for (auto& f : result.module.funcs) {
       rewrite_function(f, opts, all_names, /*add_scratch_param=*/false,
                        /*self_scratch=*/true, /*whole_module=*/true, result.warnings);
       result.transformed.push_back(f.name);
+    }
+    if (opts.verify) {
+      verify_pass_output(result.module, result.transformed, opts, /*whole_module=*/true);
     }
     return result;
   }
@@ -188,6 +231,7 @@ TruncPassResult run_trunc_pass(const Module& input, const TruncPassOptions& opts
 
   std::vector<std::string> externals;
   const std::vector<std::string> in_set = transitive_callees(input, opts.root, &externals);
+  if (opts.verify) verify_pass_input(input, in_set);
   for (const auto& e : externals) {
     result.warnings.push_back("ignoring call to external @" + e +
                               " (no definition available; see paper fn.12)");
@@ -207,6 +251,9 @@ TruncPassResult run_trunc_pass(const Module& input, const TruncPassOptions& opts
     result.module.funcs.push_back(std::move(clone));
   }
   result.entry = clone_name(opts.root, opts);
+  if (opts.verify) {
+    verify_pass_output(result.module, result.transformed, opts, /*whole_module=*/false);
+  }
   return result;
 }
 

@@ -35,6 +35,11 @@ struct TruncPassOptions {
   int to_man = 23;
   /// Apply the Fig. 4b scratch-pad threading optimization.
   bool scratch_opt = true;
+  /// Gate the pass through the static verifier (DESIGN.md §14): structural
+  /// rules on the input (violations throw std::invalid_argument) and
+  /// instrumentation-invariant rules on the output (violations mean the
+  /// pass itself is broken and throw std::logic_error).
+  bool verify = true;
 };
 
 struct TruncPassResult {

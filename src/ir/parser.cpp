@@ -9,11 +9,24 @@ namespace raptor::ir {
 
 namespace {
 
+/// One token with its 1-based source column, so every diagnostic can point
+/// at the exact offender.
+struct Token {
+  std::string text;
+  int col = 0;
+};
+
 /// A single source line broken into tokens. Token kinds are inferred from
 /// the leading character; punctuation (, ) : = are their own tokens.
 struct Line {
   int number = 0;
-  std::vector<std::string> tokens;
+  std::vector<Token> tokens;
+
+  /// Column just past the last token — where a missing token "would be".
+  [[nodiscard]] int end_col() const {
+    if (tokens.empty()) return 1;
+    return tokens.back().col + static_cast<int>(tokens.back().text.size());
+  }
 };
 
 bool is_ident_char(char c) {
@@ -38,6 +51,7 @@ std::vector<Line> tokenize(std::string_view text) {
     std::size_t i = 0;
     while (i < line.size()) {
       const char c = line[i];
+      const int col = static_cast<int>(i) + 1;
       if (c == '#') break;  // comment to end of line
       if (std::isspace(static_cast<unsigned char>(c)) != 0) {
         ++i;
@@ -45,29 +59,38 @@ std::vector<Line> tokenize(std::string_view text) {
       }
       if (c == '"') {
         const auto end = line.find('"', i + 1);
-        if (end == std::string_view::npos) throw ParseError(lineno, "unterminated string");
-        out.tokens.emplace_back(line.substr(i, end - i + 1));
+        if (end == std::string_view::npos) throw ParseError(lineno, col, "unterminated string");
+        out.tokens.push_back(Token{std::string(line.substr(i, end - i + 1)), col});
         i = end + 1;
         continue;
       }
       if (c == '(' || c == ')' || c == ',' || c == ':' || c == '=' || c == '{' || c == '}') {
-        out.tokens.emplace_back(1, c);
+        out.tokens.push_back(Token{std::string(1, c), col});
         ++i;
         continue;
       }
       if (c == '%' || c == '@' || is_ident_char(c)) {
         std::size_t j = i + 1;
         while (j < line.size() && is_ident_char(line[j])) ++j;
-        out.tokens.emplace_back(line.substr(i, j - i));
+        out.tokens.push_back(Token{std::string(line.substr(i, j - i)), col});
         i = j;
         continue;
       }
-      throw ParseError(lineno, std::string("unexpected character '") + c + "'");
+      throw ParseError(lineno, col, std::string("unexpected character '") + c + "'");
     }
     if (!out.tokens.empty()) lines.push_back(std::move(out));
     if (nl == std::string_view::npos) break;
   }
   return lines;
+}
+
+/// Token at position `j`, or a located "expected <what>" error pointing just
+/// past the end of the line.
+const Token& tok_at(const Line& ln, std::size_t j, const char* what) {
+  if (j >= ln.tokens.size()) {
+    throw ParseError(ln.number, ln.end_col(), std::string("expected ") + what);
+  }
+  return ln.tokens[j];
 }
 
 std::optional<double> parse_number(const std::string& tok) {
@@ -101,25 +124,21 @@ std::optional<Opcode> parse_fp_opcode(const std::string& tok) {
 
 class FunctionParser {
  public:
-  FunctionParser(Function& f, int lineno) : f_(f), lineno_(lineno) {}
+  explicit FunctionParser(Function& f) : f_(f) {}
 
   /// Register lookup, creating locals on first definition-position use.
-  int use_reg(const std::string& tok, bool defining) {
-    if (tok.size() < 2 || tok[0] != '%') throw ParseError(lineno_, "expected register, got " + tok);
-    const std::string name = tok.substr(1);
+  int use_reg(const Token& tok, int lineno, bool defining) {
+    if (tok.text.size() < 2 || tok.text[0] != '%') {
+      throw ParseError(lineno, tok.col, "expected register, got " + tok.text);
+    }
+    const std::string name = tok.text.substr(1);
     const int idx = f_.find_reg(name);
     if (idx >= 0) return idx;
-    if (!defining) throw ParseError(lineno_, "use of undefined register %" + name);
+    if (!defining) throw ParseError(lineno, tok.col, "use of undefined register %" + name);
     return f_.add_reg(name);
   }
 
-  /// Branch target by label; block may appear later, so record a fixup.
-  int use_label(const std::string& tok, std::vector<std::pair<Inst*, int>>& /*unused*/) {
-    return f_.find_block(tok);
-  }
-
   Function& f_;
-  int lineno_;
 };
 
 }  // namespace
@@ -131,171 +150,186 @@ Module parse_module(std::string_view text) {
   std::size_t li = 0;
   while (li < lines.size()) {
     const Line& header = lines[li];
-    auto expect = [&](std::size_t idx, const char* what) -> const std::string& {
-      if (idx >= header.tokens.size()) throw ParseError(header.number, std::string("expected ") + what);
-      return header.tokens[idx];
-    };
-    if (expect(0, "'func'") != "func") throw ParseError(header.number, "expected 'func'");
-    const std::string& fname = expect(1, "function name");
-    if (fname.size() < 2 || fname[0] != '@') throw ParseError(header.number, "expected @name");
+    if (tok_at(header, 0, "'func'").text != "func") {
+      throw ParseError(header.number, header.tokens[0].col, "expected 'func'");
+    }
+    const Token& fname = tok_at(header, 1, "function name");
+    if (fname.text.size() < 2 || fname.text[0] != '@') {
+      throw ParseError(header.number, fname.col, "expected @name");
+    }
 
     Function fn;
-    fn.name = fname.substr(1);
+    fn.name = fname.text.substr(1);
     std::size_t t = 2;
-    if (expect(t, "'('") != "(") throw ParseError(header.number, "expected '('");
+    if (tok_at(header, t, "'('").text != "(") {
+      throw ParseError(header.number, header.tokens[t].col, "expected '('");
+    }
     ++t;
-    while (header.tokens[t] != ")") {
-      std::string tok = header.tokens[t];
-      if (tok == ",") {
+    while (tok_at(header, t, "')'").text != ")") {
+      const Token* tok = &header.tokens[t];
+      if (tok->text == ",") {
         ++t;
         continue;
       }
-      if (tok == "f64" || tok == "f32") {  // optional type annotation
+      if (tok->text == "f64" || tok->text == "f32") {  // optional type annotation
         ++t;
-        tok = expect(t, "parameter register");
+        tok = &tok_at(header, t, "parameter register");
       }
-      if (tok.empty() || tok[0] != '%') throw ParseError(header.number, "expected %param");
-      fn.add_reg(tok.substr(1));
+      if (tok->text.empty() || tok->text[0] != '%') {
+        throw ParseError(header.number, tok->col, "expected %param");
+      }
+      fn.add_reg(tok->text.substr(1));
       ++t;
-      if (t >= header.tokens.size()) throw ParseError(header.number, "unterminated parameter list");
     }
     fn.num_params = fn.num_regs();
     // Optional "-> f64", then "{" (possibly on the same line).
     bool brace_seen = false;
     for (++t; t < header.tokens.size(); ++t) {
-      if (header.tokens[t] == "{") brace_seen = true;
+      if (header.tokens[t].text == "{") brace_seen = true;
     }
-    if (!brace_seen) throw ParseError(header.number, "expected '{' on func line");
+    if (!brace_seen) {
+      throw ParseError(header.number, header.end_col(), "expected '{' on func line");
+    }
 
     // First pass over the body: find labels so branches can resolve forward.
-    std::vector<std::pair<std::size_t, std::size_t>> body;  // line range [begin, end)
+    std::vector<std::size_t> body;
     std::size_t bi = li + 1;
     for (; bi < lines.size(); ++bi) {
-      if (lines[bi].tokens[0] == "}") break;
-      body.emplace_back(bi, bi);
+      if (lines[bi].tokens[0].text == "}") break;
+      body.push_back(bi);
     }
     if (bi >= lines.size()) throw ParseError(header.number, "missing closing '}'");
 
-    for (const auto& [idx, _] : body) {
+    for (const std::size_t idx : body) {
       const Line& ln = lines[idx];
-      if (ln.tokens.size() == 2 && ln.tokens[1] == ":") {
+      if (ln.tokens.size() == 2 && ln.tokens[1].text == ":") {
         Block b;
-        b.label = ln.tokens[0];
-        if (fn.find_block(b.label) >= 0) throw ParseError(ln.number, "duplicate label " + b.label);
+        b.label = ln.tokens[0].text;
+        if (fn.find_block(b.label) >= 0) {
+          throw ParseError(ln.number, ln.tokens[0].col, "duplicate label " + b.label);
+        }
         fn.blocks.push_back(std::move(b));
       }
     }
     if (fn.blocks.empty()) throw ParseError(header.number, "function has no blocks");
 
     // Second pass: parse instructions into their blocks.
-    FunctionParser fp(fn, header.number);
+    FunctionParser fp(fn);
     int cur_block = -1;
-    for (const auto& [idx, _] : body) {
+    for (const std::size_t idx : body) {
       const Line& ln = lines[idx];
-      fp.lineno_ = ln.number;
+      const int lineno = ln.number;
       const auto& tk = ln.tokens;
-      if (tk.size() == 2 && tk[1] == ":") {
-        cur_block = fn.find_block(tk[0]);
+      if (tk.size() == 2 && tk[1].text == ":") {
+        cur_block = fn.find_block(tk[0].text);
         continue;
       }
-      if (cur_block < 0) throw ParseError(ln.number, "instruction before first label");
+      if (cur_block < 0) throw ParseError(lineno, tk[0].col, "instruction before first label");
       Inst inst;
-      inst.loc = "ir:" + std::to_string(ln.number);
+      inst.loc = "ir:" + std::to_string(lineno);
+
+      const auto use_label = [&](const Token& tok) {
+        const int b = fn.find_block(tok.text);
+        if (b < 0) throw ParseError(lineno, tok.col, "unknown label " + tok.text);
+        return b;
+      };
 
       auto parse_call = [&](std::size_t start, int result_reg) {
         inst.op = Opcode::Call;
         inst.result = result_reg;
-        const std::string& callee = tk.at(start);
-        if (callee.size() < 2 || callee[0] != '@')
-          throw ParseError(ln.number, "expected @callee");
-        inst.callee = callee.substr(1);
+        const Token& callee = tok_at(ln, start, "@callee");
+        if (callee.text.size() < 2 || callee.text[0] != '@') {
+          throw ParseError(lineno, callee.col, "expected @callee");
+        }
+        inst.callee = callee.text.substr(1);
         std::size_t j = start + 1;
-        if (j >= tk.size() || tk[j] != "(") throw ParseError(ln.number, "expected '('");
-        for (++j; j < tk.size() && tk[j] != ")"; ++j) {
-          const std::string& a = tk[j];
-          if (a == ",") continue;
-          if (a[0] == '%') {
-            inst.call_args.push_back(Arg::make_reg(fp.use_reg(a, false)));
-          } else if (a[0] == '"') {
-            inst.call_args.push_back(Arg::make_str(a.substr(1, a.size() - 2)));
-          } else if (auto num = parse_number(a)) {
+        if (tok_at(ln, j, "'('").text != "(") throw ParseError(lineno, tk[j].col, "expected '('");
+        for (++j; tok_at(ln, j, "')'").text != ")"; ++j) {
+          const Token& a = tk[j];
+          if (a.text == ",") continue;
+          if (a.text[0] == '%') {
+            inst.call_args.push_back(Arg::make_reg(fp.use_reg(a, lineno, false)));
+          } else if (a.text[0] == '"') {
+            inst.call_args.push_back(Arg::make_str(a.text.substr(1, a.text.size() - 2)));
+          } else if (auto num = parse_number(a.text)) {
             inst.call_args.push_back(Arg::make_imm(*num));
           } else {
-            throw ParseError(ln.number, "bad call argument " + a);
+            throw ParseError(lineno, a.col, "bad call argument " + a.text);
           }
         }
-        if (j >= tk.size()) throw ParseError(ln.number, "unterminated call argument list");
       };
 
-      if (tk[0] == "ret") {
+      if (tk[0].text == "ret") {
         inst.op = Opcode::Ret;
-        inst.a = tk.size() > 1 ? fp.use_reg(tk[1], false) : -1;
-      } else if (tk[0] == "br") {
+        inst.a = tk.size() > 1 ? fp.use_reg(tk[1], lineno, false) : -1;
+      } else if (tk[0].text == "br") {
         inst.op = Opcode::Br;
-        inst.t0 = fn.find_block(tk.at(1));
-        if (inst.t0 < 0) throw ParseError(ln.number, "unknown label " + tk[1]);
-      } else if (tk[0] == "brcond") {
+        inst.t0 = use_label(tok_at(ln, 1, "label"));
+      } else if (tk[0].text == "brcond") {
         inst.op = Opcode::BrCond;
-        inst.a = fp.use_reg(tk.at(1), false);
+        inst.a = fp.use_reg(tok_at(ln, 1, "condition register"), lineno, false);
         std::size_t j = 2;
-        if (j < tk.size() && tk[j] == ",") ++j;
-        inst.t0 = fn.find_block(tk.at(j));
+        if (j < tk.size() && tk[j].text == ",") ++j;
+        inst.t0 = use_label(tok_at(ln, j, "label"));
         ++j;
-        if (j < tk.size() && tk[j] == ",") ++j;
-        inst.t1 = fn.find_block(tk.at(j));
-        if (inst.t0 < 0 || inst.t1 < 0) throw ParseError(ln.number, "unknown branch label");
-      } else if (tk[0] == "set") {
+        if (j < tk.size() && tk[j].text == ",") ++j;
+        inst.t1 = use_label(tok_at(ln, j, "label"));
+      } else if (tk[0].text == "set") {
         inst.op = Opcode::Set;
         std::size_t j = 1;
-        inst.result = fp.use_reg(tk.at(j), true);
+        inst.result = fp.use_reg(tok_at(ln, j, "register"), lineno, true);
         ++j;
-        if (j < tk.size() && tk[j] == ",") ++j;
-        inst.a = fp.use_reg(tk.at(j), false);
-      } else if (tk[0] == "call") {
+        if (j < tk.size() && tk[j].text == ",") ++j;
+        inst.a = fp.use_reg(tok_at(ln, j, "register"), lineno, false);
+      } else if (tk[0].text == "call") {
         parse_call(1, -1);
-      } else if (tk.size() >= 3 && tk[1] == "=") {
-        const int res = fp.use_reg(tk[0], true);
-        const std::string& op = tk[2];
-        if (op == "call") {
+      } else if (tk.size() >= 3 && tk[1].text == "=") {
+        const int res = fp.use_reg(tk[0], lineno, true);
+        const Token& op = tk[2];
+        if (op.text == "call") {
           parse_call(3, res);
-        } else if (op == "const") {
+        } else if (op.text == "const") {
           inst.op = Opcode::Const;
           inst.result = res;
-          const auto num = parse_number(tk.at(3));
-          if (!num) throw ParseError(ln.number, "bad constant " + tk[3]);
+          const Token& lit = tok_at(ln, 3, "constant");
+          const auto num = parse_number(lit.text);
+          if (!num) throw ParseError(lineno, lit.col, "bad constant " + lit.text);
           inst.imm = *num;
-        } else if (op == "fcmp") {
+        } else if (op.text == "fcmp") {
           inst.op = Opcode::FCmp;
           inst.result = res;
-          const auto kind = parse_cmp(tk.at(3));
-          if (!kind) throw ParseError(ln.number, "bad compare kind " + tk[3]);
+          const Token& kind_tok = tok_at(ln, 3, "compare kind");
+          const auto kind = parse_cmp(kind_tok.text);
+          if (!kind) throw ParseError(lineno, kind_tok.col, "bad compare kind " + kind_tok.text);
           inst.cmp = *kind;
           std::size_t j = 4;
-          inst.a = fp.use_reg(tk.at(j), false);
+          inst.a = fp.use_reg(tok_at(ln, j, "register"), lineno, false);
           ++j;
-          if (j < tk.size() && tk[j] == ",") ++j;
-          inst.b = fp.use_reg(tk.at(j), false);
-        } else if (auto fpop = parse_fp_opcode(op)) {
+          if (j < tk.size() && tk[j].text == ",") ++j;
+          inst.b = fp.use_reg(tok_at(ln, j, "register"), lineno, false);
+        } else if (auto fpop = parse_fp_opcode(op.text)) {
           inst.op = *fpop;
           inst.result = res;
           std::size_t j = 3;
-          inst.a = fp.use_reg(tk.at(j), false);
+          inst.a = fp.use_reg(tok_at(ln, j, "register"), lineno, false);
           if (!is_unary_fp(inst.op)) {
             ++j;
-            if (j < tk.size() && tk[j] == ",") ++j;
-            inst.b = fp.use_reg(tk.at(j), false);
+            if (j < tk.size() && tk[j].text == ",") ++j;
+            inst.b = fp.use_reg(tok_at(ln, j, "register"), lineno, false);
           }
         } else {
-          throw ParseError(ln.number, "unknown opcode " + op);
+          throw ParseError(lineno, op.col, "unknown opcode " + op.text);
         }
       } else {
-        throw ParseError(ln.number, "cannot parse instruction starting with " + tk[0]);
+        throw ParseError(lineno, tk[0].col,
+                         "cannot parse instruction starting with " + tk[0].text);
       }
       fn.blocks[cur_block].insts.push_back(std::move(inst));
     }
 
-    if (mod.find(fn.name) != nullptr)
-      throw ParseError(header.number, "duplicate function @" + fn.name);
+    if (mod.find(fn.name) != nullptr) {
+      throw ParseError(header.number, fname.col, "duplicate function @" + fn.name);
+    }
     mod.funcs.push_back(std::move(fn));
     li = bi + 1;
   }

@@ -12,13 +12,22 @@ class ParseError : public std::runtime_error {
  public:
   ParseError(int line, const std::string& msg)
       : std::runtime_error("rir:" + std::to_string(line) + ": " + msg), line_(line) {}
+  ParseError(int line, int col, const std::string& msg)
+      : std::runtime_error("rir:" + std::to_string(line) + ":" + std::to_string(col) + ": " + msg),
+        line_(line),
+        col_(col) {}
   [[nodiscard]] int line() const { return line_; }
+  /// 1-based column of the offending token; 0 when the error has no single
+  /// column (e.g. a function-level complaint).
+  [[nodiscard]] int col() const { return col_; }
 
  private:
   int line_;
+  int col_ = 0;
 };
 
-/// Parse a module from text. Throws ParseError with a 1-based line number.
+/// Parse a module from text. Throws ParseError with a 1-based line number
+/// and, for token-level errors, a 1-based column.
 [[nodiscard]] Module parse_module(std::string_view text);
 
 }  // namespace raptor::ir

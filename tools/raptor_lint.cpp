@@ -1,0 +1,384 @@
+// Static analyzer / verifier CLI for RIR modules (DESIGN.md §14).
+//
+//   raptor_lint <file.rir> [...]      parse + verify each file; diagnostics
+//                                     to stdout, exit 1 when any error fires
+//   raptor_lint <f> --expect-fail[=rule]
+//                                     assert each file is REJECTED (with the
+//                                     given rule id when provided); used by
+//                                     the seeded-defect corpus in CI
+//   raptor_lint <f> --hints           print static exponent-range hints per
+//                                     function and per call-site label, in
+//                                     the trace-recommendation shape
+//   raptor_lint <f> --auto=<cfg>      run the auto-instrumentation driver
+//                                     with the given config (see
+//                                     parse_auto_config for the grammar)
+//   raptor_lint <f> --auto=<cfg> --emit=<path>
+//                                     also write the instrumented module
+//   raptor_lint --rules               print the verifier rule table
+//   raptor_lint --selftest            self-contained checks over embedded
+//                                     modules (parser columns, rule ids,
+//                                     exp-range math, auto-instrumentation)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ir/analysis/auto_instrument.hpp"
+#include "ir/analysis/callgraph.hpp"
+#include "ir/analysis/cfg.hpp"
+#include "ir/analysis/exp_range.hpp"
+#include "ir/analysis/verifier.hpp"
+#include "ir/instrument.hpp"
+#include "ir/parser.hpp"
+#include "support/cli.hpp"
+
+using namespace raptor;
+using namespace raptor::ir;
+using namespace raptor::ir::analysis;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw CliError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void print_rules() {
+  std::printf("%-15s %-8s %s\n", "rule", "severity", "summary");
+  for (const RuleInfo& r : verifier_rules()) {
+    std::printf("%-15s %-8s %s\n", r.id, r.severity == Severity::Error ? "error" : "warning",
+                r.summary);
+  }
+}
+
+void print_hints(const Module& m) {
+  const ModuleExpAnalysis a = analyze_exp_ranges(m);
+  const auto recs = exp_hints(a);
+  if (recs.empty()) {
+    std::printf("  (no FP operations reachable from any analysis root)\n");
+    return;
+  }
+  std::printf("  %-24s %8s %8s %8s %8s\n", "label", "min_exp", "max_exp", "exp_bits", "man_bits");
+  for (const auto& r : recs) {
+    std::printf("  %-24s %8d %8d %8d %8d\n", r.label.c_str(), r.min_exp, r.max_exp, r.exp_bits,
+                r.man_bits);
+  }
+}
+
+int run_auto(const Module& m, const Cli& cli) {
+  AutoInstrumentOptions opts;
+  const std::string cfg_path = cli.get("auto", "");
+  if (!cfg_path.empty() && cfg_path != "1") {
+    opts = parse_auto_config(read_file(cfg_path));
+  } else {
+    opts.use_static_hints = true;  // bare --auto: roots + formats from analysis
+  }
+  const AutoInstrumentResult res = auto_instrument(m, opts);
+  for (const auto& e : res.entries) {
+    std::printf("instrumented @%s -> @%s (exp %d, man %d)\n", e.root.c_str(), e.entry.c_str(),
+                e.to_exp, e.to_man);
+  }
+  for (const auto& s : res.skipped) {
+    std::printf("skipped @%s: %s\n", s.root.c_str(), s.reason.c_str());
+  }
+  for (const auto& w : res.warnings) std::printf("note: %s\n", w.c_str());
+  if (cli.has("emit")) {
+    const std::string out_path = cli.get("emit", "instrumented.rir");
+    std::ofstream out(out_path);
+    if (!out.good()) throw CliError("cannot open --emit output file");
+    out << res.module.to_string();
+    std::printf("wrote %zu functions to %s\n", res.module.funcs.size(), out_path.c_str());
+  }
+  return res.entries.empty() && !res.skipped.empty() ? 1 : 0;
+}
+
+/// Lint one file. Returns the diagnostics, turning a parse failure into a
+/// synthetic `parse` diagnostic so --expect-fail can target it too.
+VerifyResult lint_file(const std::string& path, Module* parsed) {
+  VerifyResult vr;
+  try {
+    Module m = parse_module(read_file(path));
+    vr = verify_module(m);
+    if (parsed != nullptr) *parsed = std::move(m);
+  } catch (const ParseError& e) {
+    vr.diags.push_back(Diag{Severity::Error, "parse", "", "", e.what()});
+  }
+  return vr;
+}
+
+// -- --selftest -------------------------------------------------------------
+
+int selftest() {
+  int failures = 0;
+  const auto check = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "selftest FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+  const auto rejects = [&](const char* src, const char* rule, const char* what) {
+    try {
+      const Module m = parse_module(src);
+      const VerifyResult vr = verify_module(m);
+      bool hit = false;
+      for (const Diag& d : vr.diags) {
+        if (d.rule == rule && d.severity == Severity::Error) hit = true;
+      }
+      check(hit, what);
+    } catch (const ParseError&) {
+      check(std::string(rule) == "parse", what);
+    }
+  };
+
+  // Parser diagnostics carry line and column.
+  try {
+    (void)parse_module("func @f(%a) -> f64 {\nentry:\n  %b = bogus %a\n  ret %b\n}\n");
+    check(false, "parser rejects unknown opcode");
+  } catch (const ParseError& e) {
+    check(e.line() == 3 && e.col() == 8, "parse error line:col points at the opcode");
+  }
+  try {
+    (void)parse_module("func @f(%a) {\nentry:\n  ret %a\nentry:\n  ret %a\n}\n");
+    check(false, "parser rejects duplicate labels");
+  } catch (const ParseError& e) {
+    check(e.line() == 4 && e.col() == 1, "duplicate label located");
+  }
+
+  // Structural rules.
+  const char* kGood =
+      "func @axpy(%a, %x, %y) -> f64 {\n"
+      "entry:\n"
+      "  %t = fmul %a, %x\n"
+      "  %r = fadd %t, %y\n"
+      "  ret %r\n"
+      "}\n";
+  {
+    const Module m = parse_module(kGood);
+    check(verify_module(m).ok(), "well-formed module accepted");
+    const Cfg cfg = build_cfg(m.funcs[0]);
+    check(cfg.num_blocks() == 1 && cfg.rpo.size() == 1, "single-block CFG");
+  }
+  rejects(
+      "func @f(%a) {\n"
+      "entry:\n"
+      "  %b = fadd %a, %a\n"
+      "}\n",
+      "terminator", "unterminated block rejected");
+  rejects(
+      "func @f(%a, %c) -> f64 {\n"
+      "entry:\n"
+      "  brcond %c, then, join\n"
+      "then:\n"
+      "  %t = fmul %a, %a\n"
+      "  br join\n"
+      "join:\n"
+      "  %r = fadd %t, %a\n"
+      "  ret %r\n"
+      "}\n",
+      "undef-use", "possibly-uninitialized register rejected");
+  rejects(
+      "func @g(%a, %b) {\nentry:\n  ret %a\n}\n"
+      "func @f(%x) {\nentry:\n  %r = call @g(%x)\n  ret %r\n}\n",
+      "arity", "call arity mismatch rejected");
+  rejects(
+      "func @_f_trunc_f64_to_8_23(%a) {\n"
+      "entry:\n"
+      "  %r = fadd %a, %a\n"
+      "  ret %r\n"
+      "}\n",
+      "clone-fp", "raw FP op in a clone rejected");
+  rejects(
+      "func @_f_trunc_f64_to_8_23(%a) {\n"
+      "entry:\n"
+      "  %r = call @_raptor_pow_f64(%a, %a, 8, 23, \"ir:3\")\n"
+      "  ret %r\n"
+      "}\n",
+      "shim-args", "unknown runtime shim rejected");
+
+  // Dominators and SCCs on a loop + recursion example.
+  {
+    const Module m = parse_module(
+        "func @even(%n) -> f64 {\nentry:\n  %r = call @odd(%n)\n  ret %r\n}\n"
+        "func @odd(%n) -> f64 {\nentry:\n  %r = call @even(%n)\n  ret %r\n}\n"
+        "func @main(%n) -> f64 {\nentry:\n  %r = call @even(%n)\n  ret %r\n}\n");
+    const CallGraph cg = build_call_graph(m);
+    check(cg.num_sccs() == 2, "mutual recursion collapses to one SCC");
+    check(cg.recursive(cg.index_of("even")) && cg.recursive(cg.index_of("odd")) &&
+              !cg.recursive(cg.index_of("main")),
+          "recursion is per-SCC");
+    check(cg.roots().size() == 1 && cg.roots()[0] == cg.index_of("main"), "main is the only root");
+    check(cg.scc_id[static_cast<std::size_t>(cg.index_of("even"))] <
+              cg.scc_id[static_cast<std::size_t>(cg.index_of("main"))],
+          "SCC ids order callees before callers");
+  }
+
+  // The truncation pass output verifies clean, and seeded defects do not.
+  {
+    const Module m = parse_module(
+        "func @leaf(%x) -> f64 {\nentry:\n  %r = fsqrt %x\n  ret %r\n}\n"
+        "func @top(%x) -> f64 {\nentry:\n  %t = call @leaf(%x)\n  %r = fmul %t, %t\n  ret %r\n}\n");
+    TruncPassOptions opts;
+    opts.root = "top";
+    const TruncPassResult pr = run_trunc_pass(m, opts);  // verify=true gates it
+    check(verify_module(pr.module).ok(), "pass output passes lint-mode verification");
+
+    Module broken = pr.module;
+    for (auto& f : broken.funcs) {
+      if (f.name == pr.entry) f.blocks.back().insts.pop_back();  // drop final ret
+    }
+    const VerifyResult vr = verify_module(broken);
+    check(vr.has("terminator"), "mutilated pass output rejected");
+  }
+
+  // Exponent-range analysis: x in [1,2) times 2.0 lands in [2,8); the hint
+  // shape must be consumable as SearchOptions::exp_hints pairs.
+  {
+    const Module m = parse_module(
+        "func @k(%x) -> f64 {\n"
+        "entry:\n"
+        "  %c = const 2.0\n"
+        "  %y = fmul %x, %c\n"
+        "  ret %y\n"
+        "}\n");
+    ExpRangeOptions opts;
+    opts.entry_params.push_back({"k", {ExpInterval::range(0, 0)}});
+    const ModuleExpAnalysis a = analyze_exp_ranges(m, opts);
+    const FunctionExpSummary* s = a.find("k");
+    check(s != nullptr && s->analyzed, "entry function analyzed");
+    check(s != nullptr && s->all_fp.lo == 1 && s->all_fp.hi == 2, "fmul interval [1,2]");
+    const auto recs = exp_hints(a);
+    bool fn_hint = false;
+    bool loc_hint = false;
+    for (const auto& r : recs) {
+      if (r.label == "k" && r.exp_bits == 3) fn_hint = true;
+      if (r.label == "ir:4") loc_hint = true;
+    }
+    check(fn_hint, "function-scope hint with minimal exponent width");
+    check(loc_hint, "per-call-site hint labelled like the runtime regions");
+    check(to_search_hints(recs).size() == recs.size(), "hints convert to search pairs");
+  }
+
+  // Widening terminates a growing loop quickly.
+  {
+    const Module m = parse_module(
+        "func @grow(%n) -> f64 {\n"
+        "entry:\n"
+        "  %x = const 1.0\n"
+        "  %i = const 0.0\n"
+        "  %one = const 1.0\n"
+        "  br head\n"
+        "head:\n"
+        "  %c = fcmp lt %i, %n\n"
+        "  brcond %c, body, done\n"
+        "body:\n"
+        "  %x2 = fmul %x, %x\n"
+        "  set %x, %x2\n"
+        "  %i2 = fadd %i, %one\n"
+        "  set %i, %i2\n"
+        "  br head\n"
+        "done:\n"
+        "  ret %x\n"
+        "}\n");
+    ExpRangeOptions opts;
+    opts.entry_params.push_back({"grow", {ExpInterval::range(3, 3)}});
+    const ModuleExpAnalysis a = analyze_exp_ranges(m, opts);
+    const FunctionExpSummary* s = a.find("grow");
+    check(s != nullptr && s->analyzed && !s->all_fp.empty(), "squaring loop converges");
+    check(s != nullptr && s->all_fp.hi >= kExpMax / 2, "widening reached a large threshold");
+  }
+
+  // Auto-instrumentation: config parsing, root picking, verifier gate.
+  {
+    const Module m = parse_module(
+        "func @leaf(%x) -> f64 {\nentry:\n  %r = fsqrt %x\n  ret %r\n}\n"
+        "func @top(%x) -> f64 {\nentry:\n  %t = call @leaf(%x)\n  %r = fmul %t, %t\n  ret %r\n}\n");
+    const AutoInstrumentOptions opts =
+        parse_auto_config("# demo\nroot top 5 10\ndefault 8 23\nscratch on\nverify on\n");
+    check(opts.roots.size() == 1 && opts.roots[0].name == "top" && opts.roots[0].to_exp == 5,
+          "config parses roots and formats");
+    try {
+      (void)parse_auto_config("root\n");
+      check(false, "config rejects bare root");
+    } catch (const std::exception& e) {
+      check(std::string(e.what()).find("line 1") != std::string::npos, "config error is located");
+    }
+    const AutoInstrumentResult res = auto_instrument(m, opts);
+    check(res.entries.size() == 1 && res.entries[0].entry == "_top_trunc_f64_to_5_10",
+          "explicit root instrumented at its format");
+    check(verify_module(res.module).ok(), "auto-instrumented module verifies");
+
+    AutoInstrumentOptions bad;
+    bad.roots.push_back(RootSpec{"nope", -1, -1});
+    const AutoInstrumentResult skipped = auto_instrument(m, bad);
+    check(skipped.entries.empty() && skipped.skipped.size() == 1, "unknown root skipped");
+
+    AutoInstrumentOptions autopick;
+    const AutoInstrumentResult picked = auto_instrument(m, autopick);
+    check(picked.entries.size() == 1 && picked.entries[0].root == "top",
+          "call-graph root auto-picked");
+  }
+
+  if (failures == 0) std::printf("raptor_lint selftest: all checks passed\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  if (cli.has("selftest")) return selftest();
+  if (cli.has("rules")) {
+    print_rules();
+    return 0;
+  }
+  if (cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <file.rir> [...] [--expect-fail[=rule]] [--hints] [--auto[=cfg]] "
+                 "[--emit=PATH] [--rules] [--selftest]\n",
+                 cli.program().c_str());
+    return 2;
+  }
+
+  const bool expect_fail = cli.has("expect-fail");
+  std::string expect_rule = cli.get("expect-fail", "");
+  if (expect_rule == "1") expect_rule.clear();
+
+  int exit_code = 0;
+  for (const std::string& path : cli.positional()) {
+    Module m;
+    const VerifyResult vr = lint_file(path, &m);
+    if (expect_fail) {
+      bool hit = false;
+      for (const Diag& d : vr.diags) {
+        if (d.severity != Severity::Error) continue;
+        if (expect_rule.empty() || d.rule == expect_rule) hit = true;
+      }
+      if (hit) {
+        std::printf("%s: rejected as expected (%s)\n", path.c_str(),
+                    expect_rule.empty() ? vr.diags.front().rule.c_str() : expect_rule.c_str());
+      } else {
+        std::printf("%s: NOT rejected%s%s (%zu errors)\n", path.c_str(),
+                    expect_rule.empty() ? "" : " by rule ", expect_rule.c_str(), vr.errors());
+        for (const Diag& d : vr.diags) std::printf("  %s\n", d.to_string().c_str());
+        exit_code = 1;
+      }
+      continue;
+    }
+    for (const Diag& d : vr.diags) std::printf("%s: %s\n", path.c_str(), d.to_string().c_str());
+    if (!vr.ok()) {
+      exit_code = 1;
+      continue;
+    }
+    std::printf("%s: ok (%zu functions, %zu warnings)\n", path.c_str(), m.funcs.size(),
+                vr.warnings());
+    if (cli.has("hints")) print_hints(m);
+    if (cli.has("auto")) exit_code = std::max(exit_code, run_auto(m, cli));
+  }
+  return exit_code;
+}
+
+int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }
