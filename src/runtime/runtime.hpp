@@ -146,7 +146,13 @@ class Runtime {
   // updates the thread's per-region exponent/deviation histograms (batch
   // spans update the exponent histogram per element). A background drainer
   // streams rings into the `.rtrace` file; a full ring drops events (with
-  // accounting) rather than ever blocking the producer.
+  // accounting) rather than ever blocking the producer. With
+  // TraceOptions::segment_bytes set, the drainer rotates the output across
+  // `segment_path(path, n)` segments (optionally compacting closed ones) so
+  // sustained captures stay bounded on disk; the drainer flushes after each
+  // cycle, so `raptor_trace --follow` can tail a live session, and
+  // multi-shard runs merge offline via `trace::merge_traces` keyed by
+  // region label.
   //
   // trace_start/trace_stop/trace_histograms share the configuration
   // quiescence contract: call them while no instrumented code is executing.

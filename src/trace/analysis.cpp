@@ -23,6 +23,56 @@ int man_bits_hint(const DevHistogram& dev, int default_man) {
   return std::clamp(man, 4, 52);
 }
 
+TraceData merge_traces(const std::vector<TraceData>& shards) {
+  TraceData out;
+  if (shards.empty()) return out;
+  out.sample_stride = shards.front().sample_stride;
+  out.ring_capacity = 0;
+
+  std::map<std::string, u32> slot_of;
+  const auto intern = [&](const std::string& label) {
+    const auto [it, inserted] = slot_of.try_emplace(label, static_cast<u32>(out.regions.size()));
+    if (inserted) {
+      RAPTOR_REQUIRE(out.regions.size() <= 0xFFFF,
+                     "trace merge: region label table exhausted (65536 labels)");
+      out.regions.push_back(label);
+    }
+    return it->second;
+  };
+
+  std::map<u32, RegionHist> hists;
+  u32 thread_base = 0;
+  for (const TraceData& td : shards) {
+    if (td.sample_stride != out.sample_stride) out.sample_stride = 0;  // mixed
+    out.ring_capacity = std::max(out.ring_capacity, td.ring_capacity);
+    std::vector<u32> remap(td.regions.size());
+    for (std::size_t slot = 0; slot < td.regions.size(); ++slot) {
+      remap[slot] = intern(td.regions[slot]);
+    }
+    // A slot with no string entry has no label to key on; all such slots
+    // share the reader's "<unknown>" name and therefore one merged region.
+    const auto remap_slot = [&](u32 slot) {
+      return slot < remap.size() ? remap[slot] : intern(td.region_name(slot));
+    };
+    u32 threads_here = 0;
+    for (const DecodedEvent& e : td.events) {
+      DecodedEvent ne = e;
+      ne.thread = thread_base + e.thread;
+      ne.region = static_cast<u16>(remap_slot(e.region));
+      threads_here = std::max(threads_here, e.thread + 1);
+      out.events.push_back(ne);
+    }
+    for (const auto& [thread, dropped] : td.drops) {
+      out.drops.emplace_back(thread_base + thread, dropped);
+      threads_here = std::max(threads_here, thread + 1);
+    }
+    for (const auto& [slot, hist] : td.histograms) hists[remap_slot(slot)].merge(hist);
+    thread_base += threads_here;
+  }
+  out.histograms.assign(hists.begin(), hists.end());
+  return out;
+}
+
 std::vector<RegionReport> build_reports(const TraceData& td) {
   std::map<u16, RegionReport> by_slot;
   const bool have_hists = !td.histograms.empty();

@@ -45,6 +45,21 @@ struct Recommendation {
 /// `default_man` when the histogram is empty (op-mode traces).
 [[nodiscard]] int man_bits_hint(const DevHistogram& dev, int default_man = 52);
 
+/// Merge shard traces into one logical capture, keyed by region *label* —
+/// string-table slot numbering is per-writer, so slot i of one shard and
+/// slot i of another are unrelated regions unless their labels agree.
+/// Labels are re-interned in shard order; events and drop accounting carry
+/// over with their region slots remapped and their thread ids offset per
+/// shard (thread k of shard j stays distinct from thread k of shard j+1);
+/// histograms with the same label merge associatively, so merging N
+/// single-process shards of a partitioned workload reproduces the
+/// unpartitioned run's histograms bitwise (pinned by test_trace).
+/// Sample-stride reconciliation: the merged stride is the shards' common
+/// stride, or 0 ("mixed") when they disagree — per-shard event/op counts
+/// stay exact either way, they just no longer share one scale factor.
+/// The merged ring capacity is the largest of the shards'.
+[[nodiscard]] TraceData merge_traces(const std::vector<TraceData>& shards);
+
 /// Per-region rollup, sorted by sampled ops descending. Prefers the
 /// persisted histograms (exact, per-element) and falls back to
 /// reconstructing the exponent histogram from event min/max classes for

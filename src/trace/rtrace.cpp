@@ -1,6 +1,9 @@
 #include "trace/rtrace.hpp"
 
+#include <cstdio>
 #include <cstring>
+#include <map>
+#include <tuple>
 
 namespace raptor::trace {
 
@@ -33,13 +36,17 @@ constexpr i64 zigzag_decode(u64 v) {
 RtraceWriter::RtraceWriter(const std::string& path, u32 sample_stride, u32 ring_capacity)
     : out_(path, std::ios::binary) {
   RAPTOR_REQUIRE(out_.good(), "rtrace: cannot open output file");
-  out_.write("RTRC", 4);
+  raw("RTRC", 4);
   byte(1);  // version
   byte(1);  // little-endian
   byte(0);
   byte(0);
   for (int shift = 0; shift < 32; shift += 8) byte(static_cast<u8>(sample_stride >> shift));
   for (int shift = 0; shift < 32; shift += 8) byte(static_cast<u8>(ring_capacity >> shift));
+}
+
+RtraceWriter::~RtraceWriter() {
+  if (!finished_ && out_.is_open() && out_.good()) finish();
 }
 
 void RtraceWriter::varint(u64 v) {
@@ -57,18 +64,19 @@ void RtraceWriter::string_entry(u32 slot, std::string_view label) {
   byte('S');
   varint(slot);
   varint(label.size());
-  out_.write(label.data(), static_cast<std::streamsize>(label.size()));
+  raw(label.data(), label.size());
 }
 
-void RtraceWriter::event_block(u32 thread, const Event* events, std::size_t n) {
+template <class Ev>
+void RtraceWriter::encode_events(u32 thread, const Ev* events, std::size_t n) {
   RAPTOR_ASSERT(!finished_);
   if (n == 0) return;
   byte('E');
   varint(thread);
   varint(n);
-  Event prev{};  // deltas reset at each block boundary so blocks decode alone
+  Ev prev{};  // deltas reset at each block boundary so blocks decode alone
   for (std::size_t i = 0; i < n; ++i) {
-    const Event& e = events[i];
+    const Ev& e = events[i];
     u8 hdr = 0;
     if (e.kind != prev.kind) hdr |= kHasKind;
     if (e.region != prev.region) hdr |= kHasRegion;
@@ -91,6 +99,14 @@ void RtraceWriter::event_block(u32 thread, const Event* events, std::size_t n) {
     if (hdr & kHasCount) varint(e.count);
     prev = e;
   }
+}
+
+void RtraceWriter::event_block(u32 thread, const Event* events, std::size_t n) {
+  encode_events(thread, events, n);
+}
+
+void RtraceWriter::event_block(u32 thread, const DecodedEvent* events, std::size_t n) {
+  encode_events(thread, events, n);
 }
 
 void RtraceWriter::drop_block(u32 thread, u64 dropped) {
@@ -131,14 +147,23 @@ void RtraceWriter::finish() {
 
 namespace {
 
+/// Plain truncation — recoverable for the streaming reader (the block may
+/// simply not have landed yet), fatal for the strict whole-file reader.
+/// Derives from std::runtime_error so strict callers see the contract type.
+class TruncatedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class Cursor {
  public:
-  Cursor(const char* data, std::size_t size) : p_(data), end_(data + size) {}
+  Cursor(const char* data, std::size_t size) : begin_(data), p_(data), end_(data + size) {}
 
   [[nodiscard]] bool at_end() const { return p_ == end_; }
+  [[nodiscard]] std::size_t pos() const { return static_cast<std::size_t>(p_ - begin_); }
 
   u8 byte() {
-    if (p_ == end_) fail("truncated input");
+    if (p_ == end_) fail_truncated("truncated input");
     return static_cast<u8>(*p_++);
   }
 
@@ -148,6 +173,10 @@ class Cursor {
     for (;;) {
       if (shift > 63) fail("varint overflow");
       const u8 b = byte();
+      // At shift 63 only the lowest payload bit still fits in a u64; an
+      // encoding whose dropped bits are nonzero would silently alias a
+      // different value, so reject it outright.
+      if (shift == 63 && (b & 0x7E) != 0) fail("varint overflow");
       v |= static_cast<u64>(b & 0x7F) << shift;
       if ((b & 0x80) == 0) return v;
       shift += 7;
@@ -157,7 +186,7 @@ class Cursor {
   i64 zigzag() { return zigzag_decode(varint()); }
 
   std::string str(std::size_t n) {
-    if (static_cast<std::size_t>(end_ - p_) < n) fail("truncated string");
+    if (static_cast<std::size_t>(end_ - p_) < n) fail_truncated("truncated string");
     std::string s(p_, n);
     p_ += n;
     return s;
@@ -167,10 +196,111 @@ class Cursor {
     throw std::runtime_error(std::string("rtrace: ") + what);
   }
 
+  [[noreturn]] static void fail_truncated(const char* what) {
+    throw TruncatedError(std::string("rtrace: ") + what);
+  }
+
  private:
+  const char* begin_;
   const char* p_;
   const char* end_;
 };
+
+/// Decode exactly one tagged block into `td`; returns true on the end
+/// marker. Commits side effects only after the whole block decoded, so a
+/// TruncatedError mid-block leaves `td` untouched (streaming rollback).
+bool decode_block(Cursor& c, TraceData& td) {
+  const u8 tag = c.byte();
+  switch (tag) {
+    case 'S': {
+      const u64 slot = c.varint();
+      const u64 len = c.varint();
+      if (slot > 0xFFFF) Cursor::fail("string slot out of range");
+      std::string label = c.str(len);
+      if (td.regions.size() <= slot) td.regions.resize(slot + 1);
+      td.regions[slot] = std::move(label);
+      return false;
+    }
+    case 'E': {
+      const u64 thread = c.varint();
+      if (thread > 0xFFFFFFFFu) Cursor::fail("event thread out of range");
+      const u64 n = c.varint();
+      std::vector<DecodedEvent> block;
+      block.reserve(n < 4096 ? n : 4096);  // n is untrusted: grow as decoded
+      DecodedEvent prev;
+      prev.exp_min = 0;
+      for (u64 i = 0; i < n; ++i) {
+        const u8 hdr = c.byte();
+        DecodedEvent e = prev;
+        e.thread = static_cast<u32>(thread);
+        if (hdr & kHasKind) e.kind = c.byte();
+        if (hdr & kHasRegion) {
+          const u64 slot = c.varint();
+          if (slot > 0xFFFF) Cursor::fail("event region slot out of range");
+          e.region = static_cast<u16>(slot);
+        }
+        if (hdr & kHasFormat) {
+          e.fmt_exp = c.byte();
+          e.fmt_man = c.byte();
+        }
+        if (hdr & kHasFlags) e.flags = c.byte();
+        e.dev_bucket = (hdr & kHasDev) ? c.byte() : kDevNone;
+        e.exp_min = static_cast<i32>(prev.exp_min + c.zigzag());
+        e.exp_max = (hdr & kHasExpSpan) ? static_cast<i32>(e.exp_min + c.zigzag()) : e.exp_min;
+        e.count = (hdr & kHasCount) ? c.varint() : 1;
+        block.push_back(e);
+        prev = e;
+      }
+      td.events.insert(td.events.end(), block.begin(), block.end());
+      return false;
+    }
+    case 'D': {
+      const u64 thread = c.varint();
+      if (thread > 0xFFFFFFFFu) Cursor::fail("drop thread out of range");
+      const u64 dropped = c.varint();
+      td.drops.emplace_back(static_cast<u32>(thread), dropped);
+      return false;
+    }
+    case 'H': {
+      const u64 slot = c.varint();
+      // Same bound as 'S' entries: a malformed file must not smuggle
+      // out-of-range histogram slots into analysis.
+      if (slot > 0xFFFF) Cursor::fail("histogram slot out of range");
+      RegionHist h;
+      ExpHistogram& e = h.exp;
+      e.zero = c.varint();
+      e.subnormal = c.varint();
+      e.inf = c.varint();
+      e.nan = c.varint();
+      e.finite = c.varint();
+      const i64 mn = c.zigzag();
+      const i64 mx = c.zigzag();
+      if (e.finite > 0) {
+        e.min_exp = static_cast<i32>(mn);
+        e.max_exp = static_cast<i32>(mx);
+      }
+      for (u64& b : e.bins) b = c.varint();
+      for (u64& b : h.dev.bins) b = c.varint();
+      td.histograms.emplace_back(static_cast<u32>(slot), h);
+      return false;
+    }
+    case 'X': return true;
+    default: Cursor::fail("unknown block tag");
+  }
+}
+
+/// Validate the 16-byte header and fill stride/capacity.
+void parse_header(const char* buf, TraceData& td) {
+  if (std::memcmp(buf, "RTRC", 4) != 0) Cursor::fail("bad magic");
+  if (static_cast<u8>(buf[4]) != 1) Cursor::fail("unsupported version");
+  if (static_cast<u8>(buf[5]) != 1) Cursor::fail("unsupported endianness");
+  td.sample_stride = 0;
+  td.ring_capacity = 0;
+  for (int i = 0; i < 4; ++i) {
+    td.sample_stride |= static_cast<u32>(static_cast<u8>(buf[8 + i])) << (8 * i);
+    td.ring_capacity |= static_cast<u32>(static_cast<u8>(buf[12 + i])) << (8 * i);
+  }
+}
 
 }  // namespace
 
@@ -179,85 +309,113 @@ TraceData read_rtrace(const std::string& path) {
   if (!in.good()) Cursor::fail("cannot open input file");
   std::string buf((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
 
-  if (buf.size() < 16 || std::memcmp(buf.data(), "RTRC", 4) != 0) Cursor::fail("bad magic");
-  const u8 version = static_cast<u8>(buf[4]);
-  if (version != 1) Cursor::fail("unsupported version");
-  if (static_cast<u8>(buf[5]) != 1) Cursor::fail("unsupported endianness");
-
+  if (buf.size() < 16) Cursor::fail("bad magic");
   TraceData td;
-  for (int i = 0; i < 4; ++i) td.sample_stride |= static_cast<u32>(static_cast<u8>(buf[8 + i])) << (8 * i);
-  for (int i = 0; i < 4; ++i) td.ring_capacity |= static_cast<u32>(static_cast<u8>(buf[12 + i])) << (8 * i);
+  parse_header(buf.data(), td);
 
   Cursor c(buf.data() + 16, buf.size() - 16);
-  bool ended = false;
-  while (!ended) {
+  for (;;) {
     if (c.at_end()) Cursor::fail("missing end marker");
-    const u8 tag = c.byte();
-    switch (tag) {
-      case 'S': {
-        const u64 slot = c.varint();
-        const u64 len = c.varint();
-        if (slot > 0xFFFF) Cursor::fail("string slot out of range");
-        if (td.regions.size() <= slot) td.regions.resize(slot + 1);
-        td.regions[slot] = c.str(len);
-        break;
-      }
-      case 'E': {
-        const u64 thread = c.varint();
-        const u64 n = c.varint();
-        DecodedEvent prev;
-        prev.exp_min = 0;
-        for (u64 i = 0; i < n; ++i) {
-          const u8 hdr = c.byte();
-          DecodedEvent e = prev;
-          e.thread = static_cast<u32>(thread);
-          if (hdr & kHasKind) e.kind = c.byte();
-          if (hdr & kHasRegion) e.region = static_cast<u16>(c.varint());
-          if (hdr & kHasFormat) {
-            e.fmt_exp = c.byte();
-            e.fmt_man = c.byte();
-          }
-          if (hdr & kHasFlags) e.flags = c.byte();
-          e.dev_bucket = (hdr & kHasDev) ? c.byte() : kDevNone;
-          e.exp_min = static_cast<i32>(prev.exp_min + c.zigzag());
-          e.exp_max = (hdr & kHasExpSpan) ? static_cast<i32>(e.exp_min + c.zigzag()) : e.exp_min;
-          e.count = (hdr & kHasCount) ? c.varint() : 1;
-          td.events.push_back(e);
-          prev = e;
-        }
-        break;
-      }
-      case 'D': {
-        const u32 thread = static_cast<u32>(c.varint());
-        const u64 dropped = c.varint();
-        td.drops.emplace_back(thread, dropped);
-        break;
-      }
-      case 'H': {
-        const u32 slot = static_cast<u32>(c.varint());
-        RegionHist h;
-        ExpHistogram& e = h.exp;
-        e.zero = c.varint();
-        e.subnormal = c.varint();
-        e.inf = c.varint();
-        e.nan = c.varint();
-        e.finite = c.varint();
-        const i64 mn = c.zigzag();
-        const i64 mx = c.zigzag();
-        if (e.finite > 0) {
-          e.min_exp = static_cast<i32>(mn);
-          e.max_exp = static_cast<i32>(mx);
-        }
-        for (u64& b : e.bins) b = c.varint();
-        for (u64& b : h.dev.bins) b = c.varint();
-        td.histograms.emplace_back(slot, h);
-        break;
-      }
-      case 'X': ended = true; break;
-      default: Cursor::fail("unknown block tag");
+    if (decode_block(c, td)) return td;
+  }
+}
+
+RtraceStream::RtraceStream(std::string path) : path_(std::move(path)) {}
+
+std::size_t RtraceStream::poll() {
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in.good()) {
+      in.seekg(static_cast<std::streamoff>(file_offset_));
+      std::string fresh((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+      file_offset_ += fresh.size();
+      pending_ += fresh;
+    }
+    // A file that does not exist yet is simply "no data": keep waiting.
+  }
+
+  std::size_t decoded = 0;
+  if (!header_parsed_) {
+    if (pending_.size() < 16) return decoded;
+    parse_header(pending_.data(), data_);
+    pending_.erase(0, 16);
+    header_parsed_ = true;
+  }
+  while (!finished_ && !pending_.empty()) {
+    Cursor c(pending_.data(), pending_.size());
+    try {
+      finished_ = decode_block(c, data_);
+    } catch (const TruncatedError&) {
+      break;  // partial trailing block: the rest may land on the next poll
+    }
+    pending_.erase(0, c.pos());
+    ++decoded;
+  }
+  return decoded;
+}
+
+TolerantRead read_rtrace_tolerant(const std::string& path) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe.good()) Cursor::fail("cannot open input file");
+  }
+  RtraceStream s(path);
+  s.poll();
+  TolerantRead r;
+  r.data = s.data();
+  r.complete = s.finished();
+  r.bytes_consumed = s.offset();
+  return r;
+}
+
+std::string segment_path(const std::string& base, u32 index) {
+  if (index == 0) return base;
+  return base + ".seg" + std::to_string(index);
+}
+
+u64 compact_rtrace(const std::string& path) {
+  const TraceData td = read_rtrace(path);
+
+  // Coalesce per thread, preserving first-seen order within each thread so
+  // the rewrite is deterministic. The key is every field the analyzer
+  // aggregates exactly; the exponent span widens to the union, which is
+  // what the histogram-free fallback already treats as approximate.
+  using Key = std::tuple<u32, u8, u8, u16, u8, u8, u8>;
+  std::map<u32, std::vector<DecodedEvent>> by_thread;
+  std::map<Key, std::pair<u32, std::size_t>> index;  // key -> (thread, pos)
+  for (const DecodedEvent& e : td.events) {
+    const Key k{e.thread, e.kind, e.flags, e.region, e.fmt_exp, e.fmt_man, e.dev_bucket};
+    const auto [it, inserted] = index.try_emplace(k, e.thread, by_thread[e.thread].size());
+    std::vector<DecodedEvent>& lane = by_thread[e.thread];
+    if (inserted) {
+      lane.push_back(e);
+    } else {
+      DecodedEvent& acc = lane[it->second.second];
+      acc.count += e.count;
+      acc.exp_min = std::min(acc.exp_min, e.exp_min);
+      acc.exp_max = std::max(acc.exp_max, e.exp_max);
     }
   }
-  return td;
+
+  const std::string tmp = path + ".compact.tmp";
+  u64 size = 0;
+  {
+    RtraceWriter w(tmp, td.sample_stride, td.ring_capacity);
+    for (std::size_t slot = 0; slot < td.regions.size(); ++slot) {
+      w.string_entry(static_cast<u32>(slot), td.regions[slot]);
+    }
+    for (const auto& [thread, events] : by_thread) {
+      w.event_block(thread, events.data(), events.size());
+    }
+    for (const auto& [thread, dropped] : td.drops) w.drop_block(thread, dropped);
+    for (const auto& [slot, hist] : td.histograms) w.hist_block(slot, hist);
+    w.finish();
+    RAPTOR_REQUIRE(w.good(), "rtrace: writing the compacted segment failed");
+    size = w.bytes_written();
+  }
+  RAPTOR_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "rtrace: renaming the compacted segment failed");
+  return size;
 }
 
 }  // namespace raptor::trace

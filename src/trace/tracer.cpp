@@ -27,8 +27,10 @@ void Tracer::start(const TraceOptions& opts) {
   strings_written_ = 0;
   retired_hists_.clear();
   events_written_ = 0;
+  segment_index_ = 0;
   opts_ = opts;
   writer_ = std::make_unique<RtraceWriter>(opts.path, opts.sample_stride, opts.ring_capacity);
+  segment_preamble_ = writer_->bytes_written();
   stop_requested_ = false;
   session_.fetch_add(1, std::memory_order_relaxed);
   active_.store(true, std::memory_order_relaxed);
@@ -49,6 +51,7 @@ TraceStats Tracer::stop() {
   drain_once_locked();  // the drainer has exited: we are the only consumer now
   TraceStats stats;
   stats.events = events_written_;
+  stats.segments = segment_index_ + 1;
   stats.threads = static_cast<u32>(buffers_.size());
   for (const auto& tt : buffers_) {
     const u64 dropped = tt->ring.dropped();
@@ -141,6 +144,32 @@ void Tracer::drain_once_locked() {
       events_written_ += n;
     }
   }
+  // Land the drained blocks in the OS so a live `--follow` tail sees them
+  // promptly (the streaming reader tolerates a cut mid-block either way).
+  writer_->flush();
+  maybe_rotate_locked();
+}
+
+void Tracer::maybe_rotate_locked() {
+  if (opts_.segment_bytes == 0 || writer_->bytes_written() < opts_.segment_bytes) return;
+  // Never rotate a segment holding only its preamble (header + string
+  // table): an idle drainer must not spin out empty segments when the
+  // preamble alone exceeds a small segment_bytes.
+  if (writer_->bytes_written() <= segment_preamble_) return;
+  writer_->finish();
+  RAPTOR_REQUIRE(writer_->good(), "trace: writing the .rtrace segment failed");
+  const std::string closed = segment_path(opts_.path, segment_index_);
+  ++segment_index_;
+  writer_ = std::make_unique<RtraceWriter>(segment_path(opts_.path, segment_index_),
+                                           opts_.sample_stride, opts_.ring_capacity);
+  // Re-emit the whole string table so every segment is self-contained for
+  // labels: the stop()-time histogram blocks may land in a later segment
+  // than the drain that first interned a region.
+  for (strings_written_ = 0; strings_written_ < strings_.size(); ++strings_written_) {
+    writer_->string_entry(static_cast<u32>(strings_written_), strings_[strings_written_]);
+  }
+  segment_preamble_ = writer_->bytes_written();
+  if (opts_.compact_segments) compact_rtrace(closed);
 }
 
 }  // namespace raptor::trace

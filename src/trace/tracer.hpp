@@ -34,16 +34,28 @@
 namespace raptor::trace {
 
 struct TraceOptions {
-  std::string path;             ///< output .rtrace file
+  std::string path;             ///< output .rtrace file (rotation segment 0)
   u32 sample_stride = 64;       ///< power of two; 1 = trace every op/span
   u32 ring_capacity = 1 << 14;  ///< power of two, events per thread
   u32 drain_interval_ms = 5;    ///< drainer wake-up period
+  /// Segment rotation: once the current segment exceeds this many bytes
+  /// (checked after each drain cycle), finish it and roll to the next
+  /// `segment_path(path, n)` file. 0 keeps the single-file behavior. Every
+  /// segment carries the full string table, so each is self-contained for
+  /// labels and a multi-shard merge of all segments reproduces the session.
+  u64 segment_bytes = 0;
+  /// With rotation: rewrite each closed segment with its event blocks
+  /// folded into per-thread summary records (compact_rtrace), so sustained
+  /// heavy workloads stay bounded on disk at O(regions x op kinds) per
+  /// segment instead of O(events).
+  bool compact_segments = false;
 };
 
 struct TraceStats {
   u64 events = 0;   ///< events written to the file
   u64 dropped = 0;  ///< events dropped on ring overflow
   u32 threads = 0;  ///< threads that produced into this session
+  u32 segments = 1; ///< rotation segments written (1 = single file)
 };
 
 /// Per-thread capture state. The owning thread is the only producer of
@@ -93,6 +105,9 @@ class Tracer {
   void drain_loop();
   /// Flush unwritten string-table entries and every ring. Caller holds mu_.
   void drain_once_locked();
+  /// Roll to the next segment when the current one outgrew
+  /// opts_.segment_bytes (and compact the closed one). Caller holds mu_.
+  void maybe_rotate_locked();
   /// Merged slot -> histogram map over live + retired threads. Caller
   /// holds mu_.
   [[nodiscard]] std::map<u32, RegionHist> merged_hists_locked() const;
@@ -106,6 +121,10 @@ class Tracer {
   std::unique_ptr<RtraceWriter> writer_;
   std::vector<Event> scratch_;  ///< drain staging (drainer/stop only)
   u64 events_written_ = 0;
+  u32 segment_index_ = 0;    ///< rotation segment the writer is appending to
+  u64 segment_preamble_ = 0; ///< header + re-emitted string table bytes of
+                             ///< the current segment; rotation requires
+                             ///< payload beyond this (no empty segments)
 
   std::thread drainer_;
   std::condition_variable cv_;

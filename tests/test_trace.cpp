@@ -2,14 +2,20 @@
 // accounting, histogram merge associativity, the `.rtrace` write -> read
 // round trip (string table, delta-encoded events, histograms, drops),
 // runtime sampling semantics (scalar countdown, one event per batch span,
-// mem-mode deviation buckets), and an 8-thread producers-vs-drainer stress
-// that runs under ThreadSanitizer in CI.
+// mem-mode deviation buckets), an 8-thread producers-vs-drainer stress
+// that runs under ThreadSanitizer in CI, the hardened codec (adversarial /
+// truncated input, overlong-varint rejection, tolerant + streaming
+// readers), label-keyed multi-shard merge, and segment rotation with
+// compaction.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -233,13 +239,225 @@ TEST(Rtrace, ReaderRejectsGarbage) {
   EXPECT_THROW(trace::read_rtrace(path), std::runtime_error);
   std::remove(path.c_str());
   EXPECT_THROW(trace::read_rtrace("does_not_exist.rtrace"), std::runtime_error);
-  // Valid header but missing end marker: truncated capture must be loud.
+  // Valid header but missing end marker: truncated capture must be loud to
+  // the strict reader. (Abandoning the writer is not enough to produce one
+  // anymore — finish-on-destruct terminates the file — so chop the marker
+  // off the byte stream instead.)
   {
     trace::RtraceWriter w(path, 8, 16);
-    w.string_entry(0, "x");  // no finish()
+    w.string_entry(0, "x");
+    w.finish();
+  }
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()) - 1);
   }
   EXPECT_THROW(trace::read_rtrace(path), std::runtime_error);
   std::remove(path.c_str());
+}
+
+// -- Hardened codec: adversarial input, tolerant + streaming readers --------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A valid 16-byte header (stride 8, ring 16) to prepend to crafted bodies.
+std::string valid_header() {
+  const std::string path = "test_trace_header.rtrace";
+  {
+    trace::RtraceWriter w(path, 8, 16);
+    w.finish();
+  }
+  const std::string bytes = read_file(path);
+  std::remove(path.c_str());
+  return bytes.substr(0, 16);
+}
+
+TEST(RtraceHardened, OverlongVarintRejected) {
+  const std::string path = "test_trace_overlong.rtrace";
+  // Ten-byte varint whose final byte carries payload bits at shift >= 64.
+  // Pre-fix those bits were shifted out silently, so this byte string and
+  // the one without them decoded to the same value — an aliasing hole.
+  std::string bad = valid_header();
+  bad += 'D';
+  bad += '\x00';  // thread 0
+  bad.append(9, '\x80');
+  bad += '\x02';
+  write_file(path, bad);
+  EXPECT_THROW(trace::read_rtrace(path), std::runtime_error);
+  // Overlong encodings are malformed, not truncated: the tolerant reader
+  // must reject them too instead of waiting for more bytes.
+  EXPECT_THROW(trace::read_rtrace_tolerant(path), std::runtime_error);
+
+  // The maximal *valid* 10-byte encoding still decodes: (1 << 63) | 1.
+  std::string maximal = valid_header();
+  maximal += 'D';
+  maximal += '\x00';
+  maximal += '\x81';
+  maximal.append(8, '\x80');
+  maximal += '\x01';
+  maximal += 'X';
+  write_file(path, maximal);
+  EXPECT_EQ(trace::read_rtrace(path).total_dropped(), (u64{1} << 63) | 1);
+  std::remove(path.c_str());
+}
+
+TEST(RtraceHardened, HistogramSlotBoundMatchesStringSlots) {
+  const std::string path = "test_trace_histslot.rtrace";
+  std::string bad = valid_header();
+  bad += 'H';
+  bad += "\x80\x80\x04";  // slot 0x10000, one past the string-table bound
+  write_file(path, bad);
+  EXPECT_THROW(trace::read_rtrace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(RtraceHardened, AdversarialInputsThrowCleanly) {
+  const std::string path = "test_trace_adversarial.rtrace";
+  const std::string header = valid_header();
+  // A healthy file to carve up: string table + one sizeable event block.
+  std::vector<trace::Event> evs;
+  for (int i = 0; i < 32; ++i) evs.push_back(make_event(i));
+  {
+    trace::RtraceWriter w(path, 8, 16);
+    w.string_entry(0, "adv");
+    w.event_block(0, evs.data(), evs.size());
+    w.finish();
+  }
+  const std::string whole = read_file(path);
+
+  const auto rejects = [&](const std::string& bytes) {
+    write_file(path, bytes);
+    EXPECT_THROW(trace::read_rtrace(path), std::runtime_error);
+  };
+  rejects(whole.substr(0, 8));                 // truncated header
+  rejects(whole.substr(0, whole.size() - 1));  // missing end marker
+  rejects(whole.substr(0, whole.size() - 8));  // cut mid-event
+  rejects(header + 'Z');                       // unknown block tag
+  rejects(header + 'S' + '\x00' + "\xFF\xFF\xFF\xFF\x0F");  // 4 GiB string
+  rejects(header + 'E');                       // event block with no payload
+
+  // The tolerant reader distinguishes truncation (in progress, data up to
+  // the last complete block) from malformed bytes (still an error).
+  write_file(path, whole.substr(0, whole.size() - 8));
+  const trace::TolerantRead partial = trace::read_rtrace_tolerant(path);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.data.regions.size(), 1u);
+  EXPECT_TRUE(partial.data.events.empty());  // the one event block was cut
+  write_file(path, header + 'Z');
+  EXPECT_THROW(trace::read_rtrace_tolerant(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(RtraceHardened, WriterFinishOnDestructAndTolerantClassification) {
+  const std::string path = "test_trace_destruct.rtrace";
+  std::vector<trace::Event> evs;
+  for (int i = 0; i < 16; ++i) evs.push_back(make_event(i));
+  {
+    trace::RtraceWriter w(path, 8, 16);
+    w.string_entry(0, "dtor");
+    w.event_block(0, evs.data(), evs.size());
+    // No finish(): the destructor must terminate the file while the stream
+    // is healthy (an exception unwinding through the drainer).
+  }
+  EXPECT_EQ(trace::read_rtrace(path).events.size(), evs.size());
+  EXPECT_TRUE(trace::read_rtrace_tolerant(path).complete);
+
+  // Chop the end marker back off (a hard crash): strict is loud, tolerant
+  // classifies the capture as in progress and keeps every complete block.
+  const std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() - 1));
+  EXPECT_THROW(trace::read_rtrace(path), std::runtime_error);
+  const trace::TolerantRead partial = trace::read_rtrace_tolerant(path);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.data.events.size(), evs.size());
+  std::remove(path.c_str());
+}
+
+TEST(RtraceStreamTest, EveryPrefixDecodesWithoutError) {
+  // Replay a complete capture one byte at a time through the incremental
+  // reader: no prefix may throw, completion fires exactly at the end
+  // marker, and the accumulated decode matches the strict reader bitwise.
+  const std::string path = "test_trace_stream.rtrace";
+  std::vector<trace::Event> evs;
+  for (int i = 0; i < 48; ++i) evs.push_back(make_event(i));
+  trace::RegionHist h;
+  for (int i = 0; i < 100; ++i) h.exp.add(std::ldexp(1.0, i % 20));
+  {
+    trace::RtraceWriter w(path, 4, 64);
+    w.string_entry(0, "stream/a");
+    w.string_entry(1, "stream/b");
+    w.event_block(0, evs.data(), 20);
+    w.event_block(1, evs.data() + 20, evs.size() - 20);
+    w.drop_block(0, 9);
+    w.hist_block(1, h);
+    w.finish();
+  }
+  const std::string bytes = read_file(path);
+
+  trace::RtraceStream stream(path);
+  for (std::size_t n = 0; n <= bytes.size(); ++n) {
+    write_file(path, bytes.substr(0, n));
+    stream.poll();
+    EXPECT_EQ(stream.finished(), n == bytes.size()) << "prefix " << n;
+  }
+  EXPECT_EQ(stream.offset(), bytes.size());
+
+  const trace::TraceData strict = trace::read_rtrace(path);
+  EXPECT_EQ(stream.data().regions, strict.regions);
+  EXPECT_EQ(stream.data().events, strict.events);
+  EXPECT_EQ(stream.data().histograms, strict.histograms);
+  EXPECT_EQ(stream.data().drops, strict.drops);
+  std::remove(path.c_str());
+}
+
+// -- Multi-shard merge ------------------------------------------------------
+
+TEST(TraceMerge, StrideDropAndThreadReconciliation) {
+  trace::TraceData a, b;
+  a.sample_stride = 8;
+  a.ring_capacity = 256;
+  a.regions = {"r"};
+  a.drops = {{0, 3}};
+  b.sample_stride = 16;  // disagrees with a
+  b.ring_capacity = 1024;
+  b.regions = {"r"};
+  b.drops = {{0, 5}};
+  trace::DecodedEvent e;
+  e.region = 0;
+  e.count = 2;
+  a.events.push_back(e);
+  b.events.push_back(e);
+
+  const trace::TraceData m = trace::merge_traces({a, b});
+  EXPECT_EQ(m.sample_stride, 0u);  // mixed strides reconcile to "mixed"
+  EXPECT_EQ(m.ring_capacity, 1024u);
+  EXPECT_EQ(m.total_dropped(), 8u);
+  EXPECT_EQ(m.regions.size(), 1u);  // same label interned once
+  ASSERT_EQ(m.events.size(), 2u);
+  EXPECT_EQ(m.events[0].thread, 0u);
+  EXPECT_EQ(m.events[1].thread, 1u);  // shard threads offset, not collapsed
+  ASSERT_EQ(m.drops.size(), 2u);
+  EXPECT_EQ(m.drops[1].first, 1u);
+
+  // Same-stride shards keep their stride; merging one shard is lossless.
+  b.sample_stride = 8;
+  EXPECT_EQ(trace::merge_traces({a, b}).sample_stride, 8u);
+  const trace::TraceData solo = trace::merge_traces({a});
+  EXPECT_EQ(solo.events, a.events);
+  EXPECT_EQ(solo.regions, a.regions);
 }
 
 // -- Runtime integration ----------------------------------------------------
@@ -460,6 +678,150 @@ TEST_F(TraceRuntimeTest, ResetAllStopsTracing) {
   EXPECT_FALSE(R.trace_active());
   // The file was finalized by the implicit stop: it must parse.
   (void)trace::read_rtrace(kPath);
+}
+
+TEST_F(TraceRuntimeTest, ShardMergeMatchesUnpartitionedRunBitwise) {
+  // Three single-process shards that enter the same regions in *different*
+  // orders — so their string tables assign different slots to the same
+  // label — versus one unpartitioned run executing every op. The
+  // label-keyed merge must reproduce the unpartitioned histograms bitwise;
+  // a slot-keyed merge would cross the streams.
+  const char* shard_paths[3] = {"test_trace_shard0.rtrace", "test_trace_shard1.rtrace",
+                                "test_trace_shard2.rtrace"};
+  const auto work = [&](const char* label, int lo, int hi) {
+    TruncScope scope(8, 12);
+    Region region(label);
+    for (int i = lo; i < hi; ++i) {
+      (void)R.op2(OpKind::Mul, std::ldexp(1.0 + 0.1 * (i % 7), i % 60 - 30), 1.0, 64);
+    }
+  };
+  const auto shard = [&](const char* path, const auto& body) {
+    R.trace_start(opts_for(path, 1));
+    body();
+    const trace::TraceStats stats = R.trace_stop();
+    EXPECT_EQ(stats.dropped, 0u);
+  };
+  shard(shard_paths[0], [&] { work("merge/alpha", 0, 40); work("merge/beta", 0, 25); });
+  shard(shard_paths[1], [&] { work("merge/beta", 25, 60); work("merge/gamma", 0, 30); });
+  shard(shard_paths[2], [&] { work("merge/gamma", 30, 50); work("merge/alpha", 40, 90); });
+  shard(kPath, [&] {
+    work("merge/alpha", 0, 90);
+    work("merge/beta", 0, 60);
+    work("merge/gamma", 0, 50);
+  });
+
+  std::vector<trace::TraceData> shards;
+  for (const char* p : shard_paths) shards.push_back(trace::read_rtrace(p));
+  const trace::TraceData merged = trace::merge_traces(shards);
+  const trace::TraceData whole = trace::read_rtrace(kPath);
+
+  // Shards intern in different orders: the premise of the test.
+  EXPECT_NE(shards[0].regions, shards[1].regions);
+
+  const auto by_label = [](const trace::TraceData& td) {
+    std::map<std::string, trace::RegionHist> out;
+    for (const auto& [slot, hist] : td.histograms) out[td.region_name(slot)].merge(hist);
+    return out;
+  };
+  EXPECT_TRUE(by_label(merged) == by_label(whole));  // bitwise, via operator==
+  EXPECT_EQ(merged.events.size(), whole.events.size());
+
+  // Per-label sampled-op totals agree too (events travel with their label).
+  const auto ops_by_label = [](const trace::TraceData& td) {
+    std::map<std::string, u64> out;
+    for (const auto& r : trace::build_reports(td)) out[r.label] = r.ops;
+    return out;
+  };
+  EXPECT_TRUE(ops_by_label(merged) == ops_by_label(whole));
+
+  // Associativity: merge(merge(s0, s1), s2) == merge(s0, s1, s2).
+  const trace::TraceData left =
+      trace::merge_traces({trace::merge_traces({shards[0], shards[1]}), shards[2]});
+  EXPECT_TRUE(by_label(left) == by_label(merged));
+  EXPECT_EQ(left.events.size(), merged.events.size());
+  EXPECT_EQ(left.total_dropped(), merged.total_dropped());
+
+  for (const char* p : shard_paths) std::remove(p);
+}
+
+TEST_F(TraceRuntimeTest, SegmentRotationAndCompactionPreserveTotals) {
+  trace::TraceOptions o = opts_for(kPath, 1);
+  o.segment_bytes = 1 << 12;  // tiny: force several rotations
+  o.compact_segments = true;
+  o.drain_interval_ms = 1;
+  R.trace_start(o);
+  {
+    TruncScope scope(8, 12);
+    Region region("rot/kernel");
+    for (int i = 0; i < 20000; ++i) {
+      (void)R.op2(OpKind::Mul, std::ldexp(1.5, i % 40 - 20), 1.0, 64);
+    }
+  }
+  const auto live = R.trace_histograms();
+  const trace::TraceStats stats = R.trace_stop();
+  EXPECT_GT(stats.segments, 1u);
+
+  // Every segment — compacted intermediates and the final one — is a
+  // self-contained, strictly readable .rtrace file.
+  std::vector<trace::TraceData> segments;
+  for (u32 i = 0; i < stats.segments; ++i) {
+    segments.push_back(trace::read_rtrace(trace::segment_path(kPath, i)));
+    EXPECT_FALSE(segments.back().regions.empty()) << "segment " << i << " lost its string table";
+  }
+  // Exact histograms live in the final segment only (written at stop).
+  for (u32 i = 0; i + 1 < stats.segments; ++i) EXPECT_TRUE(segments[i].histograms.empty());
+
+  const trace::TraceData merged = trace::merge_traces(segments);
+  // Histograms are exact across rotation + compaction: the merged result
+  // matches the live (pre-stop) aggregate bitwise.
+  trace::RegionHist total;
+  for (const auto& [slot, hist] : merged.histograms) {
+    if (merged.region_name(slot) == "rot/kernel") total.merge(hist);
+  }
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].label, "rot/kernel");
+  EXPECT_EQ(total, live[0].hist);
+  // Compaction folds records but preserves sampled-op totals and drops.
+  u64 ops = 0;
+  for (const auto& e : merged.events) ops += e.count;
+  EXPECT_EQ(ops, stats.events);
+  EXPECT_EQ(merged.total_dropped(), stats.dropped);
+
+  for (u32 i = 1; i < stats.segments; ++i) {
+    std::remove(trace::segment_path(kPath, i).c_str());
+  }
+}
+
+TEST_F(TraceRuntimeTest, StreamFollowsLiveSessionAndResumes) {
+  // The drainer flushes each cycle, so an incremental reader tailing the
+  // file sees event blocks *during* the session, then picks up the tail
+  // and end marker after stop() — the substrate of `raptor_trace --follow`.
+  trace::TraceOptions o = opts_for(kPath, 1);
+  o.drain_interval_ms = 1;
+  R.trace_start(o);
+  trace::RtraceStream stream(kPath);
+  {
+    TruncScope scope(8, 12);
+    Region region("follow/live");
+    for (int i = 0; i < 500; ++i) (void)R.op2(OpKind::Add, 1.0 + i, 2.0, 64);
+  }
+  bool saw_live_data = false;
+  for (int spin = 0; spin < 5000 && !saw_live_data; ++spin) {
+    stream.poll();
+    saw_live_data = !stream.data().events.empty();
+    if (!saw_live_data) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(saw_live_data);
+  EXPECT_FALSE(stream.finished());
+
+  const trace::TraceStats stats = R.trace_stop();
+  stream.poll();  // resume from the remembered offset
+  EXPECT_TRUE(stream.finished());
+  EXPECT_EQ(stream.data().events.size(), stats.events);
+  const trace::TraceData whole = trace::read_rtrace(kPath);
+  EXPECT_EQ(stream.data().events, whole.events);
+  EXPECT_EQ(stream.data().histograms, whole.histograms);
+  EXPECT_EQ(stream.data().drops, whole.drops);
 }
 
 // -- Recommendation math ----------------------------------------------------

@@ -1,24 +1,46 @@
 // Offline analyzer for `.rtrace` numerical traces (DESIGN.md §12).
 //
 //   raptor_trace <file.rtrace>                 per-region report to stdout
+//   raptor_trace shard_*.rtrace                multi-shard merge: N files ->
+//                                              one report, keyed by region
+//                                              label (slot numbering is
+//                                              per-writer); rotation
+//                                              segments (<file>.segN) of
+//                                              every input are discovered
+//                                              automatically
+//   raptor_trace <file> --tolerant             accept an in-progress capture
+//                                              (missing end marker / partial
+//                                              trailing block) and report
+//                                              what is decodable so far
+//   raptor_trace <file> --follow               tail a growing capture:
+//                                              re-emit the report (and any
+//                                              --csv/--json/--recommend
+//                                              outputs) every --interval=MS
+//                                              until the capture completes
+//                                              or --follow-max=N ticks pass
 //   raptor_trace <file> --csv=out.csv          per-region rows as CSV
 //   raptor_trace <file> --json=out.json        per-region rows as JSON
 //   raptor_trace <file> --recommend[=out.cfg]  profile-config recommendation
 //                                              (exp bits from the observed
 //                                              dynamic range; parseable by
 //                                              rt::parse_profile)
-//   raptor_trace --selftest                    write/read/verify round trip
+//   raptor_trace --selftest                    codec round trip, shard
+//                                              merge, streaming reader and
+//                                              adversarial-input checks
 //
 // The report aggregates the sampled event stream (op mix, truncated share)
 // with the persisted per-region histograms (exact exponent range, deviation
 // quantiles) and prints drop accounting so a lossy capture is visible.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "io/profile_dump.hpp"
@@ -52,29 +74,39 @@ std::string op_mix(const trace::RegionReport& r) {
   return out;
 }
 
-void print_report(const trace::TraceData& td, const std::vector<trace::RegionReport>& reports) {
-  std::printf("sample stride 1/%u, %zu event records, %llu dropped\n\n", td.sample_stride,
-              td.events.size(), static_cast<unsigned long long>(td.total_dropped()));
-  std::printf("%-18s %10s %12s %8s %9s %9s %8s %10s %10s  %s\n", "region", "events",
-              "sampled_ops", "trunc%", "exp_min", "exp_max", "subnrm", "dev_p99", "dev_max",
-              "op mix");
+void print_report(std::FILE* out, const trace::TraceData& td,
+                  const std::vector<trace::RegionReport>& reports) {
+  if (td.sample_stride == 0) {
+    // merge_traces reconciles disagreeing shard strides to 0; an unheadered
+    // stream (follow mode before the first 16 bytes land) is also 0.
+    std::fprintf(out, "sample stride mixed/unknown, ");
+  } else {
+    std::fprintf(out, "sample stride 1/%u, ", td.sample_stride);
+  }
+  std::fprintf(out, "%zu event records, %llu dropped\n\n", td.events.size(),
+               static_cast<unsigned long long>(td.total_dropped()));
+  std::fprintf(out, "%-18s %10s %12s %8s %9s %9s %8s %10s %10s  %s\n", "region", "events",
+               "sampled_ops", "trunc%", "exp_min", "exp_max", "subnrm", "dev_p99", "dev_max",
+               "op mix");
   for (const auto& r : reports) {
     const double trunc_pct =
         r.ops > 0 ? 100.0 * static_cast<double>(r.trunc_ops) / static_cast<double>(r.ops) : 0.0;
-    std::printf("%-18s %10llu %12llu %7.1f%% %9s %9s %8llu %10.2e %10.2e  %s\n", r.label.c_str(),
-                static_cast<unsigned long long>(r.events),
-                static_cast<unsigned long long>(r.ops), trunc_pct,
-                r.exp.has_range() ? trace::exp_class_str(r.exp.min_exp).c_str() : "-",
-                r.exp.has_range() ? trace::exp_class_str(r.exp.max_exp).c_str() : "-",
-                static_cast<unsigned long long>(r.exp.subnormal), r.dev.quantile(0.99),
-                r.dev.max_bound(), op_mix(r).c_str());
+    std::fprintf(out, "%-18s %10llu %12llu %7.1f%% %9s %9s %8llu %10.2e %10.2e  %s\n",
+                 r.label.c_str(), static_cast<unsigned long long>(r.events),
+                 static_cast<unsigned long long>(r.ops), trunc_pct,
+                 r.exp.has_range() ? trace::exp_class_str(r.exp.min_exp).c_str() : "-",
+                 r.exp.has_range() ? trace::exp_class_str(r.exp.max_exp).c_str() : "-",
+                 static_cast<unsigned long long>(r.exp.subnormal), r.dev.quantile(0.99),
+                 r.dev.max_bound(), op_mix(r).c_str());
   }
-  if (!td.drops.empty()) {
-    std::printf("\nper-thread ring drops:");
+  // Drop blocks are recorded even for clean threads (count 0); only print
+  // the section when some thread actually lost events.
+  if (td.total_dropped() > 0) {
+    std::fprintf(out, "\nper-thread ring drops:");
     for (const auto& [thread, n] : td.drops) {
-      if (n > 0) std::printf(" t%u:%llu", thread, static_cast<unsigned long long>(n));
+      if (n > 0) std::fprintf(out, " t%u:%llu", thread, static_cast<unsigned long long>(n));
     }
-    std::printf("\n");
+    std::fprintf(out, "\n");
   }
 }
 
@@ -117,7 +149,102 @@ void write_json(const std::string& path, const trace::TraceData& td,
   out << "]}\n";
 }
 
-// -- --selftest: exercise the writer/reader and the recommendation math ----
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+/// An input plus its rotation segments, in write order: `p`, `p.seg1`, ...
+std::vector<std::string> expand_segments(const std::string& base) {
+  std::vector<std::string> out{base};
+  for (u32 i = 1;; ++i) {
+    const std::string seg = trace::segment_path(base, i);
+    if (!file_exists(seg)) break;
+    out.push_back(seg);
+  }
+  return out;
+}
+
+/// Regenerate the side outputs (CSV/JSON/recommendation). `strict` makes a
+/// recommendation that fails to round-trip parse_profile a hard error (the
+/// one-shot path); follow mode downgrades it to a warning and keeps tailing.
+int emit_outputs(const Cli& cli, const trace::TraceData& td,
+                 const std::vector<trace::RegionReport>& reports, bool strict) {
+  if (cli.has("csv")) write_csv(cli.get("csv", "trace_report.csv"), reports);
+  if (cli.has("json")) write_json(cli.get("json", "trace_report.json"), td, reports);
+  if (!cli.has("recommend")) return 0;
+
+  const auto recs = trace::recommend(td);
+  const std::string text = trace::recommendations_to_profile(recs);
+  // The recommendation must stay consumable by the profile-config loader.
+  try {
+    (void)rt::parse_profile(text);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "recommendation failed to round-trip parse_profile: %s\n", ex.what());
+    if (strict) return 1;
+  }
+  // Bare "--recommend" parses as value "1" (flag convention): print to
+  // stdout; "--recommend=PATH" writes a file.
+  std::string path = cli.get("recommend", "");
+  if (path == "1") path.clear();
+  if (path.empty()) {
+    std::printf("\n%s", text.c_str());
+  } else {
+    std::ofstream out(path);
+    if (!out.good()) throw CliError("cannot open --recommend output file");
+    out << text;
+    std::printf("\nwrote recommendation (%zu regions) to %s\n", recs.size(), path.c_str());
+  }
+  return 0;
+}
+
+// -- --follow: tail a growing capture (plus its rotation segments) ---------
+
+int follow(const Cli& cli) {
+  const std::string base = cli.positional().front();
+  const int interval_ms = std::max(1, cli.get_int("interval", 500));
+  const int max_ticks = cli.get_int("follow-max", 0);  // 0 = until complete
+
+  std::vector<std::unique_ptr<trace::RtraceStream>> streams;
+  streams.emplace_back(std::make_unique<trace::RtraceStream>(base));
+  int tick = 0;
+  int complete_ticks = 0;
+  for (;;) {
+    ++tick;
+    // Rotation segments appear while we tail; pick new ones up each tick.
+    while (file_exists(trace::segment_path(base, static_cast<u32>(streams.size())))) {
+      streams.emplace_back(std::make_unique<trace::RtraceStream>(
+          trace::segment_path(base, static_cast<u32>(streams.size()))));
+    }
+    for (auto& s : streams) s->poll();
+
+    std::vector<trace::TraceData> shards;
+    shards.reserve(streams.size());
+    for (const auto& s : streams) shards.push_back(s->data());
+    const trace::TraceData td =
+        shards.size() == 1 ? std::move(shards.front()) : trace::merge_traces(shards);
+    const auto reports = trace::build_reports(td);
+
+    // The session is over when the newest segment carries its end marker
+    // and no successor segment has appeared; require that to hold on two
+    // consecutive ticks so a rotation between finish() and the next
+    // segment's creation is not misread as completion.
+    const bool last_done = streams.back()->finished() &&
+                           !file_exists(trace::segment_path(base, static_cast<u32>(streams.size())));
+    complete_ticks = last_done ? complete_ticks + 1 : 0;
+
+    std::printf("\n-- follow tick %d: %zu file(s), %zu event records%s --\n", tick,
+                streams.size(), td.events.size(), last_done ? ", capture complete" : "");
+    print_report(stdout, td, reports);
+    (void)emit_outputs(cli, td, reports, /*strict=*/false);
+    std::fflush(stdout);
+
+    if (complete_ticks >= 2) return 0;
+    if (max_ticks > 0 && tick >= max_ticks) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+// -- --selftest: writer/reader, shard merge, streaming, adversarial input --
 
 int selftest() {
   const std::string path = "raptor_trace_selftest.rtrace";
@@ -127,6 +254,22 @@ int selftest() {
       std::fprintf(stderr, "selftest FAILED: %s\n", what);
       ++failures;
     }
+  };
+  const auto throws = [](const auto& fn) {
+    try {
+      fn();
+    } catch (const std::runtime_error&) {
+      return true;
+    }
+    return false;
+  };
+  const auto write_bytes = [](const std::string& p, const std::string& bytes) {
+    std::ofstream out(p, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  const auto read_bytes = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   };
 
   // Synthetic capture: two threads, three regions, span + scalar + mem
@@ -231,6 +374,204 @@ int selftest() {
     ++failures;
   }
 
+  // Drop-accounting report section: all-zero drop blocks (the clean-thread
+  // case above writes drop_block(0, 0)) must not print a dangling
+  // "per-thread ring drops:" header with no rows after it.
+  {
+    trace::TraceData clean = td;
+    clean.drops = {{0, 0}, {1, 0}};
+    std::FILE* cap = std::tmpfile();
+    if (cap != nullptr) {
+      print_report(cap, clean, trace::build_reports(clean));
+      std::rewind(cap);
+      std::string text(1 << 16, '\0');
+      text.resize(std::fread(text.data(), 1, text.size(), cap));
+      std::fclose(cap);
+      check(text.find("per-thread ring drops") == std::string::npos,
+            "no drops header when every drop count is zero");
+      cap = std::tmpfile();
+    }
+    if (cap != nullptr) {
+      print_report(cap, td, trace::build_reports(td));
+      std::rewind(cap);
+      std::string text(1 << 16, '\0');
+      text.resize(std::fread(text.data(), 1, text.size(), cap));
+      std::fclose(cap);
+      check(text.find("per-thread ring drops: t1:123") != std::string::npos,
+            "drops header lists the lossy thread");
+    }
+  }
+
+  // Multi-shard merge, keyed by region label: the shards intern the same
+  // labels in *different* slot orders, so a slot-keyed merge would cross
+  // the streams; the label-keyed merge must reproduce the combined
+  // histograms bitwise.
+  const std::string shard_a = "raptor_trace_selftest_a.rtrace";
+  const std::string shard_b = "raptor_trace_selftest_b.rtrace";
+  std::vector<trace::Event> shard_events(t0.begin(), t0.begin() + 16);
+  for (std::size_t i = 0; i < shard_events.size(); ++i) {
+    shard_events[i].region = static_cast<u16>(i % 2);  // only interned slots
+  }
+  {
+    trace::RtraceWriter w(shard_a, 64, 1 << 10);
+    w.string_entry(0, "demo/alpha");
+    w.string_entry(1, "demo/gamma");
+    w.event_block(0, shard_events.data(), 8);
+    w.drop_block(0, 5);
+    w.hist_block(0, h0);
+    w.hist_block(1, h1);
+    w.finish();
+  }
+  {
+    trace::RtraceWriter w(shard_b, 64, 1 << 12);
+    w.string_entry(0, "demo/gamma");  // permuted slot order vs shard_a
+    w.string_entry(1, "demo/alpha");
+    w.event_block(0, shard_events.data() + 8, 8);
+    w.drop_block(0, 7);
+    w.hist_block(0, h0);
+    w.hist_block(1, h1);
+    w.finish();
+  }
+  {
+    const trace::TraceData merged =
+        trace::merge_traces({trace::read_rtrace(shard_a), trace::read_rtrace(shard_b)});
+    check(merged.sample_stride == 64, "merge keeps the common stride");
+    check(merged.ring_capacity == (1u << 12), "merge keeps the largest ring");
+    check(merged.regions.size() == 2, "merge interns each label once");
+    trace::RegionHist alpha_gamma;  // each label saw h0 in one shard, h1 in the other
+    alpha_gamma = h0;
+    alpha_gamma.merge(h1);
+    std::size_t matched = 0;
+    for (const auto& [slot, hist] : merged.histograms) {
+      if (merged.region_name(slot) == "demo/alpha" || merged.region_name(slot) == "demo/gamma") {
+        if (hist == alpha_gamma) ++matched;
+      }
+    }
+    check(matched == 2, "label-keyed histogram merge is bitwise exact");
+    check(merged.total_dropped() == 12, "merge sums shard drop accounting");
+    check(merged.events.size() == 16, "merge concatenates shard events");
+    bool threads_distinct = true;
+    for (const auto& e : merged.events) {
+      if (e.thread != 0 && e.thread != 1) threads_distinct = false;
+    }
+    check(threads_distinct, "shard thread ids are remapped, not collapsed");
+    // Stride reconciliation: disagreeing shards read back as "mixed" (0).
+    trace::TraceData odd = trace::read_rtrace(shard_b);
+    odd.sample_stride = 16;
+    check(trace::merge_traces({trace::read_rtrace(shard_a), odd}).sample_stride == 0,
+          "mixed shard strides reconcile to 0");
+  }
+
+  // Streaming reader: replaying the file byte-by-byte must decode exactly
+  // the strict-reader result, never throw on a partial block, and only
+  // finish at the end marker.
+  {
+    const std::string bytes = read_bytes(path);
+    const std::string grow = "raptor_trace_selftest_grow.rtrace";
+    trace::RtraceStream stream(grow);
+    bool ever_finished_early = false;
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      written = std::min(bytes.size(), written + 7);
+      write_bytes(grow, bytes.substr(0, written));
+      stream.poll();
+      if (stream.finished() && written < bytes.size()) ever_finished_early = true;
+    }
+    check(!ever_finished_early, "stream only finishes at the end marker");
+    check(stream.finished(), "stream finishes on the complete file");
+    check(stream.offset() == bytes.size(), "stream consumed every byte");
+    check(stream.data().events.size() == td.events.size() &&
+              stream.data().histograms == td.histograms &&
+              stream.data().regions == td.regions,
+          "streamed decode matches the strict reader");
+    std::remove(grow.c_str());
+
+    // Tolerant read of a mid-block cut: in progress, events up to the last
+    // complete block, no exception.
+    const std::string cut = "raptor_trace_selftest_cut.rtrace";
+    write_bytes(cut, bytes.substr(0, bytes.size() / 2));
+    try {
+      const trace::TolerantRead partial = trace::read_rtrace_tolerant(cut);
+      check(!partial.complete, "half a file classifies as in progress");
+      check(partial.bytes_consumed <= bytes.size() / 2, "tolerant offset stops at a block edge");
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "selftest: tolerant read threw on truncation: %s\n", ex.what());
+      ++failures;
+    }
+    check(throws([&] { (void)trace::read_rtrace(cut); }), "strict reader rejects the same cut");
+    std::remove(cut.c_str());
+  }
+
+  // Adversarial codec input: hardened decoding must reject malformed files
+  // with std::runtime_error even in tolerant mode.
+  {
+    const std::string bad = "raptor_trace_selftest_bad.rtrace";
+    const std::string header = read_bytes(path).substr(0, 16);
+    // Overlong varint: ten bytes whose final payload bits are shifted out.
+    std::string overlong = header;
+    overlong += 'D';
+    overlong += '\x00';  // thread 0
+    for (int i = 0; i < 9; ++i) overlong += '\x80';
+    overlong += '\x02';  // dropped bits at shift 63
+    write_bytes(bad, overlong);
+    check(throws([&] { (void)trace::read_rtrace(bad); }), "strict rejects overlong varint");
+    check(throws([&] { (void)trace::read_rtrace_tolerant(bad); }),
+          "tolerant rejects overlong varint");
+    // The maximal *valid* 10-byte varint still decodes: (1 << 63) | 1.
+    std::string maximal = header;
+    maximal += 'D';
+    maximal += '\x00';
+    maximal += '\x81';
+    for (int i = 0; i < 8; ++i) maximal += '\x80';
+    maximal += '\x01';
+    maximal += 'X';
+    write_bytes(bad, maximal);
+    check(trace::read_rtrace(bad).total_dropped() == ((u64{1} << 63) | 1),
+          "maximal valid varint decodes");
+    // Out-of-range histogram slot: same bound as string slots.
+    std::string bad_slot = header;
+    bad_slot += 'H';
+    bad_slot += '\x80';
+    bad_slot += '\x80';
+    bad_slot += '\x04';  // slot 0x10000
+    write_bytes(bad, bad_slot);
+    check(throws([&] { (void)trace::read_rtrace(bad); }), "histogram slot bound enforced");
+    std::remove(bad.c_str());
+  }
+
+  // Writer hardening: a writer destroyed without finish() (exception
+  // unwinding through the drainer) still terminates the file when the
+  // stream is healthy, and segment compaction preserves op totals.
+  {
+    const std::string abandoned = "raptor_trace_selftest_abandoned.rtrace";
+    {
+      trace::RtraceWriter w(abandoned, 8, 1 << 10);
+      w.string_entry(0, "demo/alpha");
+      w.event_block(0, t0.data(), t0.size());
+      // no finish()
+    }
+    try {
+      const trace::TraceData closed = trace::read_rtrace(abandoned);
+      check(closed.events.size() == t0.size(), "finish-on-destruct terminates the file");
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "selftest: abandoned writer left a bad file: %s\n", ex.what());
+      ++failures;
+    }
+    u64 ops_before = 0;
+    for (const auto& e : trace::read_rtrace(abandoned).events) ops_before += e.count;
+    const u64 compact_size = trace::compact_rtrace(abandoned);
+    const trace::TraceData compacted = trace::read_rtrace(abandoned);
+    u64 ops_after = 0;
+    for (const auto& e : compacted.events) ops_after += e.count;
+    check(ops_after == ops_before, "compaction preserves op totals");
+    check(compacted.events.size() < t0.size(), "compaction folds records");
+    check(compact_size > 0 && read_bytes(abandoned).size() == compact_size,
+          "compaction reports the rewritten size");
+    std::remove(abandoned.c_str());
+  }
+
+  std::remove(shard_a.c_str());
+  std::remove(shard_b.c_str());
   std::remove(path.c_str());
   if (failures == 0) std::printf("raptor_trace selftest: all checks passed\n");
   return failures == 0 ? 0 : 1;
@@ -244,48 +585,51 @@ int run(int argc, char** argv) {
 
   if (cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: %s <file.rtrace> [--csv=PATH] [--json=PATH] [--recommend[=PATH]] "
-                 "[--selftest]\n",
+                 "usage: %s <file.rtrace> [more shards...] [--csv=PATH] [--json=PATH] "
+                 "[--recommend[=PATH]] [--tolerant] [--follow] [--interval=MS] "
+                 "[--follow-max=N] [--selftest]\n",
                  cli.program().c_str());
     return 2;
   }
-  trace::TraceData td;
+
+  if (cli.has("follow")) {
+    if (cli.positional().size() != 1) {
+      std::fprintf(stderr, "--follow tails one capture (its rotation segments are discovered)\n");
+      return 2;
+    }
+    return follow(cli);
+  }
+
+  // Every positional plus its rotation segments; more than one file means a
+  // label-keyed multi-shard merge.
+  std::vector<std::string> files;
+  for (const std::string& p : cli.positional()) {
+    for (std::string& f : expand_segments(p)) files.push_back(std::move(f));
+  }
+  const bool tolerant = cli.has("tolerant");
+  bool in_progress = false;
+  std::vector<trace::TraceData> shards;
   try {
-    td = trace::read_rtrace(cli.positional().front());
+    for (const std::string& f : files) {
+      if (tolerant) {
+        trace::TolerantRead r = trace::read_rtrace_tolerant(f);
+        if (!r.complete) in_progress = true;
+        shards.push_back(std::move(r.data));
+      } else {
+        shards.push_back(trace::read_rtrace(f));
+      }
+    }
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "%s\n", ex.what());
     return 1;
   }
+  const trace::TraceData td =
+      shards.size() == 1 ? std::move(shards.front()) : trace::merge_traces(shards);
+  if (files.size() > 1) std::printf("merged %zu shard files\n", files.size());
+  if (in_progress) std::printf("capture in progress (no end marker yet)\n");
   const std::vector<trace::RegionReport> reports = trace::build_reports(td);
-  print_report(td, reports);
-
-  if (cli.has("csv")) write_csv(cli.get("csv", "trace_report.csv"), reports);
-  if (cli.has("json")) write_json(cli.get("json", "trace_report.json"), td, reports);
-
-  if (cli.has("recommend")) {
-    const auto recs = trace::recommend(td);
-    const std::string text = trace::recommendations_to_profile(recs);
-    // The recommendation must stay consumable by the profile-config loader.
-    try {
-      (void)rt::parse_profile(text);
-    } catch (const std::exception& ex) {
-      std::fprintf(stderr, "recommendation failed to round-trip parse_profile: %s\n", ex.what());
-      return 1;
-    }
-    // Bare "--recommend" parses as value "1" (flag convention): print to
-    // stdout; "--recommend=PATH" writes a file.
-    std::string path = cli.get("recommend", "");
-    if (path == "1") path.clear();
-    if (path.empty()) {
-      std::printf("\n%s", text.c_str());
-    } else {
-      std::ofstream out(path);
-      if (!out.good()) throw CliError("cannot open --recommend output file");
-      out << text;
-      std::printf("\nwrote recommendation (%zu regions) to %s\n", recs.size(), path.c_str());
-    }
-  }
-  return 0;
+  print_report(stdout, td, reports);
+  return emit_outputs(cli, td, reports, /*strict=*/true);
 }
 
 int main(int argc, char** argv) { return raptor::cli_main(run, argc, argv); }
