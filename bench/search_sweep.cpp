@@ -6,8 +6,10 @@
 //   1. scalar-vs-batch dispatch time for one truncated run of the Poisson
 //      solve and the cellular detonation (the PR's newly batched paths) —
 //      the speedup is the factor the whole sweep inherits;
-//   2. a full precision search on each, reporting wall time and the number
-//      of workload evaluations spent.
+//   2. a full precision search on each of the registered workloads —
+//      Poisson, cellular burn, the broadened hydro corpus (double Mach
+//      reflection, Rayleigh–Taylor, shock–bubble) and the per-level mesh
+//      search (sod_amr) — reporting wall time and evaluations spent.
 //
 // Everything is written to search_sweep.csv and, for the recorded perf
 // trajectory, BENCH_search_sweep.json.
@@ -123,8 +125,13 @@ int run(int argc, char** argv) {
   wopts.quick = quick;
   search::SearchOptions sopts;
   sopts.tolerance = cli.get_double("tol", 1e-3);
-  for (const char* name : {"poisson", "burn"}) {
-    const search::PrecisionSearch driver(sopts);
+  for (const char* name :
+       {"poisson", "burn", "dmr", "rayleigh_taylor", "shock_bubble", "sod_amr"}) {
+    search::SearchOptions wl_opts = sopts;
+    // The mesh workload's knobs (per-level guard regions) are a tiny flop
+    // share next to the hydro stages; don't let the share filter skip them.
+    if (std::string(name) == "sod_amr") wl_opts.min_flop_share = 0.0;
+    const search::PrecisionSearch driver(wl_opts);
     Timer t;
     const auto res = driver.run(search::builtin_workload(name, wopts));
     std::printf("%-12s %12.2f %12d %12.3e %9.1f%%\n", name, t.seconds(), res.evaluations,

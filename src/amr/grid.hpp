@@ -22,11 +22,13 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "support/common.hpp"
 #include "trunc/real.hpp"
+#include "trunc/scope.hpp"
 
 namespace raptor::amr {
 
@@ -54,7 +56,26 @@ struct GridConfig {
   std::vector<int> y_odd_vars{};
   /// Estimator noise filter (Flash-X amr_error_eps analogue).
   double loehner_eps = 0.01;
+  /// Route the instrumented (T = Real, op-mode) mesh kernels — guard-fill
+  /// copies, restriction, slope-limited prolongation, and the regrid
+  /// merge/split transfers — through the array batch dispatch (DESIGN.md
+  /// §15). Bit-identical results and counters versus the scalar per-op
+  /// path; only the dispatch granularity changes. The double substrate and
+  /// mem-mode always take the native path.
+  bool batch = true;
 };
+
+namespace detail {
+/// Reusable raw-payload buffers for the instrumented mesh kernels (one per
+/// thread in fill_guards, one per grid in regrid; resized lazily).
+struct MeshScratch {
+  std::vector<double> src, dst;                // quantize-on-move copies
+  std::vector<double> uc, xlo, xhi, ylo, yhi;  // prolongation stencil gathers
+  std::vector<double> offx, offy, dm, dp, sx, sy, t1, s1, s2;
+  std::vector<signed char> cx, cy;             // slope-select codes
+  std::vector<double> f00, f10, f01, f11, quarter;  // restriction gathers
+};
+}  // namespace detail
 
 template <class T>
 class AmrGrid {
@@ -78,6 +99,13 @@ class AmrGrid {
         b.data.assign(block_elems(), T(0.0));
         leaves_.push_back(std::move(b));
       }
+    }
+    // Per-level region labels, built once so the hot loops can enter a
+    // Region from a cached const char* (DESIGN.md §15 label grammar).
+    labels_.reserve(static_cast<std::size_t>(cfg_.max_level));
+    for (int l = 1; l <= cfg_.max_level; ++l) {
+      const std::string base = "amr/L" + std::to_string(l) + "/";
+      labels_.push_back({base + "guard", base + "prolong", base + "restrict"});
     }
     rebuild_map();
   }
@@ -138,6 +166,25 @@ class AmrGrid {
     return static_cast<u64>(leaves_.size()) * cfg_.nxb * cfg_.nyb;
   }
 
+  // -- Region labels ----------------------------------------------------------
+  //
+  // Every mesh phase runs under a per-refinement-level region label so
+  // profiles, traces, exclusions and per-region format overrides resolve
+  // per level (the per-level precision axis, DESIGN.md §15):
+  //   amr/L<k>/guard     guard fill of a level-k block (copies + cross-level
+  //                      prolongation/restriction into its guard layers),
+  //   amr/L<k>/prolong   regrid split creating level-k children,
+  //   amr/L<k>/restrict  regrid merge producing a level-k parent.
+  // Exposed so workloads and tests can name the searchable regions.
+
+  [[nodiscard]] const char* guard_label(int level) const { return labels_[level - 1][0].c_str(); }
+  [[nodiscard]] const char* prolong_label(int level) const {
+    return labels_[level - 1][1].c_str();
+  }
+  [[nodiscard]] const char* restrict_label(int level) const {
+    return labels_[level - 1][2].c_str();
+  }
+
   // -- Initialization -------------------------------------------------------
 
   /// Set every interior cell from f(x, y, vars). Does not regrid.
@@ -173,9 +220,30 @@ class AmrGrid {
   /// neighbors, and physical boundaries. Face guards only (the dimensional
   /// split solvers and the estimator never read corner guards).
   void fill_guards() {
-#pragma omp parallel for schedule(dynamic)
-    for (int n = 0; n < num_leaves(); ++n) {
-      for (int side = 0; side < 4; ++side) fill_side(leaves_[n], static_cast<Side>(side));
+    // Batched dispatch applies to the instrumented op-mode run only; the
+    // double baseline and mem-mode take the native path (DESIGN.md §15).
+    bool instr = false;
+    if constexpr (std::is_same_v<T, Real>) {
+      instr = rt::Runtime::instance().mode() == rt::Mode::Op;
+    }
+    const u64 guard_bytes = static_cast<u64>(cfg_.nvar) * 2 * cfg_.ng *
+                            (cfg_.nxb + cfg_.nyb) * 2 * sizeof(double);
+#pragma omp parallel
+    {
+      detail::MeshScratch scratch;
+#pragma omp for schedule(dynamic)
+      for (int n = 0; n < num_leaves(); ++n) {
+        Block& b = leaves_[n];
+        // The label is entered inside the parallel loop so every worker
+        // thread carries it (the PR-4 bubble/poisson fix): exclusions,
+        // overrides, profiles and traces all see amr/L<k>/guard on the
+        // thread doing the work, where k is the destination block's level.
+        Region region(guard_label(b.level));
+        for (int side = 0; side < 4; ++side) {
+          fill_side(b, static_cast<Side>(side), scratch, instr);
+        }
+        rt::Runtime::instance().count_mem(guard_bytes);
+      }
     }
   }
 
@@ -285,14 +353,52 @@ class AmrGrid {
     return emax;
   }
 
-  void fill_side(Block& b, Side side);
-  void fill_physical(Block& b, Side side);
+  /// `instr` routes the fill through the instrumented runtime kernels
+  /// (T = Real in op-mode); callers compute it once per sweep.
+  void fill_side(Block& b, Side side, detail::MeshScratch& s, bool instr);
+  void fill_physical(Block& b, Side side, detail::MeshScratch& s, bool instr);
+
+  /// Enumerate one side's physical guard cells in a fixed order together
+  /// with the interior source cell each mirrors (Outflow clamps to the
+  /// boundary cell, Reflect mirrors about the wall). Shared by the native
+  /// and instrumented fills so gather and scatter walk identical orders.
+  template <class F>
+  void for_each_physical_guard(Side side, const F& fn) const {
+    const int ng = cfg_.ng, nxb = cfg_.nxb, nyb = cfg_.nyb;
+    const BC bc = cfg_.bc[static_cast<int>(side)];
+    switch (side) {
+      case Side::XLo:
+        for (int j = 0; j < nyb; ++j) {
+          for (int i = -ng; i < 0; ++i) fn(i, j, bc == BC::Reflect ? -i - 1 : 0, j);
+        }
+        break;
+      case Side::XHi:
+        for (int j = 0; j < nyb; ++j) {
+          for (int i = nxb; i < nxb + ng; ++i) {
+            fn(i, j, bc == BC::Reflect ? 2 * nxb - i - 1 : nxb - 1, j);
+          }
+        }
+        break;
+      case Side::YLo:
+        for (int j = -ng; j < 0; ++j) {
+          for (int i = 0; i < nxb; ++i) fn(i, j, i, bc == BC::Reflect ? -j - 1 : 0);
+        }
+        break;
+      case Side::YHi:
+        for (int j = nyb; j < nyb + ng; ++j) {
+          for (int i = 0; i < nxb; ++i) fn(i, j, i, bc == BC::Reflect ? 2 * nyb - j - 1 : nyb - 1);
+        }
+        break;
+    }
+  }
   /// minmod-limited slope of coarse cell (cc, cj) used for prolongation.
   [[nodiscard]] double coarse_slope(const Block& cb, int var, int i, int j, bool xdir) const;
 
   GridConfig cfg_;
   std::vector<Block> leaves_;
   std::unordered_map<u64, int> map_;
+  /// Cached per-level labels {guard, prolong, restrict}, index level - 1.
+  std::vector<std::array<std::string, 3>> labels_;
 };
 
 }  // namespace raptor::amr

@@ -40,6 +40,9 @@ struct HydroConfig {
   RiemannKind riemann = RiemannKind::HLLC;
   double dens_floor = 1e-10;
   double pres_floor = 1e-14;
+  /// Constant vertical acceleration applied as an operator-split source
+  /// term after the sweeps (Rayleigh–Taylor); 0 disables the stage.
+  double gravity = 0.0;
   /// Truncation spec applied around block kernels (absent: run natively).
   std::optional<rt::TruncationSpec> trunc;
   /// Per-level gate for the spec (the M-l cutoff); default: all levels.
@@ -201,15 +204,45 @@ class HydroSolver {
     return cfg_.cfl * dt;
   }
 
-  /// One dimensionally split step: x sweep then y sweep.
+  /// One dimensionally split step: x sweep then y sweep, then the gravity
+  /// source (when configured).
   void step(amr::AmrGrid<T>& g, double dt) {
     g.fill_guards();
     sweep(g, dt, /*xdir=*/true);
     g.fill_guards();
     sweep(g, dt, /*xdir=*/false);
+    if (cfg_.gravity != 0.0) apply_gravity(g, dt);
   }
 
  private:
+  /// Operator-split gravity source on the y-momentum and energy:
+  ///   momy += rho * g * dt,
+  ///   ener += g * dt * 0.5 * (momy_old + momy_new)   (time-centered work),
+  /// per block under the same truncation scoping as the sweeps, labelled
+  /// "hydro/gravity" so search/trace treat it as its own solver stage.
+  void apply_gravity(amr::AmrGrid<T>& g, double dt) {
+    const double gdt_raw = cfg_.gravity * dt;
+#pragma omp parallel for schedule(dynamic)
+    for (int n = 0; n < g.num_leaves(); ++n) {
+      auto& b = g.leaf(n);
+      std::optional<TruncScope> scope;
+      if (cfg_.trunc) scope.emplace(*cfg_.trunc, cfg_.trunc_enabled(b.level));
+      Region hydro_region("hydro");
+      Region r("hydro/gravity");
+      const T gdt = T(gdt_raw);
+      const T half = T(0.5);
+      for (int j = 0; j < g.config().nyb; ++j) {
+        for (int i = 0; i < g.config().nxb; ++i) {
+          const T my = g.at(b, MOMY, i, j);
+          const T my_new = my + gdt * g.at(b, DENS, i, j);
+          g.at(b, ENER, i, j) = g.at(b, ENER, i, j) + gdt * (half * (my + my_new));
+          g.at(b, MOMY, i, j) = my_new;
+        }
+      }
+      rt::Runtime::instance().count_mem(static_cast<u64>(g.config().nxb) * g.config().nyb * 3 *
+                                        2 * sizeof(double));
+    }
+  }
   void sweep(amr::AmrGrid<T>& g, double dt, bool xdir) {
     const int n_interior = xdir ? g.config().nxb : g.config().nyb;
     const int n_rows = xdir ? g.config().nyb : g.config().nxb;

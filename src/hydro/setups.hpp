@@ -2,13 +2,21 @@
 //   * Sedov blast wave (§4.2, Fig. 6a): pressure spike at the domain
 //     center, radially expanding shock, quiescent exterior;
 //   * Sod shock tube (§4.2, Fig. 6b): density/pressure jump along a plane,
-//     shock + contact one way, rarefaction the other.
+//     shock + contact one way, rarefaction the other;
+// plus three corpus-broadening problems (ROADMAP "Broaden the scenario
+// corpus"): double Mach reflection, Rayleigh–Taylor, and shock–bubble
+// interaction. The latter three are stand-ins in the established tradition
+// of this repo's setups: the available BC set (Outflow/Reflect/Periodic)
+// replaces the time-dependent inflow boundaries of the literature
+// configurations, so they are search/trace workloads, not validation-grade
+// reproductions.
 //
 // Each setup provides the initial condition, a grid configuration matching
 // the Flash-X defaults (square blocks, Löhner refinement on density and
 // pressure), and a ready-to-run driver used by tests, examples and benches.
 #pragma once
 
+#include <cmath>
 #include <span>
 
 #include "amr/grid.hpp"
@@ -84,6 +92,168 @@ void sod_init(const SodParams& sp, double x, double /*y*/, std::span<T> vars) {
   vars[MOMX] = T(0.0);
   vars[MOMY] = T(0.0);
   vars[ENER] = T(p / (sp.gamma - 1.0));
+}
+
+/// Post-shock state behind a Mach-`mach` normal shock running into
+/// quiescent (rho0, p0) gas (Rankine–Hugoniot): density, pressure and the
+/// flow speed along the shock normal.
+struct PostShock {
+  double rho = 0.0, p = 0.0, u = 0.0;
+};
+
+inline PostShock post_shock_state(double mach, double gamma, double rho0, double p0) {
+  const double m2 = mach * mach;
+  PostShock s;
+  s.p = p0 * (1.0 + 2.0 * gamma / (gamma + 1.0) * (m2 - 1.0));
+  s.rho = rho0 * ((gamma + 1.0) * m2) / ((gamma - 1.0) * m2 + 2.0);
+  const double c0 = std::sqrt(gamma * p0 / rho0);
+  s.u = mach * c0 * (1.0 - rho0 / s.rho);
+  return s;
+}
+
+/// Fill conserved vars from primitive (rho, u, v, p).
+template <class T>
+void prim_to_cons(double gamma, double rho, double u, double v, double p, std::span<T> vars) {
+  vars[DENS] = T(rho);
+  vars[MOMX] = T(rho * u);
+  vars[MOMY] = T(rho * v);
+  vars[ENER] = T(p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v));
+}
+
+// ---------------------------------------------------------------------------
+// Double Mach reflection (Woodward & Colella 1984 parameters, stand-in BCs)
+// ---------------------------------------------------------------------------
+
+struct DmrParams {
+  double gamma = 1.4;
+  double mach = 10.0;
+  double angle_deg = 60.0;  ///< shock inclination against the x axis
+  double x0 = 1.0 / 6.0;    ///< shock foot on the bottom wall
+  double rho0 = 1.4, p0 = 1.0;  ///< quiescent pre-shock state
+};
+
+/// [0,3] x [0,1] channel of square blocks; reflecting bottom wall (the
+/// ramp), outflow elsewhere (stand-in for the literature's post-shock
+/// inflow/time-dependent top boundaries).
+inline amr::GridConfig dmr_grid_config(int max_level, int nxb = 8) {
+  amr::GridConfig g;
+  g.nxb = g.nyb = nxb;
+  g.ng = 2;
+  g.nbx = 6;
+  g.nby = 2;
+  g.xmax = 3.0;
+  g.ymax = 1.0;
+  g.max_level = max_level;
+  g.nvar = kNumVars;
+  g.bc = {amr::BC::Outflow, amr::BC::Outflow, amr::BC::Reflect, amr::BC::Outflow};
+  g.refine_vars = {DENS, ENER};
+  g.x_odd_vars = {MOMX};
+  g.y_odd_vars = {MOMY};
+  return g;
+}
+
+template <class T>
+void dmr_init(const DmrParams& dp, double x, double y, std::span<T> vars) {
+  const double theta = dp.angle_deg * M_PI / 180.0;
+  const PostShock ps = post_shock_state(dp.mach, dp.gamma, dp.rho0, dp.p0);
+  // Everything left of the inclined shock front through (x0, 0) carries the
+  // post-shock state moving normal to the front (down-and-right).
+  if (x < dp.x0 + y / std::tan(theta)) {
+    prim_to_cons(dp.gamma, ps.rho, ps.u * std::sin(theta), -ps.u * std::cos(theta), ps.p, vars);
+  } else {
+    prim_to_cons(dp.gamma, dp.rho0, 0.0, 0.0, dp.p0, vars);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rayleigh–Taylor instability (single-mode, hydrostatic background)
+// ---------------------------------------------------------------------------
+
+struct RayleighTaylorParams {
+  double gamma = 1.4;
+  double rho_heavy = 2.0, rho_light = 1.0;
+  double gravity = -0.1;       ///< pass to HydroConfig::gravity as well
+  double p_interface = 2.5;    ///< pressure at the interface
+  double y_interface = 0.5;
+  double amplitude = 0.01;     ///< single-mode velocity perturbation
+};
+
+/// [0,0.5] x [0,1] box of square blocks, periodic in x, reflecting walls in
+/// y; refinement follows the density interface.
+inline amr::GridConfig rayleigh_taylor_grid_config(int max_level, int nxb = 8) {
+  amr::GridConfig g;
+  g.nxb = g.nyb = nxb;
+  g.ng = 2;
+  g.nbx = 1;
+  g.nby = 2;
+  g.xmax = 0.5;
+  g.ymax = 1.0;
+  g.max_level = max_level;
+  g.nvar = kNumVars;
+  g.bc = {amr::BC::Periodic, amr::BC::Periodic, amr::BC::Reflect, amr::BC::Reflect};
+  g.refine_vars = {DENS};
+  g.x_odd_vars = {MOMX};
+  g.y_odd_vars = {MOMY};
+  return g;
+}
+
+template <class T>
+void rayleigh_taylor_init(const RayleighTaylorParams& rp, double x, double y,
+                          std::span<T> vars) {
+  const bool heavy = y > rp.y_interface;
+  const double rho = heavy ? rp.rho_heavy : rp.rho_light;
+  // Hydrostatic pressure about the interface: dp/dy = rho * g.
+  const double p = rp.p_interface + rp.gravity * rho * (y - rp.y_interface);
+  // Single-mode vy perturbation, windowed to vanish at the y walls.
+  const double vy = rp.amplitude * (1.0 + std::cos(4.0 * M_PI * x)) *
+                    (1.0 + std::cos(2.0 * M_PI * (y - rp.y_interface))) * 0.25;
+  prim_to_cons(rp.gamma, rho, 0.0, vy, p, vars);
+}
+
+// ---------------------------------------------------------------------------
+// Shock–bubble interaction (Mach 1.22 planar shock hitting a light bubble)
+// ---------------------------------------------------------------------------
+
+struct ShockBubbleParams {
+  double gamma = 1.4;
+  double mach = 1.22;
+  double x_shock = 0.25;       ///< initial shock position, moving +x
+  double rho0 = 1.0, p0 = 1.0; ///< quiescent background
+  double rho_bubble = 0.138;   ///< light (helium-like) bubble density
+  double r_bubble = 0.2;
+  double cx = 0.5, cy = 0.5;   ///< bubble center
+};
+
+/// [0,2] x [0,1] channel of square blocks; outflow in x, reflecting walls
+/// in y; refinement follows density (shock + bubble contact).
+inline amr::GridConfig shock_bubble_grid_config(int max_level, int nxb = 8) {
+  amr::GridConfig g;
+  g.nxb = g.nyb = nxb;
+  g.ng = 2;
+  g.nbx = 4;
+  g.nby = 2;
+  g.xmax = 2.0;
+  g.ymax = 1.0;
+  g.max_level = max_level;
+  g.nvar = kNumVars;
+  g.bc = {amr::BC::Outflow, amr::BC::Outflow, amr::BC::Reflect, amr::BC::Reflect};
+  g.refine_vars = {DENS};
+  g.x_odd_vars = {MOMX};
+  g.y_odd_vars = {MOMY};
+  return g;
+}
+
+template <class T>
+void shock_bubble_init(const ShockBubbleParams& sp, double x, double y, std::span<T> vars) {
+  if (x < sp.x_shock) {
+    const PostShock ps = post_shock_state(sp.mach, sp.gamma, sp.rho0, sp.p0);
+    prim_to_cons(sp.gamma, ps.rho, ps.u, 0.0, ps.p, vars);
+    return;
+  }
+  const double dx = x - sp.cx, dy = y - sp.cy;
+  const double rho =
+      dx * dx + dy * dy < sp.r_bubble * sp.r_bubble ? sp.rho_bubble : sp.rho0;
+  prim_to_cons(sp.gamma, rho, 0.0, 0.0, sp.p0, vars);
 }
 
 /// Shared driver: advance a grid to t_end with optional regridding and an

@@ -60,6 +60,12 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
     }
     return 0;
   };
+  const auto profiled_bytes = [&](const std::string& label) -> u64 {
+    for (const auto& e : out.reference_profile) {
+      if (e.label == label) return e.profile.counters.total_bytes();
+    }
+    return 0;
+  };
   if (!workload.regions.empty()) {
     for (const auto& r : workload.regions) candidates.emplace_back(r, profiled_flops(r));
   } else {
@@ -106,6 +112,7 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
     RegionChoice choice;
     choice.region = region;
     choice.flops = flops;
+    choice.bytes = profiled_bytes(region);
     if (total_flops > 0 && static_cast<double>(flops) <
                                opts_.min_flop_share * static_cast<double>(total_flops)) {
       log_line(opts_, "  region " + region + ": skipped (<" +
@@ -176,6 +183,110 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
   out.within_tolerance = out.final_error <= opts_.tolerance;
   R.reset_all();
   return out;
+}
+
+SearchResult flat_format_search(const Workload& workload, const SearchOptions& opts) {
+  RAPTOR_REQUIRE(static_cast<bool>(workload.run), "flat search: workload has no callback");
+  RAPTOR_REQUIRE(!workload.regions.empty(), "flat search: workload lists no regions");
+  RAPTOR_REQUIRE(opts.min_man >= 1 && opts.min_man <= opts.max_man && opts.max_man <= 61,
+                 "flat search: bad mantissa range");
+  auto& R = rt::Runtime::instance();
+  const ErrorMetric metric = opts.metric ? opts.metric : ErrorMetric(scaled_max_error);
+  SearchResult out;
+
+  R.reset_all();
+  R.set_hw_fastpath(true);
+  R.set_region_profiling(true);
+  const std::vector<double> ref = workload.run();
+  out.reference_profile = R.region_profiles();
+  R.set_region_profiling(false);
+  const auto profiled = [&](const std::string& label) -> rt::CounterSnapshot {
+    for (const auto& e : out.reference_profile) {
+      if (e.label == label) return e.profile.counters;
+    }
+    return {};
+  };
+
+  const auto apply_all = [&](int man) {
+    rt::TruncationSpec spec;
+    spec.for64 = sf::Format{opts.exp_bits, man};
+    R.clear_region_formats();
+    for (const auto& region : workload.regions) R.set_region_format(region, spec);
+  };
+  const auto evaluate = [&]() {
+    ++out.evaluations;
+    return metric(ref, workload.run());
+  };
+
+  // One shared bisection over all regions at once (same identity guard as
+  // the per-region driver: (11, 52) on 64-bit ops truncates nothing).
+  int lo = opts.min_man;
+  int hi = opts.max_man;
+  double err_at_hi = 0.0;
+  bool feasible = opts.exp_bits == 11 && opts.max_man == 52;
+  if (!feasible) {
+    apply_all(hi);
+    err_at_hi = evaluate();
+    feasible = err_at_hi <= opts.tolerance;
+  }
+  bool truncated = false;
+  if (feasible) {
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      apply_all(mid);
+      const double err = evaluate();
+      log_line(opts, "  flat: m=" + std::to_string(mid) + " err " + std::to_string(err) +
+                         (err <= opts.tolerance ? " ok" : " too coarse"));
+      if (err <= opts.tolerance) {
+        hi = mid;
+        err_at_hi = err;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    truncated = !(opts.exp_bits == 11 && hi == 52);
+  }
+  const sf::Format chosen{opts.exp_bits, hi};
+  for (const auto& region : workload.regions) {
+    RegionChoice c;
+    c.region = region;
+    const rt::CounterSnapshot counters = profiled(region);
+    c.flops = counters.total_flops();
+    c.bytes = counters.total_bytes();
+    c.truncated = truncated;
+    if (truncated) {
+      c.format = chosen;
+      c.error = err_at_hi;
+      rt::RegionFormat rf;
+      rf.region = region;
+      rf.spec.for64 = chosen;
+      out.config.region_formats.push_back(std::move(rf));
+    }
+    out.choices.push_back(std::move(c));
+  }
+
+  R.reset_all();
+  R.set_hw_fastpath(true);
+  apply_profile(R, out.config);
+  const std::vector<double> final_run = workload.run();
+  out.final_error = metric(ref, final_run);
+  out.final_counters = R.counters();
+  out.trunc_fraction = out.final_counters.trunc_fraction();
+  out.within_tolerance = out.final_error <= opts.tolerance;
+  R.reset_all();
+  return out;
+}
+
+double flop_weighted_trunc_share(const std::vector<RegionChoice>& choices) {
+  double saved = 0.0, total = 0.0;
+  for (const auto& c : choices) {
+    // Arithmetic plus memory words: copy-dominated regions (guard fills) do
+    // their truncated work as traffic, which count_mem records in bytes.
+    const double w = static_cast<double>(c.flops) + static_cast<double>(c.bytes) / 8.0;
+    total += w;
+    if (c.truncated) saved += w * (52.0 - c.format.man_bits) / 52.0;
+  }
+  return total > 0.0 ? saved / total : 0.0;
 }
 
 }  // namespace raptor::search

@@ -80,6 +80,7 @@ struct RegionChoice {
   bool truncated = false;                 ///< false: left at native precision
   sf::Format format = sf::Format::fp64(); ///< chosen format when truncated
   u64 flops = 0;                          ///< reference-profile flops in this region
+  u64 bytes = 0;                          ///< reference-profile memory traffic
   double error = 0.0;                     ///< metric at the accepting evaluation
 };
 
@@ -109,5 +110,28 @@ class PrecisionSearch {
  private:
   SearchOptions opts_;
 };
+
+/// Best *flat* single-format configuration at the same tolerance: one
+/// mantissa bisection in the Format{opts.exp_bits, m} family, applied to
+/// every one of the workload's regions simultaneously. The baseline the
+/// per-region (e.g. per-AMR-level) search must beat — a flat format is
+/// forced to the width of the most sensitive region, while the per-region
+/// search narrows each region independently (DESIGN.md §15). Ignores
+/// min_flop_share and exp_hints; the result carries one RegionChoice per
+/// region, all with the same format (or all untruncated when even the
+/// widest candidate misses tolerance).
+[[nodiscard]] SearchResult flat_format_search(const Workload& workload,
+                                              const SearchOptions& opts = {});
+
+/// Work-weighted mantissa-savings share of a choice set:
+///   sum_r w_r * (52 - m_r) / 52  /  sum_r w_r,   w_r = flops_r + bytes_r / 8
+/// where untruncated regions contribute zero savings. The weight counts
+/// both arithmetic and memory words because copy-dominated regions (the
+/// per-level guard fills) do their truncated work as traffic, not flops.
+/// 0 when everything stays native, 1 only in the (unreachable) limit of
+/// zero-mantissa formats everywhere. The per-level-vs-flat acceptance
+/// metric: a larger share means more of the mantissa work in the searched
+/// regions was eliminated at equal error budget.
+[[nodiscard]] double flop_weighted_trunc_share(const std::vector<RegionChoice>& choices);
 
 }  // namespace raptor::search

@@ -141,16 +141,102 @@ Workload make_burn_workload(const WorkloadOptions& opts) {
   return w;
 }
 
+Workload make_dmr_workload(const WorkloadOptions& opts) {
+  Workload w;
+  w.name = "dmr";
+  w.regions = {"hydro/recon", "hydro/riemann", "hydro/update"};
+  const int max_level = opts.quick ? 2 : 3;
+  const double t_end = opts.quick ? 0.02 : 0.05;
+  w.run = [max_level, t_end]() {
+    const hydro::DmrParams dp;
+    amr::AmrGrid<Real> grid(hydro::dmr_grid_config(max_level));
+    grid.build_with_ic(
+        [&dp](double x, double y, std::span<Real> v) { hydro::dmr_init(dp, x, y, v); });
+    hydro::HydroSolver<Real> solver(hydro::HydroConfig{});
+    hydro::run_to_time(grid, solver, t_end);
+    return grid_observable(grid);
+  };
+  return w;
+}
+
+Workload make_rayleigh_taylor_workload(const WorkloadOptions& opts) {
+  Workload w;
+  w.name = "rayleigh_taylor";
+  w.regions = {"hydro/recon", "hydro/riemann", "hydro/update", "hydro/gravity"};
+  const int max_level = opts.quick ? 2 : 3;
+  const double t_end = opts.quick ? 0.3 : 1.0;
+  w.run = [max_level, t_end]() {
+    const hydro::RayleighTaylorParams rp;
+    amr::AmrGrid<Real> grid(hydro::rayleigh_taylor_grid_config(max_level));
+    grid.build_with_ic([&rp](double x, double y, std::span<Real> v) {
+      hydro::rayleigh_taylor_init(rp, x, y, v);
+    });
+    hydro::HydroConfig hc;
+    hc.gravity = rp.gravity;
+    hydro::HydroSolver<Real> solver(hc);
+    hydro::run_to_time(grid, solver, t_end);
+    return grid_observable(grid);
+  };
+  return w;
+}
+
+Workload make_shock_bubble_workload(const WorkloadOptions& opts) {
+  Workload w;
+  w.name = "shock_bubble";
+  w.regions = {"hydro/recon", "hydro/riemann", "hydro/update"};
+  const int max_level = opts.quick ? 2 : 3;
+  const double t_end = opts.quick ? 0.1 : 0.3;
+  w.run = [max_level, t_end]() {
+    const hydro::ShockBubbleParams sp;
+    amr::AmrGrid<Real> grid(hydro::shock_bubble_grid_config(max_level));
+    grid.build_with_ic([&sp](double x, double y, std::span<Real> v) {
+      hydro::shock_bubble_init(sp, x, y, v);
+    });
+    hydro::HydroSolver<Real> solver(hydro::HydroConfig{});
+    hydro::run_to_time(grid, solver, t_end);
+    return grid_observable(grid);
+  };
+  return w;
+}
+
+Workload make_sod_amr_workload(const WorkloadOptions& opts) {
+  Workload w;
+  w.name = "sod_amr";
+  const int max_level = opts.quick ? 2 : 3;
+  const double t_end = opts.quick ? 0.03 : 0.05;
+  // The searched regions are the per-level guard-fill labels, coarsest
+  // first. Mesh flops are a small share of the total (the hydro stages
+  // dominate), so drivers must search with min_flop_share = 0.
+  for (int l = 1; l <= max_level; ++l) {
+    w.regions.push_back("amr/L" + std::to_string(l) + "/guard");
+  }
+  w.run = [max_level, t_end]() {
+    const hydro::SodParams sp;
+    amr::AmrGrid<Real> grid(hydro::sod_grid_config(max_level));
+    grid.build_with_ic(
+        [&sp](double x, double y, std::span<Real> v) { hydro::sod_init(sp, x, y, v); });
+    hydro::HydroSolver<Real> solver(hydro::HydroConfig{});
+    hydro::run_to_time(grid, solver, t_end);
+    return grid_observable(grid);
+  };
+  return w;
+}
+
 std::vector<Workload> builtin_workloads(const WorkloadOptions& opts) {
-  return {make_sod_workload(opts), make_sedov_workload(opts), make_bubble_workload(opts),
-          make_poisson_workload(opts), make_burn_workload(opts)};
+  return {make_sod_workload(opts),          make_sedov_workload(opts),
+          make_bubble_workload(opts),       make_poisson_workload(opts),
+          make_burn_workload(opts),         make_dmr_workload(opts),
+          make_rayleigh_taylor_workload(opts), make_shock_bubble_workload(opts),
+          make_sod_amr_workload(opts)};
 }
 
 Workload builtin_workload(const std::string& name, const WorkloadOptions& opts) {
   for (auto& w : builtin_workloads(opts)) {
     if (w.name == name) return w;
   }
-  RAPTOR_REQUIRE(false, "unknown workload (expected sod|sedov|bubble|poisson|burn)");
+  RAPTOR_REQUIRE(false,
+                 "unknown workload (expected sod|sedov|bubble|poisson|burn|dmr|"
+                 "rayleigh_taylor|shock_bubble|sod_amr)");
   return {};
 }
 

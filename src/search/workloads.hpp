@@ -24,12 +24,24 @@ struct WorkloadOptions {
 [[nodiscard]] Workload make_bubble_workload(const WorkloadOptions& opts = {});
 [[nodiscard]] Workload make_poisson_workload(const WorkloadOptions& opts = {});
 [[nodiscard]] Workload make_burn_workload(const WorkloadOptions& opts = {});
+/// Double Mach reflection (hydro/setups.hpp stand-in configuration).
+[[nodiscard]] Workload make_dmr_workload(const WorkloadOptions& opts = {});
+/// Single-mode Rayleigh–Taylor with the operator-split gravity source; the
+/// "hydro/gravity" stage joins the searched regions.
+[[nodiscard]] Workload make_rayleigh_taylor_workload(const WorkloadOptions& opts = {});
+/// Mach 1.22 shock hitting a light bubble.
+[[nodiscard]] Workload make_shock_bubble_workload(const WorkloadOptions& opts = {});
+/// Sod with the *mesh* regions as the search knobs: the per-level
+/// amr/L<k>/guard labels (DESIGN.md §15). The hydro stages stay native; the
+/// search assigns each refinement level's guard traffic its own format.
+[[nodiscard]] Workload make_sod_amr_workload(const WorkloadOptions& opts = {});
 
 /// All of the above, in registration order.
 [[nodiscard]] std::vector<Workload> builtin_workloads(const WorkloadOptions& opts = {});
 
-/// Lookup by name ("sod", "sedov", "bubble", "poisson", "burn"); aborts on
-/// an unknown name with the list of known ones.
+/// Lookup by name ("sod", "sedov", "bubble", "poisson", "burn", "dmr",
+/// "rayleigh_taylor", "shock_bubble", "sod_amr"); aborts on an unknown name
+/// with the list of known ones.
 [[nodiscard]] Workload builtin_workload(const std::string& name,
                                         const WorkloadOptions& opts = {});
 

