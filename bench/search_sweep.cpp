@@ -11,7 +11,8 @@
 //      reflection, Rayleigh–Taylor, shock–bubble) and the per-level mesh
 //      search (sod_amr) — reporting wall time and evaluations spent.
 //
-// Everything is written to search_sweep.csv and, for the recorded perf
+// Everything is written to search_sweep.csv (next to the binary unless
+// --csv overrides) and, for the recorded perf
 // trajectory, BENCH_search_sweep.json.
 //
 // Options: --quick, --tol=1e-3, --csv=PATH, --json=PATH.
@@ -73,7 +74,13 @@ int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const bool quick = cli.has("quick");
   auto& R = rt::Runtime::instance();
-  io::CsvWriter csv(cli.get("csv", "search_sweep.csv"),
+  // Default the CSV next to the binary (build/bench/), not the cwd — running
+  // the bench from a source checkout must not strew artifacts into the repo.
+  std::string default_csv = cli.program();
+  const std::size_t slash = default_csv.find_last_of('/');
+  default_csv = slash == std::string::npos ? std::string("search_sweep.csv")
+                                           : default_csv.substr(0, slash + 1) + "search_sweep.csv";
+  io::CsvWriter csv(cli.get("csv", default_csv),
                     {"case", "scalar_s", "batch_s", "speedup"});
   struct DispatchRow {
     std::string name;

@@ -14,11 +14,26 @@
 //
 // Exits nonzero if any stage fails, so CI can run it as a smoke test.
 //
+// With --serve[=PORT] (DESIGN.md §16) the demo additionally serves the live
+// telemetry endpoints (/metrics, /profile, /report) on loopback while the
+// traced run executes — the workload moves to a worker thread and the main
+// thread drives the server's poll loop — and keeps serving for up to
+// --serve-linger=MS afterwards (GET /stop ends the linger early), so an
+// external scraper can poll a complete capture. --port-file=PATH writes the
+// bound port for scripts. CI curls /metrics and /report against this.
+//
 // Run: ./trace_demo [--workload=sod|sedov|bubble|poisson|burn] [--stride=64]
 //                   [--out=trace_demo.rtrace] [--tol=1e-3] [--quick]
+//                   [--serve[=PORT]] [--port-file=PATH] [--serve-linger=MS]
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <thread>
 
+#include "runtime/live_telemetry.hpp"
 #include "runtime/profile_config.hpp"
 #include "search/workloads.hpp"
 #include "support/cli.hpp"
@@ -40,14 +55,54 @@ int run(int argc, char** argv) {
   auto& R = rt::Runtime::instance();
   R.reset_all();
   R.set_hw_fastpath(true);
+  // Region profiling accrues per-region wall-clock self-time, which
+  // trace_stop persists as 'T' blocks — the time column in the analysis.
+  R.set_region_profiling(true);
+
+  // Optional live telemetry endpoints (served while the traced run executes).
+  telemetry::Server server;
+  std::atomic<bool> stop_requested{false};
+  const bool serving = cli.has("serve");
+  if (serving) {
+    std::string port_str = cli.get("serve", "0");
+    if (port_str == "1") port_str = "0";  // bare "--serve" parses as "1": ephemeral
+    rt::register_runtime_metrics();
+    rt::add_runtime_endpoints(server, path);
+    server.handle("/stop", [&stop_requested](const telemetry::HttpRequest&) {
+      stop_requested.store(true);
+      return telemetry::HttpResponse{200, "text/plain; charset=utf-8", "stopping\n"};
+    });
+    if (!server.listen(static_cast<std::uint16_t>(std::atoi(port_str.c_str())))) {
+      std::fprintf(stderr, "FAIL: --serve could not bind: %s\n", server.error().c_str());
+      return 1;
+    }
+    std::printf("serving /metrics /profile /report on 127.0.0.1:%u\n", server.port());
+    if (cli.has("port-file")) {
+      std::ofstream pf(cli.get("port-file", ""));
+      pf << server.port() << '\n';
+    }
+  }
 
   // 1. Traced reference run (native precision).
   trace::TraceOptions topts;
   topts.path = path;
   topts.sample_stride = static_cast<u32>(stride);
   R.trace_start(topts);
-  workload.run();
+  if (serving) {
+    // The workload runs on a worker so the main thread can answer scrapes
+    // mid-run — live counters advancing between polls is the point.
+    std::atomic<bool> done{false};
+    std::thread worker([&] {
+      workload.run();
+      done.store(true);
+    });
+    while (!done.load()) server.poll(20);
+    worker.join();
+  } else {
+    workload.run();
+  }
   const trace::TraceStats stats = R.trace_stop();
+  R.set_region_profiling(false);
   std::printf("traced %s at 1/%d sampling: %llu events from %u thread(s), %llu dropped -> %s\n",
               name.c_str(), stride, static_cast<unsigned long long>(stats.events),
               stats.threads, static_cast<unsigned long long>(stats.dropped), path.c_str());
@@ -108,6 +163,22 @@ int run(int argc, char** argv) {
     return 1;
   }
   std::printf("\nOK: recommendation verified within tolerance\n");
+
+  // Keep serving the finished capture so an external scraper has a stable
+  // window to poll; GET /stop ends the linger early. The search driver
+  // leaves the runtime reset, so replay the workload once under the
+  // verified recommendation first — the linger window then serves the
+  // truncated-run totals instead of zeros.
+  if (serving) {
+    rt::apply_profile(R, result.config);
+    workload.run();
+    const int linger_ms = cli.get_int("serve-linger", 0);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(linger_ms);
+    while (!stop_requested.load() && std::chrono::steady_clock::now() < deadline) {
+      server.poll(50);
+    }
+  }
   return 0;
 }
 

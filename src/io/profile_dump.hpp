@@ -1,13 +1,16 @@
 // Serialization of the per-region profile aggregation (DESIGN.md §10): the
 // rows behind the precision-search ranking, dumped as CSV (spreadsheet /
-// plotting) or JSON (tool ingestion). Columns mirror rt::RegionProfile.
+// plotting) or JSON (tool ingestion). Columns mirror rt::RegionProfile,
+// including the per-region wall-clock seconds the runtime accrues when
+// region profiling is on (DESIGN.md §16).
 //
-// Region labels are user-controlled strings, so both writers escape them:
-// JSON per RFC 8259 (quote, backslash, control characters), CSV per RFC
-// 4180 (fields containing comma, quote or newline are quoted with doubled
-// inner quotes). Non-finite numbers have no JSON literal — mem-mode
-// max_deviation can legitimately be +inf (one-sided NaN divergence) — so
-// they are emitted as the strings "inf" / "-inf" / "nan".
+// Region labels are user-controlled strings, so both writers escape them
+// via the shared helpers in support/escape.hpp (JSON per RFC 8259, CSV per
+// RFC 4180 — the same implementations the telemetry exposition layer uses,
+// so a label round-trips identically through every serializer). Non-finite
+// numbers have no JSON literal — mem-mode max_deviation can legitimately be
+// +inf (one-sided NaN divergence) — so they are emitted as the strings
+// "inf" / "-inf" / "nan".
 #pragma once
 
 #include <cmath>
@@ -19,34 +22,12 @@
 
 #include "io/csv.hpp"
 #include "runtime/counters.hpp"
+#include "support/escape.hpp"
 
 namespace raptor::io {
 
-[[nodiscard]] inline std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char ch : s) {
-    const unsigned char c = static_cast<unsigned char>(ch);
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
+using raptor::csv_field;
+using raptor::json_escape;
 
 /// JSON representation of a double: the numeric literal when finite, a
 /// quoted string otherwise (JSON has no inf/nan literals).
@@ -58,28 +39,16 @@ namespace raptor::io {
   return os.str();
 }
 
-/// RFC 4180 CSV field: quoted (with doubled inner quotes) when the value
-/// contains a comma, quote or newline.
-[[nodiscard]] inline std::string csv_field(std::string_view s) {
-  if (s.find_first_of(",\"\n\r") == std::string_view::npos) return std::string(s);
-  std::string out = "\"";
-  for (const char c : s) {
-    if (c == '"') out += "\"\"";
-    else out += c;
-  }
-  out += '"';
-  return out;
-}
-
 inline void write_region_profiles_csv(const std::string& path,
                                       const std::vector<rt::RegionProfileEntry>& entries) {
   CsvWriter csv(path, {"region", "trunc_flops", "full_flops", "trunc_bytes", "full_bytes",
-                       "trunc_fraction", "max_deviation", "flagged"});
+                       "trunc_fraction", "seconds", "max_deviation", "flagged"});
   for (const auto& e : entries) {
     const rt::CounterSnapshot& c = e.profile.counters;
     csv.row_strings({csv_field(e.label), std::to_string(c.trunc_flops),
                      std::to_string(c.full_flops), std::to_string(c.trunc_bytes),
                      std::to_string(c.full_bytes), std::to_string(c.trunc_fraction()),
+                     std::to_string(e.profile.seconds),
                      std::to_string(e.profile.max_deviation),
                      std::to_string(e.profile.flagged)});
   }
@@ -94,6 +63,7 @@ inline void write_region_profiles_json(std::ostream& out,
     out << "  {\"region\": \"" << json_escape(e.label) << "\", \"trunc_flops\": " << c.trunc_flops
         << ", \"full_flops\": " << c.full_flops << ", \"trunc_bytes\": " << c.trunc_bytes
         << ", \"full_bytes\": " << c.full_bytes << ", \"trunc_fraction\": " << c.trunc_fraction()
+        << ", \"seconds\": " << json_number(e.profile.seconds)
         << ", \"max_deviation\": " << json_number(e.profile.max_deviation)
         << ", \"flagged\": " << e.profile.flagged << "}";
     out << (i + 1 < entries.size() ? ",\n" : "\n");

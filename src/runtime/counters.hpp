@@ -62,11 +62,13 @@ struct CounterSnapshot {
 /// per thread and merged on read, like CounterSnapshot.
 struct RegionProfile {
   CounterSnapshot counters;
+  double seconds = 0.0;        ///< wall-clock self-time (exclusive, DESIGN.md §16)
   double max_deviation = 0.0;  ///< worst mem-mode result deviation (0 in op-mode)
   u64 flagged = 0;             ///< mem-mode results above the deviation threshold
 
   void merge(const RegionProfile& o) {
     counters.merge(o.counters);
+    seconds += o.seconds;
     max_deviation = max_deviation > o.max_deviation ? max_deviation : o.max_deviation;
     flagged += o.flagged;
   }

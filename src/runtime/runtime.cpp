@@ -1,6 +1,7 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -78,6 +79,12 @@ struct Runtime::ThreadState {
   std::map<std::string, RegionProfile> region_profiles;
   RegionProfile* region_prof = nullptr;
   bool prof_cached = false;
+  /// Start of the innermost region's current wall-clock interval
+  /// (DESIGN.md §16). Zero = no interval open (profiling just enabled, or
+  /// reset): the next region boundary stamps it without accruing. Only the
+  /// owning thread reads/writes it during execution; set_region_profiling
+  /// and reset_region_profiles zero it under the quiescence contract.
+  std::chrono::steady_clock::time_point region_t0{};
   /// Trace capture state (DESIGN.md §12): the thread's ring/histogram
   /// buffer for the current tracer session, the sampling countdown, and a
   /// cached (region slot, histogram) pair resolved like region_prof. The
@@ -117,6 +124,14 @@ void Runtime::register_thread(ThreadState* ts) {
 }
 
 void Runtime::retire_thread(ThreadState* ts) {
+  // Close the thread's open wall-clock interval so a worker dying inside a
+  // region doesn't silently drop that region's tail time. Owner thread, so
+  // touching its own maps is safe (no cached pointer involved).
+  if (region_profiling_ && ts->region_t0.time_since_epoch().count() != 0) {
+    const char* label = ts->regions.empty() ? "<toplevel>" : ts->regions.back().label;
+    ts->region_profiles[label].seconds += std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - ts->region_t0).count();
+  }
   // Trace flush first: merge the thread's histograms into the tracer's
   // retired aggregate (its undrained ring events are picked up by the
   // drainer). detach() ignores buffers from stale sessions.
@@ -212,6 +227,15 @@ void Runtime::set_region_profiling(bool on) {
     std::lock_guard lock(config_mu_);
     region_profiling_ = on;
   }
+  {
+    // Discard any open wall-clock interval: a stale region_t0 from a
+    // previous profiling session would otherwise accrue the whole gap to
+    // whichever region is innermost at the next boundary. Quiescence
+    // contract: no instrumented code is executing, so touching other
+    // threads' state under threads_mu_ is safe.
+    std::lock_guard lock(threads_mu_);
+    for (ThreadState* ts : threads_) ts->region_t0 = {};
+  }
   // Threads re-resolve their cached profile slot on the next epoch sync.
   config_epoch_.fetch_add(1, std::memory_order_release);
 }
@@ -238,7 +262,10 @@ void Runtime::reset_region_profiles() {
   {
     std::lock_guard lock(threads_mu_);
     retired_regions_.clear();
-    for (ThreadState* ts : threads_) ts->region_profiles.clear();
+    for (ThreadState* ts : threads_) {
+      ts->region_profiles.clear();
+      ts->region_t0 = {};  // the open interval belongs to the discarded data
+    }
   }
   // Invalidate every thread's cached slot pointer (it aims into the cleared
   // map); the pointer is re-resolved after the next effective_format call.
@@ -264,6 +291,8 @@ void Runtime::pop_scope() {
 
 void Runtime::push_region(const char* label) {
   ThreadState& ts = tls();
+  // Time accrues to the *enclosing* region up to this entry point.
+  if (region_profiling_) accrue_region_time(ts);
   // Exclusion and format overrides are decided at region entry (cheap
   // per-op reads afterwards); a region nested under an excluded one stays
   // excluded, and a region without its own override inherits the enclosing
@@ -295,6 +324,8 @@ void Runtime::push_region(const char* label) {
 void Runtime::pop_region() {
   ThreadState& ts = tls();
   RAPTOR_REQUIRE(!ts.regions.empty(), "pop_region without matching push_region");
+  // The popped region is still innermost: close its interval first.
+  if (region_profiling_) accrue_region_time(ts);
   ts.regions.pop_back();
   ts.invalidate_trunc_cache();
 }
@@ -304,12 +335,16 @@ const char* Runtime::current_region() {
   return ts.regions.empty() ? "<toplevel>" : ts.regions.back().label;
 }
 
-const sf::Format* Runtime::effective_format(ThreadState& ts, int width) const {
+void Runtime::sync_epoch(ThreadState& ts) const {
   const u64 epoch = config_epoch_.load(std::memory_order_acquire);
   if (ts.config_epoch != epoch) {
     ts.invalidate_trunc_cache();
     ts.config_epoch = epoch;
   }
+}
+
+const sf::Format* Runtime::effective_format(ThreadState& ts, int width) const {
+  sync_epoch(ts);
   ThreadState::TruncCache& c = ts.trunc_cache[width_index(width)];
   if (!c.cached) {
     std::optional<sf::Format> f;
@@ -332,6 +367,23 @@ const sf::Format* Runtime::effective_format(ThreadState& ts, int width) const {
     c.cached = true;
   }
   return c.active ? &c.fmt : nullptr;
+}
+
+void Runtime::accrue_region_time(ThreadState& ts) {
+  // Close the innermost region's open wall-clock interval and start a new
+  // one. Called at region boundaries (before the stack mutates), so the
+  // accrued time is exclusive self-time: a parent's clock pauses while a
+  // child region is innermost. sync_epoch first — reset_region_profiles
+  // cleared the per-thread maps and only an epoch sync invalidates the
+  // cached slot pointer, which would otherwise dangle here.
+  sync_epoch(ts);
+  const auto now = std::chrono::steady_clock::now();
+  if (ts.region_t0.time_since_epoch().count() != 0) {
+    if (RegionProfile* rp = region_prof(ts)) {
+      rp->seconds += std::chrono::duration<double>(now - ts.region_t0).count();
+    }
+  }
+  ts.region_t0 = now;
 }
 
 RegionProfile* Runtime::region_prof(ThreadState& ts) {
@@ -1128,11 +1180,30 @@ void Runtime::trace_start(const trace::TraceOptions& opts) {
 
 trace::TraceStats Runtime::trace_stop() {
   trace_on_ = false;
-  return tracer_.stop();
+  trace::TraceStats stats;
+  if (region_profiling_) {
+    // Carry the per-region wall-clock totals into the capture as 'T'
+    // blocks, so offline analysis ranks by time without needing the
+    // profile dump next to the trace.
+    std::vector<std::pair<std::string, double>> times;
+    for (const RegionProfileEntry& e : region_profiles()) {
+      if (e.profile.seconds > 0.0) times.emplace_back(e.label, e.profile.seconds);
+    }
+    stats = tracer_.stop(times);
+  } else {
+    stats = tracer_.stop();
+  }
+  // Fold the closed session into the cumulative telemetry totals: the live
+  // stats_now() accounting zeroes at stop, the counters must not.
+  trace_events_total_.fetch_add(stats.events, std::memory_order_relaxed);
+  trace_dropped_total_.fetch_add(stats.dropped, std::memory_order_relaxed);
+  return stats;
 }
 
 void Runtime::reset_all() {
   if (trace_on_) trace_stop();
+  trace_events_total_.store(0, std::memory_order_relaxed);
+  trace_dropped_total_.store(0, std::memory_order_relaxed);
   clear_truncate_all();
   clear_exclusions();
   clear_region_formats();

@@ -165,6 +165,23 @@ class Runtime {
   [[nodiscard]] std::vector<trace::RegionHistEntry> trace_histograms() const {
     return tracer_.histograms();
   }
+  /// Live accounting of the active session (events, drops, threads,
+  /// segments; zeroes when off). Unlike the calls above this is quiescence-
+  /// free — it is the telemetry scrape path.
+  [[nodiscard]] trace::TraceStats trace_stats_now() const { return tracer_.stats_now(); }
+  /// Cumulative event/drop totals across every session since the last
+  /// reset_all(): closed sessions' totals plus the active session's live
+  /// counts. Monotonic between resets — the Prometheus-counter view of
+  /// tracing (stats_now() zeroes at stop, these do not).
+  [[nodiscard]] u64 trace_events_total() const {
+    return trace_events_total_.load(std::memory_order_relaxed) + tracer_.stats_now().events;
+  }
+  [[nodiscard]] u64 trace_dropped_total() const {
+    return trace_dropped_total_.load(std::memory_order_relaxed) + tracer_.stats_now().dropped;
+  }
+  /// Options of the active (or most recent) session; the telemetry /report
+  /// endpoint resolves the capture path from here when not given one.
+  [[nodiscard]] trace::TraceOptions trace_options() const { return tracer_.options(); }
 
   // -- Thread-local scoping (used via trunc/scope.hpp RAII) ---------------
 
@@ -246,7 +263,23 @@ class Runtime {
   /// boxed doubles survive). Returns the number of entries that were still
   /// live — nonzero means instrumented code leaked handles (the upstream
   /// runtime's gc_dump_status role); examples/memmode_debug prints it.
-  std::size_t mem_clear() { return shadow_.clear(); }
+  std::size_t mem_clear() {
+    const std::size_t leaked = shadow_.clear();
+    mem_leaked_total_.fetch_add(leaked, std::memory_order_relaxed);
+    return leaked;
+  }
+  /// Cumulative handles found still live across every mem_clear() — the
+  /// process-lifetime leak counter the telemetry layer exposes.
+  [[nodiscard]] u64 mem_leaked_total() const {
+    return mem_leaked_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Current truncation-config epoch: bumped on every global config change
+  /// (and so counts thread-cache invalidation broadcasts). Telemetry reads
+  /// this as a cheap churn indicator.
+  [[nodiscard]] u64 config_epoch() const {
+    return config_epoch_.load(std::memory_order_relaxed);
+  }
 
   // -- Reports --------------------------------------------------------------
 
@@ -267,6 +300,15 @@ class Runtime {
 
   struct ThreadState;
   ThreadState& tls();
+
+  /// Re-validate `ts` against the global config epoch, invalidating the
+  /// thread's truncation/profile/trace caches on mismatch. Every path that
+  /// dereferences a cached per-thread pointer must sync first.
+  void sync_epoch(ThreadState& ts) const;
+
+  /// Close the innermost region's open wall-clock interval into its
+  /// profile slot and start the next interval (region boundaries only).
+  void accrue_region_time(ThreadState& ts);
 
   /// nullptr when no truncation applies at the current point. The resolved
   /// state is cached in `ts` (per width) so repeated ops between scope or
@@ -349,6 +391,11 @@ class Runtime {
   std::vector<FlagRecord> flags_;
 
   ShadowTable shadow_;
+  std::atomic<u64> mem_leaked_total_{0};
+
+  /// Closed trace sessions' event/drop totals (see trace_events_total()).
+  std::atomic<u64> trace_events_total_{0};
+  std::atomic<u64> trace_dropped_total_{0};
 
   /// Tracing flag mirrored out of tracer_ as a plain bool: written by
   /// trace_start/trace_stop under the quiescence contract, read unprotected

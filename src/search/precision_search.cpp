@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "telemetry/registry.hpp"
+
 namespace raptor::search {
 
 double scaled_max_error(const std::vector<double>& ref, const std::vector<double>& cand) {
@@ -30,6 +32,34 @@ void log_line(const SearchOptions& opts, const std::string& msg) {
   if (opts.log) opts.log(msg);
 }
 
+/// Live search progress for the telemetry layer (DESIGN.md §16): how many
+/// regions the greedy pass has decided, out of how many, and the
+/// work-weighted truncation share of the choices so far. A dashboard
+/// polling /metrics watches a long search converge region by region.
+struct SearchProgress {
+  telemetry::Gauge done;
+  telemetry::Gauge total;
+  telemetry::Gauge share;
+
+  explicit SearchProgress(std::size_t total_regions) {
+    auto& reg = telemetry::Registry::instance();
+    done = reg.gauge("raptor_search_regions_done",
+                    "Regions the precision search has decided so far");
+    total = reg.gauge("raptor_search_regions_total",
+                      "Regions the precision search will decide");
+    share = reg.gauge("raptor_search_trunc_share",
+                      "Work-weighted truncation share of the choices so far");
+    done.set(0.0);
+    total.set(static_cast<double>(total_regions));
+    share.set(0.0);
+  }
+
+  void update(const std::vector<RegionChoice>& choices) {
+    done.set(static_cast<double>(choices.size()));
+    share.set(flop_weighted_trunc_share(choices));
+  }
+};
+
 }  // namespace
 
 SearchResult PrecisionSearch::run(const Workload& workload) const {
@@ -49,7 +79,11 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
   R.set_region_profiling(false);
 
   u64 total_flops = 0;
-  for (const auto& e : out.reference_profile) total_flops += e.profile.counters.total_flops();
+  double total_seconds = 0.0;
+  for (const auto& e : out.reference_profile) {
+    total_flops += e.profile.counters.total_flops();
+    total_seconds += e.profile.seconds;
+  }
 
   // Candidate regions: explicit list, or every profiled region by flop
   // count descending (region_profiles is already sorted that way).
@@ -66,6 +100,12 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
     }
     return 0;
   };
+  const auto profiled_seconds = [&](const std::string& label) -> double {
+    for (const auto& e : out.reference_profile) {
+      if (e.label == label) return e.profile.seconds;
+    }
+    return 0.0;
+  };
   if (!workload.regions.empty()) {
     for (const auto& r : workload.regions) candidates.emplace_back(r, profiled_flops(r));
   } else {
@@ -77,6 +117,7 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
   }
 
   // 2. Greedy per-region bisection, keeping accepted choices applied.
+  SearchProgress progress(candidates.size());
   const auto exp_for = [&](const std::string& region) {
     for (const auto& [label, bits] : opts_.exp_hints) {
       if (label == region) return bits;
@@ -113,11 +154,23 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
     choice.region = region;
     choice.flops = flops;
     choice.bytes = profiled_bytes(region);
+    choice.seconds = profiled_seconds(region);
     if (total_flops > 0 && static_cast<double>(flops) <
                                opts_.min_flop_share * static_cast<double>(total_flops)) {
       log_line(opts_, "  region " + region + ": skipped (<" +
                           std::to_string(100.0 * opts_.min_flop_share) + "% of flops)");
       out.choices.push_back(std::move(choice));
+      progress.update(out.choices);
+      continue;
+    }
+    // Time-share skip (DESIGN.md §16): a region that never shows up on the
+    // wall clock cannot repay its search cost, however many flops it counts.
+    if (opts_.min_time_share > 0.0 && total_seconds > 0.0 &&
+        choice.seconds < opts_.min_time_share * total_seconds) {
+      log_line(opts_, "  region " + region + ": skipped (<" +
+                          std::to_string(100.0 * opts_.min_time_share) + "% of wall-clock)");
+      out.choices.push_back(std::move(choice));
+      progress.update(out.choices);
       continue;
     }
     int lo = opts_.min_man;
@@ -162,6 +215,7 @@ SearchResult PrecisionSearch::run(const Workload& workload) const {
       log_line(opts_, "  region " + region + ": chose " + choice.format.to_string());
     }
     out.choices.push_back(std::move(choice));
+    progress.update(out.choices);
   }
 
   // 3. Emit the recommendation and verify it end to end.
@@ -200,9 +254,9 @@ SearchResult flat_format_search(const Workload& workload, const SearchOptions& o
   const std::vector<double> ref = workload.run();
   out.reference_profile = R.region_profiles();
   R.set_region_profiling(false);
-  const auto profiled = [&](const std::string& label) -> rt::CounterSnapshot {
+  const auto profiled = [&](const std::string& label) -> rt::RegionProfile {
     for (const auto& e : out.reference_profile) {
-      if (e.label == label) return e.profile.counters;
+      if (e.label == label) return e.profile;
     }
     return {};
   };
@@ -250,9 +304,10 @@ SearchResult flat_format_search(const Workload& workload, const SearchOptions& o
   for (const auto& region : workload.regions) {
     RegionChoice c;
     c.region = region;
-    const rt::CounterSnapshot counters = profiled(region);
-    c.flops = counters.total_flops();
-    c.bytes = counters.total_bytes();
+    const rt::RegionProfile prof = profiled(region);
+    c.flops = prof.counters.total_flops();
+    c.bytes = prof.counters.total_bytes();
+    c.seconds = prof.seconds;
     c.truncated = truncated;
     if (truncated) {
       c.format = chosen;

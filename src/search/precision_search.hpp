@@ -60,6 +60,12 @@ struct SearchOptions {
   /// Regions whose reference-profile flop count is below this fraction of
   /// the total are left untouched (searching them cannot move the needle).
   double min_flop_share = 0.01;
+  /// Wall-clock analogue of min_flop_share (DESIGN.md §16): regions whose
+  /// reference-profile self-time is below this fraction of the total
+  /// profiled time are skipped too — truncating a time-cheap region cannot
+  /// move the wall clock, however flop-heavy it looks. Either filter alone
+  /// skips a region. 0 (default) disables the time filter.
+  double min_time_share = 0.0;
   /// Per-region exponent-width overrides (the trace subsystem's
   /// `--recommend` output, DESIGN.md §12): a region listed here bisects its
   /// mantissa in the Format{hint, m} family instead of Format{exp_bits, m},
@@ -81,6 +87,7 @@ struct RegionChoice {
   sf::Format format = sf::Format::fp64(); ///< chosen format when truncated
   u64 flops = 0;                          ///< reference-profile flops in this region
   u64 bytes = 0;                          ///< reference-profile memory traffic
+  double seconds = 0.0;                   ///< reference-profile wall-clock self-time
   double error = 0.0;                     ///< metric at the accepting evaluation
 };
 

@@ -1,4 +1,6 @@
-// Wall-clock timer used by the overhead measurements (Table 3).
+// Wall-clock timing utilities: the one-shot Timer behind the overhead
+// measurements (Table 3), plus an accumulating scoped timer used by the
+// per-region wall-clock profiling and the telemetry layer (DESIGN.md §16).
 #pragma once
 
 #include <chrono>
@@ -16,6 +18,36 @@ class Timer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Accumulates seconds across disjoint timed intervals (a region entered
+/// many times, a handler called per request). Plain value type: merge by
+/// adding seconds(). Not thread-safe — accumulate per thread and merge,
+/// like the runtime's counters.
+class TimeAccumulator {
+ public:
+  void add(double s) { seconds_ += s; }
+  void reset() { seconds_ = 0.0; }
+  [[nodiscard]] double seconds() const { return seconds_; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+/// RAII scope that adds its lifetime to a TimeAccumulator on destruction.
+/// Zero-duration scopes (construct + immediately destruct) add a
+/// non-negative, typically sub-microsecond amount — steady_clock is
+/// monotonic, so the accumulated total never decreases.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator& acc) : acc_(acc) {}
+  ~ScopedTimer() { acc_.add(timer_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator& acc_;
+  Timer timer_;
 };
 
 }  // namespace raptor

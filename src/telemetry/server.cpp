@@ -1,0 +1,278 @@
+#include "telemetry/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace raptor::telemetry {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    default: return "Error";
+  }
+}
+
+std::string render(const HttpResponse& r) {
+  std::string out = "HTTP/1.0 " + std::to_string(r.status) + ' ' + status_text(r.status) +
+                    "\r\nContent-Type: " + r.content_type +
+                    "\r\nContent-Length: " + std::to_string(r.body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+}  // namespace
+
+Server::~Server() { stop(); }
+
+void Server::handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+bool Server::listen(std::uint16_t port) {
+  stop();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0 || !set_nonblocking(listen_fd_)) {
+    error_ = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  return true;
+}
+
+void Server::stop() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (Conn& c : conns_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  conns_.clear();
+  port_ = 0;
+}
+
+void Server::accept_pending() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or error: nothing more pending
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    Conn c;
+    c.fd = fd;
+    conns_.push_back(std::move(c));
+  }
+}
+
+HttpResponse Server::dispatch(const HttpRequest& req) const {
+  if (req.method != "GET") return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  const auto it = handlers_.find(req.path);
+  if (it == handlers_.end()) return {404, "text/plain; charset=utf-8", "not found\n"};
+  // A throwing handler (e.g. /report over a malformed capture) must not
+  // take down the poll loop: surface it to the one client instead.
+  try {
+    return it->second(req);
+  } catch (const std::exception& ex) {
+    return {500, "text/plain; charset=utf-8", std::string(ex.what()) + '\n'};
+  }
+}
+
+bool Server::advance(Conn& c) {
+  bool progressed = false;
+  if (!c.responding) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        c.in.append(buf, static_cast<std::size_t>(n));
+        progressed = true;
+        if (c.in.size() > kMaxRequestBytes) {
+          c.out = render({413, "text/plain; charset=utf-8", "request too large\n"});
+          c.responding = true;
+          break;
+        }
+        continue;
+      }
+      if (n == 0) {  // peer closed before a full request
+        ::close(c.fd);
+        c.fd = -1;
+        return false;
+      }
+      break;  // EAGAIN (or error — surfaces on the send side)
+    }
+    const std::size_t header_end = c.in.find("\r\n\r\n");
+    if (!c.responding && header_end != std::string::npos) {
+      // Request line: METHOD SP PATH[?QUERY] SP VERSION
+      HttpRequest req;
+      const std::size_t line_end = c.in.find("\r\n");
+      const std::string line = c.in.substr(0, line_end);
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                       : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        c.out = render({400, "text/plain; charset=utf-8", "bad request\n"});
+      } else {
+        req.method = line.substr(0, sp1);
+        std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        const std::size_t q = target.find('?');
+        if (q != std::string::npos) {
+          req.query = target.substr(q + 1);
+          target.resize(q);
+        }
+        req.path = std::move(target);
+        c.out = render(dispatch(req));
+      }
+      c.responding = true;
+      progressed = true;
+    }
+  }
+  if (c.responding && c.sent < c.out.size()) {
+    for (;;) {
+      const ssize_t n =
+          ::send(c.fd, c.out.data() + c.sent, c.out.size() - c.sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.sent += static_cast<std::size_t>(n);
+        progressed = true;
+        if (c.sent == c.out.size()) {
+          ::close(c.fd);
+          c.fd = -1;
+          return true;  // response fully delivered
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      ::close(c.fd);  // send error: drop the connection
+      c.fd = -1;
+      return false;
+    }
+  }
+  c.idle_passes = progressed ? 0 : c.idle_passes + 1;
+  if (c.idle_passes > kMaxIdlePasses) {
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  return false;
+}
+
+std::size_t Server::poll(int timeout_ms) {
+  if (listen_fd_ < 0) return 0;
+
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  fds.push_back({listen_fd_, POLLIN, 0});
+  for (const Conn& c : conns_) {
+    fds.push_back({c.fd, static_cast<short>(c.responding ? POLLOUT : POLLIN), 0});
+  }
+  ::poll(fds.data(), fds.size(), timeout_ms);
+
+  if ((fds[0].revents & POLLIN) != 0) accept_pending();
+
+  std::size_t completed = 0;
+  for (Conn& c : conns_) {
+    if (c.fd < 0) continue;
+    if (advance(c)) ++completed;
+  }
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [](const Conn& c) { return c.fd < 0; }),
+               conns_.end());
+  return completed;
+}
+
+std::optional<std::string> http_get(std::uint16_t port, const std::string& path,
+                                    int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      ::close(fd);
+      return std::nullopt;  // timeout or error mid-read
+    }
+    if (n == 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 ..." — anything else is a failure for our callers.
+  if (resp.compare(0, 9, "HTTP/1.0 ") != 0 && resp.compare(0, 9, "HTTP/1.1 ") != 0) {
+    return std::nullopt;
+  }
+  if (resp.compare(9, 3, "200") != 0) return std::nullopt;
+  const std::size_t body = resp.find("\r\n\r\n");
+  if (body == std::string::npos) return std::nullopt;
+  return resp.substr(body + 4);
+}
+
+}  // namespace raptor::telemetry

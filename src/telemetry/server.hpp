@@ -1,0 +1,100 @@
+// Single-threaded poll-based TCP server for the telemetry endpoints
+// (DESIGN.md §16). Deliberately minimal: HTTP/1.0, `Connection: close`,
+// GET only, handlers dispatched on exact path match. The owner drives it
+// by calling poll() from its own loop (raptor_trace --serve interleaves
+// poll() with its --follow ticks), so there is no server thread and no
+// locking — handlers run on the caller's thread and may freely touch the
+// caller's state.
+//
+// Sockets are non-blocking throughout; a poll() pass accepts pending
+// connections, advances every in-flight request/response, and returns.
+// Connections that stay idle past a small deadline are dropped so a stuck
+// client cannot pin a file descriptor forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace raptor::telemetry {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;    ///< path only, query string stripped
+  std::string query;   ///< raw query string ("" when absent)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class Server {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  Server() = default;
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Register `handler` for exact-match `path` (e.g. "/metrics").
+  void handle(std::string path, Handler handler);
+
+  /// Bind and listen on 127.0.0.1:`port` (0 = ephemeral). Returns false
+  /// (with the OS error in error()) if the socket cannot be bound.
+  [[nodiscard]] bool listen(std::uint16_t port);
+
+  /// The bound port (after listen(); resolves port 0 to the real one).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// One event-loop pass: wait up to `timeout_ms` for activity, accept and
+  /// service connections, send responses. Returns the number of responses
+  /// completed during the pass.
+  std::size_t poll(int timeout_ms);
+
+  /// Close the listener and all connections.
+  void stop();
+
+  [[nodiscard]] bool listening() const { return listen_fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;          ///< request bytes read so far
+    std::string out;         ///< response bytes still to write
+    std::size_t sent = 0;
+    bool responding = false;
+    int idle_passes = 0;     ///< poll() passes with no progress
+  };
+
+  void accept_pending();
+  /// Returns true when a full request was parsed and a response queued.
+  bool advance(Conn& c);
+  HttpResponse dispatch(const HttpRequest& req) const;
+
+  static constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+  static constexpr int kMaxIdlePasses = 2000;  ///< drop stuck connections
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::map<std::string, Handler> handlers_;
+  std::vector<Conn> conns_;
+  std::string error_;
+};
+
+/// Blocking single-shot HTTP GET against 127.0.0.1:`port` — the client
+/// side used by raptor_monitor and the tests. Returns the response body,
+/// or std::nullopt on connect/read failure or non-200 status.
+[[nodiscard]] std::optional<std::string> http_get(std::uint16_t port, const std::string& path,
+                                                  int timeout_ms = 2000);
+
+}  // namespace raptor::telemetry

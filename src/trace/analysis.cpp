@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+
+#include "support/escape.hpp"
 
 namespace raptor::trace {
 
@@ -41,6 +44,7 @@ TraceData merge_traces(const std::vector<TraceData>& shards) {
   };
 
   std::map<u32, RegionHist> hists;
+  std::map<u32, double> seconds;  ///< wall-clock sums by merged slot
   u32 thread_base = 0;
   for (const TraceData& td : shards) {
     if (td.sample_stride != out.sample_stride) out.sample_stride = 0;  // mixed
@@ -67,9 +71,11 @@ TraceData merge_traces(const std::vector<TraceData>& shards) {
       threads_here = std::max(threads_here, thread + 1);
     }
     for (const auto& [slot, hist] : td.histograms) hists[remap_slot(slot)].merge(hist);
+    for (const auto& [slot, secs] : td.region_seconds) seconds[remap_slot(slot)] += secs;
     thread_base += threads_here;
   }
   out.histograms.assign(hists.begin(), hists.end());
+  out.region_seconds.assign(seconds.begin(), seconds.end());
   return out;
 }
 
@@ -102,6 +108,12 @@ std::vector<RegionReport> build_reports(const TraceData& td) {
       r.exp.merge(hist.exp);
       r.dev.merge(hist.dev);
     }
+  }
+  // Wall-clock 'T' blocks: a region with time but no sampled events still
+  // gets a report row (time-heavy, flop-light — exactly the rows a
+  // min-time-share ranking must see).
+  for (const auto& [slot, secs] : td.region_seconds) {
+    by_slot[static_cast<u16>(slot)].seconds += secs;
   }
 
   std::vector<RegionReport> out;
@@ -153,6 +165,51 @@ std::string recommendations_to_profile(const std::vector<Recommendation>& recs) 
     out += '\n';
   }
   return out;
+}
+
+namespace {
+
+/// JSON double literal (JSON has no inf/nan literals; mirror io::json_number
+/// so /report and the profile dumps agree on the spelling).
+std::string jnum(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string report_json(const TraceData& td, const std::vector<RegionReport>& reports) {
+  std::ostringstream out;
+  out << "{\"sample_stride\": " << td.sample_stride << ", \"dropped\": " << td.total_dropped()
+      << ", \"regions\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const RegionReport& r = reports[i];
+    out << "  {\"region\": \"" << json_escape(r.label) << "\", \"events\": " << r.events
+        << ", \"sampled_ops\": " << r.ops << ", \"trunc_ops\": " << r.trunc_ops
+        << ", \"mem_ops\": " << r.mem_ops;
+    if (r.exp.has_range()) {
+      out << ", \"exp_min\": " << r.exp.min_exp << ", \"exp_max\": " << r.exp.max_exp;
+    }
+    out << ", \"zero\": " << r.exp.zero << ", \"subnormal\": " << r.exp.subnormal
+        << ", \"inf\": " << r.exp.inf << ", \"nan\": " << r.exp.nan
+        << ", \"seconds\": " << jnum(r.seconds)
+        << ", \"dev_p99\": " << jnum(r.dev.quantile(0.99))
+        << ", \"dev_max\": " << jnum(r.dev.max_bound()) << "}"
+        << (i + 1 < reports.size() ? ",\n" : "\n");
+  }
+  out << "], \"recommendations\": [\n";
+  const std::vector<Recommendation> recs = recommend(td);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const Recommendation& r = recs[i];
+    out << "  {\"region\": \"" << json_escape(r.label) << "\", \"exp_bits\": " << r.exp_bits
+        << ", \"man_bits\": " << r.man_bits << ", \"min_exp\": " << r.min_exp
+        << ", \"max_exp\": " << r.max_exp << "}" << (i + 1 < recs.size() ? ",\n" : "\n");
+  }
+  out << "]}\n";
+  return out.str();
 }
 
 }  // namespace raptor::trace

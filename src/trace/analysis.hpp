@@ -23,6 +23,7 @@ struct RegionReport {
   u64 trunc_ops = 0;   ///< of which executed in a target format
   u64 mem_ops = 0;     ///< of which were mem-mode operations
   std::map<u8, u64> ops_by_kind;  ///< producer op-kind id -> sampled ops
+  double seconds = 0.0;           ///< wall-clock self-time ('T' blocks; 0 = absent)
   ExpHistogram exp;    ///< persisted histogram (preferred) or event-derived
   DevHistogram dev;
   u64 dropped_span_info = 0;  ///< reserved
@@ -72,5 +73,14 @@ struct Recommendation {
 /// Serialize recommendations as a raptor profile config ("region <label>
 /// 64_to_<e>_<m>" directives) — the text rt::parse_profile accepts.
 [[nodiscard]] std::string recommendations_to_profile(const std::vector<Recommendation>& recs);
+
+/// The canonical JSON rendering of an analysis: stride/drop header, one row
+/// per region report (op mix, exponent range, deviation quantiles,
+/// wall-clock seconds) and the format recommendations. Both `raptor_trace
+/// --json` and the live telemetry server's /report endpoint emit exactly
+/// this string, so an offline analysis of the same capture is byte-
+/// comparable with a live scrape (pinned by test_telemetry).
+[[nodiscard]] std::string report_json(const TraceData& td,
+                                      const std::vector<RegionReport>& reports);
 
 }  // namespace raptor::trace

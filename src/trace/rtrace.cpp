@@ -1,5 +1,6 @@
 #include "trace/rtrace.hpp"
 
+#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -132,6 +133,16 @@ void RtraceWriter::hist_block(u32 slot, const RegionHist& hist) {
   zigzag(e.has_range() ? e.max_exp : 0);
   for (const u64 b : e.bins) varint(b);
   for (const u64 b : hist.dev.bins) varint(b);
+}
+
+void RtraceWriter::time_block(u32 slot, double seconds) {
+  RAPTOR_ASSERT(!finished_);
+  byte('T');
+  varint(slot);
+  // Raw little-endian f64: seconds are not integral and deserve full
+  // precision, so no varint games.
+  const u64 bits = std::bit_cast<u64>(seconds);
+  for (int shift = 0; shift < 64; shift += 8) byte(static_cast<u8>(bits >> shift));
 }
 
 void RtraceWriter::finish() {
@@ -284,6 +295,16 @@ bool decode_block(Cursor& c, TraceData& td) {
       td.histograms.emplace_back(static_cast<u32>(slot), h);
       return false;
     }
+    case 'T': {
+      const u64 slot = c.varint();
+      if (slot > 0xFFFF) Cursor::fail("time slot out of range");
+      u64 bits = 0;
+      for (int shift = 0; shift < 64; shift += 8) {
+        bits |= static_cast<u64>(c.byte()) << shift;
+      }
+      td.region_seconds.emplace_back(static_cast<u32>(slot), std::bit_cast<double>(bits));
+      return false;
+    }
     case 'X': return true;
     default: Cursor::fail("unknown block tag");
   }
@@ -409,6 +430,7 @@ u64 compact_rtrace(const std::string& path) {
     }
     for (const auto& [thread, dropped] : td.drops) w.drop_block(thread, dropped);
     for (const auto& [slot, hist] : td.histograms) w.hist_block(slot, hist);
+    for (const auto& [slot, secs] : td.region_seconds) w.time_block(slot, secs);
     w.finish();
     RAPTOR_REQUIRE(w.good(), "rtrace: writing the compacted segment failed");
     size = w.bytes_written();

@@ -17,6 +17,9 @@
 //     'E' event block:         varint thread, varint n, n delta-encoded events
 //     'D' drop accounting:     varint thread, varint dropped-event count
 //     'H' region histograms:   varint slot, ExpHistogram, DevHistogram
+//     'T' region wall-clock:   varint slot, f64 seconds (8 raw LE bytes) —
+//         written at stop() when the runtime had region profiling on, so a
+//         capture carries the time dimension its recommendations rank by
 //     'X' end marker
 //
 // All integers are unsigned LEB128 varints; signed fields use zigzag
@@ -74,6 +77,9 @@ class RtraceWriter {
   void event_block(u32 thread, const DecodedEvent* events, std::size_t n);
   void drop_block(u32 thread, u64 dropped);
   void hist_block(u32 slot, const RegionHist& hist);
+  /// Per-region wall-clock seconds (written at session stop when the
+  /// runtime had region profiling enabled).
+  void time_block(u32 slot, double seconds);
   /// Write the end marker and flush. Further writes are invalid.
   void finish();
   /// Push buffered bytes to the OS so a concurrent tail sees them.
@@ -127,6 +133,7 @@ struct TraceData {
   std::vector<DecodedEvent> events;
   std::vector<std::pair<u32, RegionHist>> histograms;  ///< slot -> merged hist
   std::vector<std::pair<u32, u64>> drops;              ///< thread -> dropped
+  std::vector<std::pair<u32, double>> region_seconds;  ///< slot -> wall-clock s
 
   [[nodiscard]] u64 total_dropped() const {
     u64 t = 0;

@@ -37,7 +37,9 @@ void Tracer::start(const TraceOptions& opts) {
   drainer_ = std::thread([this] { drain_loop(); });
 }
 
-TraceStats Tracer::stop() {
+TraceStats Tracer::stop() { return stop({}); }
+
+TraceStats Tracer::stop(const std::vector<std::pair<std::string, double>>& region_seconds) {
   RAPTOR_REQUIRE(active(), "trace: stop() without an active session");
   active_.store(false, std::memory_order_relaxed);
   {
@@ -48,6 +50,17 @@ TraceStats Tracer::stop() {
   drainer_.join();
 
   std::lock_guard lock(mu_);
+  // Late label interning (a region that was profiled but never sampled):
+  // append to the string table before the final drain so the 'S' entries
+  // land ahead of the 'T' blocks that reference them.
+  std::vector<std::pair<u32, double>> slot_seconds;
+  slot_seconds.reserve(region_seconds.size());
+  for (const auto& [label, secs] : region_seconds) {
+    const auto [it, inserted] =
+        string_slots_.try_emplace(label, static_cast<u32>(strings_.size()));
+    if (inserted) strings_.emplace_back(label);
+    slot_seconds.emplace_back(it->second, secs);
+  }
   drain_once_locked();  // the drainer has exited: we are the only consumer now
   TraceStats stats;
   stats.events = events_written_;
@@ -59,9 +72,21 @@ TraceStats Tracer::stop() {
     writer_->drop_block(tt->thread_index, dropped);
   }
   for (const auto& [slot, hist] : merged_hists_locked()) writer_->hist_block(slot, hist);
+  for (const auto& [slot, secs] : slot_seconds) writer_->time_block(slot, secs);
   writer_->finish();
   RAPTOR_REQUIRE(writer_->good(), "trace: writing the .rtrace file failed");
   writer_.reset();
+  return stats;
+}
+
+TraceStats Tracer::stats_now() const {
+  std::lock_guard lock(mu_);
+  TraceStats stats;
+  if (!active_.load(std::memory_order_relaxed)) return stats;
+  stats.events = events_written_;
+  stats.segments = segment_index_ + 1;
+  stats.threads = static_cast<u32>(buffers_.size());
+  for (const auto& tt : buffers_) stats.dropped += tt->ring.dropped();
   return stats;
 }
 

@@ -82,6 +82,22 @@ class Tracer {
   /// Stop the drainer, flush every ring, write histogram/drop blocks and
   /// the end marker. Requires active(). Buffers survive until next start().
   TraceStats stop();
+  /// stop() that additionally writes one 'T' (wall-clock seconds) block per
+  /// labelled region — the bridge from the runtime's per-region timing into
+  /// the capture. Labels are interned like event regions.
+  TraceStats stop(const std::vector<std::pair<std::string, double>>& region_seconds);
+
+  /// Live session accounting: events written so far, current ring drops,
+  /// attached threads and segments. Safe against the running drainer (takes
+  /// the registry mutex); unlike stop(), does not require quiescence —
+  /// this is the telemetry scrape path. Zeroes when no session is active.
+  [[nodiscard]] TraceStats stats_now() const;
+  /// The active session's options (telemetry labels). Quiescence-free but
+  /// only meaningful while active().
+  [[nodiscard]] TraceOptions options() const {
+    std::lock_guard lock(mu_);
+    return opts_;
+  }
 
   [[nodiscard]] bool active() const { return active_.load(std::memory_order_relaxed); }
   /// Bumped on every start(); thread-local caches revalidate against it.

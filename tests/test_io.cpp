@@ -256,11 +256,14 @@ TEST(ProfileDump, CsvEscapesLabelsRfc4180) {
   std::remove(path.c_str());
 
   const auto fields1 = csv_parse(row1);
-  ASSERT_EQ(fields1.size(), 8u) << row1;  // quoting kept the comma inside one field
+  ASSERT_EQ(fields1.size(), 9u) << row1;  // quoting kept the comma inside one field
   EXPECT_EQ(fields1.front(), nasty);      // round trip through a real RFC 4180 parser
   const auto fields2 = csv_parse(row2);
-  ASSERT_EQ(fields2.size(), 8u);
+  ASSERT_EQ(fields2.size(), 9u);
   EXPECT_EQ(fields2.front(), "plain");
+  // The wall-clock column (DESIGN.md §16) sits between trunc_fraction and
+  // max_deviation; csv_parse counting 9 fields pins its presence.
+  EXPECT_NE(header.find("trunc_fraction,seconds,max_deviation"), std::string::npos) << header;
 }
 
 TEST(ProfileDump, CsvFieldQuotesOnlyWhenNeeded) {
@@ -268,6 +271,35 @@ TEST(ProfileDump, CsvFieldQuotesOnlyWhenNeeded) {
   EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
   EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
   EXPECT_EQ(csv_field("two\nlines"), "\"two\nlines\"");
+}
+
+// The Prometheus label escaper lives in the same support/escape.hpp the
+// JSON/CSV writers above use (one backslash-escaping core), so a region
+// label serializes consistently across every format the tree emits.
+TEST(Escape, PrometheusLabelRoundTrip) {
+  const std::string nasty = "mod \"quoted\"\\back\nline\ttab";
+  const std::string escaped = prom_escape_label(nasty);
+  // The exposition format escapes exactly backslash, quote and newline.
+  EXPECT_EQ(escaped, "mod \\\"quoted\\\"\\\\back\\nline\ttab");
+  EXPECT_EQ(prom_unescape_label(escaped), nasty);
+  // Plain labels pass through untouched in both directions.
+  EXPECT_EQ(prom_escape_label("hydro/flux_x"), "hydro/flux_x");
+  EXPECT_EQ(prom_unescape_label("hydro/flux_x"), "hydro/flux_x");
+  // Unknown escapes are kept literally (sloppy-input tolerance), and a
+  // trailing lone backslash survives.
+  EXPECT_EQ(prom_unescape_label("a\\zb"), "a\\zb");
+  EXPECT_EQ(prom_unescape_label("tail\\"), "tail\\");
+}
+
+TEST(Escape, SharedCoreAgreesAcrossFormats) {
+  // Both escapers map the shared trio the same way; JSON additionally maps
+  // the control set. Pinning the pair here catches either implementation
+  // drifting away from the shared core.
+  const std::string trio = "q\"b\\n\n";
+  EXPECT_EQ(prom_escape_label(trio), "q\\\"b\\\\n\\n");
+  EXPECT_EQ(json_escape(trio), "q\\\"b\\\\n\\n");
+  EXPECT_EQ(json_escape("bell\x07tab\t"), "bell\\u0007tab\\t");
+  EXPECT_EQ(prom_escape_label("bell\x07tab\t"), "bell\x07tab\t");
 }
 
 }  // namespace

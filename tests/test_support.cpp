@@ -4,6 +4,7 @@
 #include "support/cli.hpp"
 #include "support/int128.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace raptor {
 namespace {
@@ -164,6 +165,50 @@ TEST(Cli, AcceptsWellFormedNumbers) {
   // Gradual underflow is a representable value, not an error (strtod sets
   // ERANGE for subnormals; only true overflow is rejected).
   EXPECT_DOUBLE_EQ(cli.get_double("tiny", 0.0), 1e-320);
+}
+
+// -- support/timer.hpp: the clock behind per-region wall-clock profiling ----
+
+TEST(Timer, MonotoneNonNegativeAndResets) {
+  Timer t;
+  const double a = t.seconds();
+  EXPECT_GE(a, 0.0);  // steady_clock: reading immediately is >= 0, never negative
+  // Do a little real work so the second reading strictly advances on any
+  // plausible clock resolution.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1e-9;
+  const double b = t.seconds();
+  EXPECT_GE(b, a);  // monotone
+  t.reset();
+  EXPECT_LT(t.seconds(), b);  // reset restarts the epoch
+}
+
+TEST(Timer, AccumulatorSumsDisjointIntervalsAndResets) {
+  TimeAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.seconds(), 0.0);
+  acc.add(0.25);
+  acc.add(0.5);
+  EXPECT_DOUBLE_EQ(acc.seconds(), 0.75);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.seconds(), 0.0);
+}
+
+TEST(Timer, ScopedTimerAccruesOnDestructionOnly) {
+  TimeAccumulator acc;
+  {
+    const ScopedTimer scope(acc);
+    EXPECT_DOUBLE_EQ(acc.seconds(), 0.0);  // nothing accrues while open
+  }
+  const double once = acc.seconds();
+  EXPECT_GE(once, 0.0);
+  // Zero-duration scopes (construct + destruct) add a non-negative amount:
+  // the total never decreases, even at the clock's resolution floor.
+  for (int i = 0; i < 1000; ++i) {
+    const double before = acc.seconds();
+    { const ScopedTimer scope(acc); }
+    EXPECT_GE(acc.seconds(), before);
+  }
+  EXPECT_GE(acc.seconds(), once);
 }
 
 }  // namespace

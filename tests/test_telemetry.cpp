@@ -1,0 +1,514 @@
+// Tests for the live telemetry stack (DESIGN.md §16): the metrics registry
+// (per-thread counters with retirement merge, gauges, histograms, callback
+// metrics), the Prometheus/JSON exposition layer, the poll-based HTTP
+// server, and the runtime wiring — /metrics, /profile and /report served
+// from a live traced run, with /report byte-identical to the offline
+// raptor_trace analyzer, plus the wall-clock dimension the search driver
+// gained (SearchOptions::min_time_share, RegionChoice::seconds).
+//
+// Threading discipline (this suite runs under TSan in CI): scrapes that
+// evaluate runtime callbacks happen only while worker threads are parked at
+// a mutex/condvar barrier, matching the documented quiescence contracts of
+// Runtime::counters() and region_profiles().
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/live_telemetry.hpp"
+#include "runtime/runtime.hpp"
+#include "search/precision_search.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/server.hpp"
+#include "trace/analysis.hpp"
+#include "trace/rtrace.hpp"
+#include "trunc/real.hpp"
+#include "trunc/scope.hpp"
+
+namespace raptor {
+namespace {
+
+using rt::Runtime;
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, CounterAccumulatesAndRegistrationIsIdempotent) {
+  telemetry::Registry reg;
+  telemetry::Counter a = reg.counter("requests_total", "served requests", {{"code", "200"}});
+  a.add(3);
+  a.inc();
+  // Same (name, labels): the existing series, not a duplicate.
+  telemetry::Counter again = reg.counter("requests_total", "", {{"code", "200"}});
+  again.add(6);
+  EXPECT_EQ(a.value(), 10u);
+  EXPECT_EQ(reg.size(), 1u);
+  // A different label set is a distinct series with its own cell.
+  telemetry::Counter other = reg.counter("requests_total", "", {{"code", "500"}});
+  other.inc();
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(other.value(), 1u);
+  EXPECT_EQ(a.value(), 10u);
+}
+
+TEST(Registry, GaugeSetAndAddAreProcessWide) {
+  telemetry::Registry reg;
+  telemetry::Gauge g = reg.gauge("depth");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  // Second handle to the same series observes the same slot.
+  EXPECT_DOUBLE_EQ(reg.gauge("depth").value(), 2.0);
+}
+
+TEST(Registry, HistogramBucketsOverflowAndSum) {
+  telemetry::Registry reg;
+  telemetry::Histogram h = reg.histogram("latency", {1.0, 10.0});
+  h.observe(0.5);   // <= 1
+  h.observe(5.0);   // <= 10
+  h.observe(50.0);  // +inf overflow
+  h.observe(5.0);
+  const telemetry::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 1u);
+  const telemetry::Sample& s = snap.samples[0];
+  EXPECT_EQ(s.kind, telemetry::MetricKind::Histogram);
+  ASSERT_EQ(s.bucket_counts.size(), 3u);  // per-bucket here; exposition cumulates
+  EXPECT_EQ(s.bucket_counts[0], 1u);
+  EXPECT_EQ(s.bucket_counts[1], 2u);
+  EXPECT_EQ(s.bucket_counts[2], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 60.5);
+}
+
+TEST(Registry, CallbackMetricsEvaluateAtSnapshotAndResetDropsThem) {
+  telemetry::Registry reg;
+  double source = 7.0;
+  reg.callback(telemetry::MetricKind::Gauge, "live_value", [&source] { return source; });
+  source = 9.0;  // snapshot must see the current value, not the registration-time one
+  {
+    const telemetry::Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.samples.size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.samples[0].value, 9.0);
+  }
+  // reset() drops callback registrations (they capture external state);
+  // plain metrics keep their definitions with zeroed cells.
+  telemetry::Counter c = reg.counter("kept_total");
+  c.add(5);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 1u);  // the callback is gone, the counter def stays
+  EXPECT_EQ(c.value(), 0u);
+  // Wiring code re-arms by re-registering; the series comes back live.
+  reg.callback(telemetry::MetricKind::Gauge, "live_value", [&source] { return source; });
+  source = 11.0;
+  const telemetry::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 2u);
+  bool found = false;
+  for (const telemetry::Sample& s : snap.samples) {
+    if (s.name == "live_value") {
+      found = true;
+      EXPECT_DOUBLE_EQ(s.value, 11.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Registry, ConcurrentAddsMergeExactlyAcrossThreadRetirement) {
+  telemetry::Registry reg;
+  telemetry::Counter c = reg.counter("spins_total");
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([c]() mutable {
+      for (int i = 0; i < kIters; ++i) c.inc();
+    });
+  }
+  // Concurrent reads see a monotone, never-torn total.
+  u64 last = 0;
+  for (int i = 0; i < 64; ++i) {
+    const u64 now = c.value();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  for (std::thread& w : workers) w.join();
+  // Every thread retired its cells into the aggregate: the total is exact.
+  EXPECT_EQ(c.value(), static_cast<u64>(kThreads) * kIters);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+// ---------------------------------------------------------------------------
+
+/// Sum of every parsed series named `name` whose labels contain all of
+/// `match` (the raptor_monitor pivot, re-implemented for assertions).
+double metric_sum(const std::vector<telemetry::ParsedSample>& samples, std::string_view name,
+                  const telemetry::Labels& match = {}) {
+  double total = 0.0;
+  for (const telemetry::ParsedSample& s : samples) {
+    if (s.name != name) continue;
+    bool ok = true;
+    for (const auto& [k, v] : match) {
+      bool found = false;
+      for (const auto& [sk, sv] : s.labels) found = found || (sk == k && sv == v);
+      ok = ok && found;
+    }
+    if (ok) total += s.value;
+  }
+  return total;
+}
+
+TEST(Exposition, PrometheusRoundTripSurvivesHostileLabels) {
+  telemetry::Registry reg;
+  const std::string evil = "mod \"quoted\"\\back\nline2";
+  reg.counter("evil_total", "h", {{"label", evil}}).add(5);
+  reg.gauge("temperature", "", {{"unit", "C"}}).set(-2.25);
+  const std::string text = telemetry::to_prometheus(reg.snapshot());
+  // On the wire the label value is one escaped line, newline included.
+  EXPECT_NE(text.find("label=\"mod \\\"quoted\\\"\\\\back\\nline2\""), std::string::npos) << text;
+  const std::vector<telemetry::ParsedSample> parsed = telemetry::parse_prometheus(text);
+  bool found = false;
+  for (const telemetry::ParsedSample& s : parsed) {
+    if (s.name != "evil_total") continue;
+    found = true;
+    ASSERT_EQ(s.labels.size(), 1u);
+    EXPECT_EQ(s.labels[0].first, "label");
+    EXPECT_EQ(s.labels[0].second, evil);  // unescape restores the exact bytes
+    EXPECT_DOUBLE_EQ(s.value, 5.0);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_DOUBLE_EQ(metric_sum(parsed, "temperature", {{"unit", "C"}}), -2.25);
+}
+
+TEST(Exposition, HistogramRendersCumulativeBucketsAndHeadersOnce) {
+  telemetry::Registry reg;
+  telemetry::Histogram h = reg.histogram("lat_seconds", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  // Two series of one name: HELP/TYPE must appear once, before both.
+  reg.counter("dup_total", "once", {{"a", "1"}}).inc();
+  reg.counter("dup_total", "once", {{"a", "2"}}).inc();
+  const std::string text = telemetry::to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"10\"} 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_seconds_sum 55.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_seconds_count 3"), std::string::npos) << text;
+  const std::size_t first = text.find("# TYPE dup_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE dup_total counter", first + 1), std::string::npos)
+      << "HELP/TYPE repeated for labelled series of one name:\n"
+      << text;
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// GET `path` against `server` from a client thread while this thread pumps
+/// the poll loop — handlers therefore run on the calling (test) thread,
+/// which is what keeps runtime scrapes ordered against worker barriers.
+std::optional<std::string> pump_get(telemetry::Server& server, const std::string& path) {
+  std::promise<std::optional<std::string>> result;
+  std::future<std::optional<std::string>> fut = result.get_future();
+  const std::uint16_t port = server.port();
+  std::thread client(
+      [&result, port, path] { result.set_value(telemetry::http_get(port, path)); });
+  while (fut.wait_for(std::chrono::milliseconds(0)) != std::future_status::ready) {
+    server.poll(5);
+  }
+  client.join();
+  return fut.get();
+}
+
+TEST(Server, RoutesQueriesErrorsAndThrowingHandlers) {
+  telemetry::Server server;
+  server.handle("/ok", [](const telemetry::HttpRequest& req) {
+    return telemetry::HttpResponse{200, "text/plain", "hello " + req.query};
+  });
+  server.handle("/boom", [](const telemetry::HttpRequest&) -> telemetry::HttpResponse {
+    throw std::runtime_error("kaboom");
+  });
+  ASSERT_TRUE(server.listen(0)) << server.error();
+  EXPECT_NE(server.port(), 0);  // ephemeral port resolved
+  EXPECT_TRUE(server.listening());
+
+  EXPECT_EQ(pump_get(server, "/ok").value_or("<fail>"), "hello ");
+  // Query string is split off the path before dispatch.
+  EXPECT_EQ(pump_get(server, "/ok?q=1").value_or("<fail>"), "hello q=1");
+  // Unknown path: 404, reported as nullopt by the client.
+  EXPECT_FALSE(pump_get(server, "/nope").has_value());
+  // A throwing handler becomes a 500 response — and must not kill the loop.
+  EXPECT_FALSE(pump_get(server, "/boom").has_value());
+  EXPECT_EQ(pump_get(server, "/ok").value_or("<fail>"), "hello ");
+
+  server.stop();
+  EXPECT_FALSE(server.listening());
+}
+
+// ---------------------------------------------------------------------------
+// Runtime wiring: register_runtime_metrics + add_runtime_endpoints
+// ---------------------------------------------------------------------------
+
+class LiveTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::instance().reset_all();
+    telemetry::Registry::instance().reset();
+  }
+  void TearDown() override {
+    Runtime::instance().reset_all();
+    telemetry::Registry::instance().reset();
+  }
+  Runtime& R = Runtime::instance();
+};
+
+TEST_F(LiveTelemetryTest, ReportEndpointIs404WithoutATraceSession) {
+  // Must run before any test starts a trace: the tracer retains its last
+  // session's path, and /report falls back to it.
+  telemetry::Server server;
+  rt::add_runtime_endpoints(server);
+  ASSERT_TRUE(server.listen(0)) << server.error();
+  EXPECT_FALSE(pump_get(server, "/report").has_value());
+  // /metrics still serves (possibly empty) exposition text.
+  EXPECT_TRUE(pump_get(server, "/metrics").has_value());
+  server.stop();
+}
+
+TEST_F(LiveTelemetryTest, RuntimeMetricsMirrorCountersAndRearmAfterReset) {
+  rt::register_runtime_metrics();
+  {
+    Region r("wired");
+    for (int i = 0; i < 8; ++i) (void)(Real(1.0) + Real(1.0));
+    TruncScope scope(8, 12);
+    for (int i = 0; i < 3; ++i) (void)(Real(1.0) * Real(1.0));
+  }
+  const auto scrape = [] {
+    return telemetry::parse_prometheus(
+        telemetry::to_prometheus(telemetry::Registry::instance().snapshot()));
+  };
+  {
+    const std::vector<telemetry::ParsedSample> samples = scrape();
+    EXPECT_DOUBLE_EQ(metric_sum(samples, "raptor_flops_total", {{"path", "full"}}), 8.0);
+    EXPECT_DOUBLE_EQ(metric_sum(samples, "raptor_flops_total", {{"path", "trunc"}}), 3.0);
+    EXPECT_DOUBLE_EQ(
+        metric_sum(samples, "raptor_ops_total", {{"kind", "fadd"}, {"path", "full"}}), 8.0);
+    EXPECT_DOUBLE_EQ(
+        metric_sum(samples, "raptor_ops_total", {{"kind", "fmul"}, {"path", "trunc"}}), 3.0);
+    EXPECT_GE(metric_sum(samples, "raptor_config_epoch"), 1.0);
+    EXPECT_DOUBLE_EQ(metric_sum(samples, "raptor_trace_active"), 0.0);
+  }
+  // Registry::reset() drops the runtime callbacks; re-registering re-arms
+  // every series against the (independently reset or not) runtime.
+  telemetry::Registry::instance().reset();
+  EXPECT_TRUE(telemetry::Registry::instance().snapshot().samples.empty());
+  rt::register_runtime_metrics();
+  const std::vector<telemetry::ParsedSample> samples = scrape();
+  EXPECT_DOUBLE_EQ(metric_sum(samples, "raptor_flops_total", {{"path", "full"}}), 8.0);
+}
+
+// The live acceptance path: a traced run on a worker thread, scraped over
+// the socket between barriers — counters advance between polls, final
+// totals match the Runtime's own accounting, /report is byte-identical to
+// the offline analyzer, and /profile carries per-region wall-clock.
+TEST_F(LiveTelemetryTest, EndToEndTracedRunServesAdvancingMetricsAndParityReport) {
+  rt::register_runtime_metrics();
+  telemetry::Server server;
+  rt::add_runtime_endpoints(server);
+  ASSERT_TRUE(server.listen(0)) << server.error();
+
+  const std::string path = "test_telemetry_live.rtrace";
+  trace::TraceOptions topts;
+  topts.path = path;
+  topts.sample_stride = 1;
+  R.set_region_profiling(true);
+  R.trace_start(topts);
+
+  // Two-phase worker parked at a condvar between phases; every scrape below
+  // happens while the worker is parked (or joined), so the callback reads
+  // are ordered after its counter writes by the barrier mutex.
+  std::mutex m;
+  std::condition_variable cv;
+  int ready = 0;
+  int go = 0;
+  std::thread worker([&] {
+    {
+      Region r("telemetry/live");
+      for (int i = 0; i < 100; ++i) (void)(Real(1.0) + Real(2.0));
+      std::unique_lock<std::mutex> lk(m);
+      ready = 1;
+      cv.notify_all();
+      cv.wait(lk, [&] { return go >= 1; });
+      lk.unlock();
+      for (int i = 0; i < 150; ++i) (void)(Real(1.0) * Real(2.0));
+    }
+    std::lock_guard<std::mutex> lk(m);
+    ready = 2;
+    cv.notify_all();
+  });
+
+  {
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return ready >= 1; });
+  }
+  const std::optional<std::string> body1 = pump_get(server, "/metrics");
+  ASSERT_TRUE(body1.has_value());
+  const std::vector<telemetry::ParsedSample> s1 = telemetry::parse_prometheus(*body1);
+  const double flops1 = metric_sum(s1, "raptor_flops_total");
+  EXPECT_DOUBLE_EQ(flops1, 100.0);  // phase 1 only
+  EXPECT_DOUBLE_EQ(metric_sum(s1, "raptor_trace_active"), 1.0);
+
+  {
+    std::lock_guard<std::mutex> lk(m);
+    go = 1;
+  }
+  cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return ready >= 2; });
+  }
+  const std::optional<std::string> body2 = pump_get(server, "/metrics");
+  ASSERT_TRUE(body2.has_value());
+  const std::vector<telemetry::ParsedSample> s2 = telemetry::parse_prometheus(*body2);
+  EXPECT_GT(metric_sum(s2, "raptor_flops_total"), flops1);  // advanced between polls
+
+  worker.join();
+  const trace::TraceStats stats = R.trace_stop();
+  R.set_region_profiling(false);
+
+  // Totals at stop match the Runtime exactly, per kind and per path.
+  const std::optional<std::string> body3 = pump_get(server, "/metrics");
+  ASSERT_TRUE(body3.has_value());
+  const std::vector<telemetry::ParsedSample> s3 = telemetry::parse_prometheus(*body3);
+  const rt::CounterSnapshot totals = R.counters();
+  EXPECT_DOUBLE_EQ(metric_sum(s3, "raptor_flops_total"),
+                   static_cast<double>(totals.total_flops()));
+  EXPECT_DOUBLE_EQ(metric_sum(s3, "raptor_ops_total", {{"kind", "fadd"}, {"path", "full"}}),
+                   100.0);
+  EXPECT_DOUBLE_EQ(metric_sum(s3, "raptor_ops_total", {{"kind", "fmul"}, {"path", "full"}}),
+                   150.0);
+  EXPECT_DOUBLE_EQ(metric_sum(s3, "raptor_trace_events_total"),
+                   static_cast<double>(stats.events));
+  EXPECT_DOUBLE_EQ(metric_sum(s3, "raptor_trace_active"), 0.0);
+
+  // /report parity: byte-identical to the offline analyzer over the file.
+  const std::optional<std::string> report = pump_get(server, "/report");
+  ASSERT_TRUE(report.has_value());
+  const trace::TraceData td = trace::read_rtrace(path);
+  EXPECT_EQ(*report, trace::report_json(td, trace::build_reports(td)));
+  EXPECT_NE(report->find("\"telemetry/live\""), std::string::npos);
+  // The region carries its wall-clock self-time into the report.
+  EXPECT_NE(report->find("\"seconds\":"), std::string::npos);
+
+  // /profile (quiescent here: worker joined) serves the profile dump with
+  // the seconds column.
+  const std::optional<std::string> profile = pump_get(server, "/profile");
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_NE(profile->find("telemetry/live"), std::string::npos);
+  EXPECT_NE(profile->find("\"seconds\":"), std::string::npos);
+
+  server.stop();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Search: the wall-clock dimension (SearchOptions::min_time_share)
+// ---------------------------------------------------------------------------
+
+class SearchTimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::instance().reset_all(); }
+  void TearDown() override { Runtime::instance().reset_all(); }
+};
+
+/// Two regions with opposite rankings: "fast" dominates the flop count,
+/// "slow" dominates the wall clock (it sleeps). Exact-representable values
+/// keep every candidate format's error at zero.
+search::Workload make_time_skewed_workload() {
+  search::Workload wl;
+  wl.name = "timeshare";
+  wl.run = [] {
+    std::vector<double> obs;
+    {
+      Region fast("fast");
+      Real s(0.0);
+      for (int i = 0; i < 400; ++i) s = s + Real(1.0);
+      obs.push_back(to_double(s));
+    }
+    {
+      Region slow("slow");
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+      obs.push_back(to_double(Real(2.0) * Real(3.0)));
+    }
+    return obs;
+  };
+  return wl;
+}
+
+const search::RegionChoice* find_choice(const std::vector<search::RegionChoice>& v,
+                                        const std::string& region) {
+  for (const search::RegionChoice& c : v) {
+    if (c.region == region) return &c;
+  }
+  return nullptr;
+}
+
+TEST_F(SearchTimeTest, MinTimeShareSkipsWallClockCheapRegions) {
+  search::SearchOptions opts;
+  opts.tolerance = 0.5;
+  opts.min_man = 8;
+  opts.min_flop_share = 0.0;  // isolate the time filter
+  opts.min_time_share = 0.5;  // "slow"'s sleep dominates the profiled time
+  const search::SearchResult res = search::PrecisionSearch(opts).run(make_time_skewed_workload());
+  const search::RegionChoice* fast = find_choice(res.choices, "fast");
+  const search::RegionChoice* slow = find_choice(res.choices, "slow");
+  ASSERT_NE(fast, nullptr);
+  ASSERT_NE(slow, nullptr);
+  // Flop-heavy but wall-clock-cheap: the time filter leaves it native.
+  EXPECT_FALSE(fast->truncated);
+  // The region that owns the wall clock gets searched and truncated.
+  EXPECT_TRUE(slow->truncated);
+  // Choices carry the reference profile's wall-clock self-time.
+  EXPECT_GT(slow->seconds, fast->seconds);
+  EXPECT_GE(slow->seconds, 0.010);
+}
+
+TEST_F(SearchTimeTest, TimeFilterOffSearchesEveryRegionAndProfilesSeconds) {
+  search::SearchOptions opts;
+  opts.tolerance = 0.5;
+  opts.min_man = 8;
+  opts.min_flop_share = 0.0;
+  opts.min_time_share = 0.0;  // default: the time filter is disabled
+  const search::SearchResult res = search::PrecisionSearch(opts).run(make_time_skewed_workload());
+  const search::RegionChoice* fast = find_choice(res.choices, "fast");
+  const search::RegionChoice* slow = find_choice(res.choices, "slow");
+  ASSERT_NE(fast, nullptr);
+  ASSERT_NE(slow, nullptr);
+  EXPECT_TRUE(fast->truncated);
+  EXPECT_TRUE(slow->truncated);
+  // The reference profile rows expose the same time dimension.
+  bool found = false;
+  for (const rt::RegionProfileEntry& e : res.reference_profile) {
+    if (e.label == "slow") {
+      found = true;
+      EXPECT_GE(e.profile.seconds, 0.010);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace raptor

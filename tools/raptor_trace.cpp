@@ -18,6 +18,14 @@
 //                                              outputs) every --interval=MS
 //                                              until the capture completes
 //                                              or --follow-max=N ticks pass
+//   raptor_trace <file> --serve[=PORT]         follow mode that additionally
+//                                              serves /metrics, /profile and
+//                                              /report over HTTP on loopback
+//                                              (PORT 0/omitted = ephemeral;
+//                                              --port-file=PATH writes the
+//                                              bound port for scripts);
+//                                              /report returns the same JSON
+//                                              --json derives offline
 //   raptor_trace <file> --csv=out.csv          per-region rows as CSV
 //   raptor_trace <file> --json=out.json        per-region rows as JSON
 //   raptor_trace <file> --recommend[=out.cfg]  profile-config recommendation
@@ -44,6 +52,7 @@
 #include <vector>
 
 #include "io/profile_dump.hpp"
+#include "runtime/live_telemetry.hpp"
 #include "runtime/opkind.hpp"
 #include "runtime/profile_config.hpp"
 #include "support/cli.hpp"
@@ -85,19 +94,23 @@ void print_report(std::FILE* out, const trace::TraceData& td,
   }
   std::fprintf(out, "%zu event records, %llu dropped\n\n", td.events.size(),
                static_cast<unsigned long long>(td.total_dropped()));
-  std::fprintf(out, "%-18s %10s %12s %8s %9s %9s %8s %10s %10s  %s\n", "region", "events",
+  std::fprintf(out, "%-18s %10s %12s %8s %9s %9s %8s %10s %10s %9s  %s\n", "region", "events",
                "sampled_ops", "trunc%", "exp_min", "exp_max", "subnrm", "dev_p99", "dev_max",
-               "op mix");
+               "seconds", "op mix");
   for (const auto& r : reports) {
     const double trunc_pct =
         r.ops > 0 ? 100.0 * static_cast<double>(r.trunc_ops) / static_cast<double>(r.ops) : 0.0;
-    std::fprintf(out, "%-18s %10llu %12llu %7.1f%% %9s %9s %8llu %10.2e %10.2e  %s\n",
+    // Wall-clock self-time rides in optional 'T' blocks; captures without
+    // region profiling have none, so print "-" instead of a misleading 0.
+    char secs[32] = "-";
+    if (r.seconds > 0.0) std::snprintf(secs, sizeof secs, "%.3f", r.seconds);
+    std::fprintf(out, "%-18s %10llu %12llu %7.1f%% %9s %9s %8llu %10.2e %10.2e %9s  %s\n",
                  r.label.c_str(), static_cast<unsigned long long>(r.events),
                  static_cast<unsigned long long>(r.ops), trunc_pct,
                  r.exp.has_range() ? trace::exp_class_str(r.exp.min_exp).c_str() : "-",
                  r.exp.has_range() ? trace::exp_class_str(r.exp.max_exp).c_str() : "-",
                  static_cast<unsigned long long>(r.exp.subnormal), r.dev.quantile(0.99),
-                 r.dev.max_bound(), op_mix(r).c_str());
+                 r.dev.max_bound(), secs, op_mix(r).c_str());
   }
   // Drop blocks are recorded even for clean threads (count 0); only print
   // the section when some thread actually lost events.
@@ -113,7 +126,7 @@ void print_report(std::FILE* out, const trace::TraceData& td,
 void write_csv(const std::string& path, const std::vector<trace::RegionReport>& reports) {
   io::CsvWriter csv(path, {"region", "events", "sampled_ops", "trunc_ops", "mem_ops", "exp_min",
                            "exp_max", "zero", "subnormal", "inf", "nan", "dev_p50", "dev_p99",
-                           "dev_max"});
+                           "dev_max", "seconds"});
   for (const auto& r : reports) {
     csv.row_strings({io::csv_field(r.label), std::to_string(r.events), std::to_string(r.ops),
                      std::to_string(r.trunc_ops), std::to_string(r.mem_ops),
@@ -122,7 +135,7 @@ void write_csv(const std::string& path, const std::vector<trace::RegionReport>& 
                      std::to_string(r.exp.zero), std::to_string(r.exp.subnormal),
                      std::to_string(r.exp.inf), std::to_string(r.exp.nan),
                      std::to_string(r.dev.quantile(0.5)), std::to_string(r.dev.quantile(0.99)),
-                     std::to_string(r.dev.max_bound())});
+                     std::to_string(r.dev.max_bound()), std::to_string(r.seconds)});
   }
 }
 
@@ -130,23 +143,9 @@ void write_json(const std::string& path, const trace::TraceData& td,
                 const std::vector<trace::RegionReport>& reports) {
   std::ofstream out(path);
   if (!out.good()) throw CliError("cannot open --json output file");
-  out << "{\"sample_stride\": " << td.sample_stride
-      << ", \"dropped\": " << td.total_dropped() << ", \"regions\": [\n";
-  for (std::size_t i = 0; i < reports.size(); ++i) {
-    const auto& r = reports[i];
-    out << "  {\"region\": \"" << io::json_escape(r.label) << "\", \"events\": " << r.events
-        << ", \"sampled_ops\": " << r.ops << ", \"trunc_ops\": " << r.trunc_ops
-        << ", \"mem_ops\": " << r.mem_ops;
-    if (r.exp.has_range()) {
-      out << ", \"exp_min\": " << r.exp.min_exp << ", \"exp_max\": " << r.exp.max_exp;
-    }
-    out << ", \"zero\": " << r.exp.zero << ", \"subnormal\": " << r.exp.subnormal
-        << ", \"inf\": " << r.exp.inf << ", \"nan\": " << r.exp.nan
-        << ", \"dev_p99\": " << io::json_number(r.dev.quantile(0.99))
-        << ", \"dev_max\": " << io::json_number(r.dev.max_bound()) << "}"
-        << (i + 1 < reports.size() ? ",\n" : "\n");
-  }
-  out << "]}\n";
+  // The shared renderer keeps this byte-identical to the telemetry server's
+  // /report body (pinned by test_telemetry).
+  out << trace::report_json(td, reports);
 }
 
 bool file_exists(const std::string& path) {
@@ -204,6 +203,26 @@ int follow(const Cli& cli) {
   const int interval_ms = std::max(1, cli.get_int("interval", 500));
   const int max_ticks = cli.get_int("follow-max", 0);  // 0 = until complete
 
+  // --serve: poll-based HTTP endpoints alongside the tail. The tick loop
+  // below keeps polling the server between report re-emits, so requests are
+  // answered while we wait out the interval.
+  telemetry::Server server;
+  if (cli.has("serve")) {
+    std::string port_str = cli.get("serve", "0");
+    if (port_str == "1") port_str = "0";  // bare "--serve" parses as "1": ephemeral
+    rt::register_runtime_metrics();
+    rt::add_runtime_endpoints(server, base);
+    if (!server.listen(static_cast<std::uint16_t>(std::atoi(port_str.c_str())))) {
+      throw CliError("--serve failed to bind: " + server.error());
+    }
+    std::printf("serving /metrics /profile /report on 127.0.0.1:%u\n", server.port());
+    if (cli.has("port-file")) {
+      std::ofstream pf(cli.get("port-file", ""));
+      if (!pf.good()) throw CliError("cannot open --port-file output");
+      pf << server.port() << '\n';
+    }
+  }
+
   std::vector<std::unique_ptr<trace::RtraceStream>> streams;
   streams.emplace_back(std::make_unique<trace::RtraceStream>(base));
   int tick = 0;
@@ -240,7 +259,15 @@ int follow(const Cli& cli) {
 
     if (complete_ticks >= 2) return 0;
     if (max_ticks > 0 && tick >= max_ticks) return 0;
-    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    if (server.listening()) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(interval_ms);
+      do {
+        server.poll(10);
+      } while (std::chrono::steady_clock::now() < deadline);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
   }
 }
 
@@ -587,12 +614,12 @@ int run(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <file.rtrace> [more shards...] [--csv=PATH] [--json=PATH] "
                  "[--recommend[=PATH]] [--tolerant] [--follow] [--interval=MS] "
-                 "[--follow-max=N] [--selftest]\n",
+                 "[--follow-max=N] [--serve[=PORT]] [--port-file=PATH] [--selftest]\n",
                  cli.program().c_str());
     return 2;
   }
 
-  if (cli.has("follow")) {
+  if (cli.has("follow") || cli.has("serve")) {  // --serve implies follow mode
     if (cli.positional().size() != 1) {
       std::fprintf(stderr, "--follow tails one capture (its rotation segments are discovered)\n");
       return 2;
